@@ -1,0 +1,284 @@
+// Benchmarks regenerating the paper's evaluation. There is one benchmark
+// per table and figure (Figure 1(a), Figure 1(b), Figure 3, Table 1 — one
+// sub-benchmark per application row), plus ablation benchmarks for the
+// design decisions DESIGN.md calls out and micro-benchmarks for the codec
+// and fault paths. Benchmarks run at the small scale so `go test -bench=.`
+// finishes in minutes; cmd/ccbench runs the paper scale.
+package compcache
+
+import (
+	"strings"
+	"testing"
+
+	"compcache/internal/exp"
+	"compcache/internal/workload"
+)
+
+const benchMB = 1 << 20
+
+// BenchmarkFig1a regenerates Figure 1(a), the analytic bandwidth-speedup
+// surface.
+func BenchmarkFig1a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := Fig1a()
+		if len(f.Grid) == 0 {
+			b.Fatal("empty grid")
+		}
+	}
+}
+
+// BenchmarkFig1b regenerates Figure 1(b), the analytic reference-time
+// surface with its leap at r = 0.5.
+func BenchmarkFig1b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := Fig1b()
+		if len(f.Grid) == 0 {
+			b.Fatal("empty grid")
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates Figure 3: the thrasher sweep over address-space
+// sizes, measured on the baseline and compression-cache machines.
+func BenchmarkFig3(b *testing.B) {
+	opts := DefaultFig3Options(SmallScale)
+	for i := 0; i < b.N; i++ {
+		res, err := Fig3(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Points) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 row by row; each sub-benchmark runs
+// one application on both machines and reports the measured speedup.
+func BenchmarkTable1(b *testing.B) {
+	opts := DefaultTable1Options(SmallScale)
+	for _, w := range opts.Workloads {
+		w := w
+		b.Run(w.Name(), func(b *testing.B) {
+			base := Default(int64(opts.MemoryMB) << 20)
+			cc := base.WithCC()
+			var last Comparison
+			for i := 0; i < b.N; i++ {
+				cmp, err := RunBoth(base, cc, w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = cmp
+			}
+			b.ReportMetric(last.Speedup(), "speedup")
+			b.ReportMetric(last.CC.Comp.Ratio(), "ratio")
+		})
+	}
+}
+
+// BenchmarkAblationPartialIO measures whole-block vs exact-size backing
+// store transfers (§4.3 / §6).
+func BenchmarkAblationPartialIO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationPartialIO(1, 768, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSpanning measures fragment spanning of file blocks
+// (§4.3).
+func BenchmarkAblationSpanning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationSpanning(1, 768, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBias sweeps the compression-cache retention bias (§4.2).
+func BenchmarkAblationBias(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationBias(1, 768, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationThreshold sweeps the 4:3 retention threshold (§5.2).
+func BenchmarkAblationThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationThreshold(1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCodec compares compression algorithms (§3).
+func BenchmarkAblationCodec(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationCodec(1, 768, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationFixedSize compares the original fixed-size cache with
+// adaptive sizing (§4.2).
+func BenchmarkAblationFixedSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationFixedSize(1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCodecs measures raw codec throughput on a representative page.
+func BenchmarkCodecs(b *testing.B) {
+	page := []byte(strings.Repeat("the compression cache extends physical memory ", 100))[:4096]
+	for _, name := range Codecs() {
+		codec, err := LookupCodec(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name+"/compress", func(b *testing.B) {
+			b.SetBytes(4096)
+			var dst []byte
+			for i := 0; i < b.N; i++ {
+				dst = codec.Compress(dst[:0], page)
+			}
+		})
+		b.Run(name+"/decompress", func(b *testing.B) {
+			comp := codec.Compress(nil, page)
+			b.SetBytes(4096)
+			var dst []byte
+			for i := 0; i < b.N; i++ {
+				var err error
+				dst, err = codec.Decompress(dst[:0], comp)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFaultPath measures the simulator's host-side cost per simulated
+// memory reference under heavy paging (the figure that bounds experiment
+// wall-clock time).
+func BenchmarkFaultPath(b *testing.B) {
+	for _, cc := range []bool{false, true} {
+		name := "baseline"
+		if cc {
+			name = "cc"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := Default(benchMB)
+			if cc {
+				cfg = cfg.WithCC()
+			}
+			m, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := m.NewSegment("bench", 4*benchMB)
+			pages := s.Pages()
+			var word [8]byte
+			for p := int32(0); p < pages; p++ {
+				s.Write(int64(p)*4096, word[:])
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Touch(int32(i)%pages, i%2 == 0)
+			}
+		})
+	}
+}
+
+// BenchmarkThrasherSweep is the inner loop of Figure 3 at one interesting
+// size (2x memory), useful for profiling the whole stack.
+func BenchmarkThrasherSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := Measure(Default(benchMB).WithCC(),
+			&workload.Thrasher{Pages: 512, Write: true, Passes: 2, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionBackingStore sweeps backing-store speed (§6).
+func BenchmarkExtensionBackingStore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.BackingStoreSweep(1, 768, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionCompressionSpeed sweeps compression bandwidth (§6).
+func BenchmarkExtensionCompressionSpeed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.CompressionSpeedSweep(1, 768, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionPinning compares §3 advisory pinning with the cache.
+func BenchmarkExtensionPinning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AdvisoryPinning(1, 512, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionFileCache measures the §6 compressed file buffer cache.
+func BenchmarkExtensionFileCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.CompressedFileCache(1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplay measures trace replay throughput (references per second of
+// host time through the full paging stack).
+func BenchmarkReplay(b *testing.B) {
+	m, err := New(Default(benchMB))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rec TraceRecorder
+	m.VM.SetTraceHook(rec.Note)
+	if err := (&Thrasher{Pages: 512, Write: true, Passes: 1, Seed: 1}).Run(m); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Measure(Default(benchMB).WithCC(), &Replay{Refs: rec.Refs, Seed: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionLFS compares direct, log-structured and compressed
+// paging (§5.1).
+func BenchmarkExtensionLFS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.LFSComparison(1, 512, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionMultiprogramming measures the three-way trade with
+// concurrent processes (§4.2).
+func BenchmarkExtensionMultiprogramming(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Multiprogramming(1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Command ccbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ccbench [-scale small|paper] [-exp fig1a|fig1b|fig3|table1|ablations|all]
+//
+// Each experiment prints the same rows or series the paper reports; the
+// paper's published values are included alongside where applicable (Table 1)
+// so the shape comparison is immediate. At the paper scale the full suite
+// takes a few minutes of host time; the virtual-time measurements themselves
+// are deterministic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"compcache/internal/exp"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "small", "experiment scale: small or paper")
+	expFlag := flag.String("exp", "all", "experiment: fig1a, fig1b, fig3, table1, ablations, extensions, all")
+	format := flag.String("format", "text", "output format for tables: text or csv")
+	flag.Parse()
+	if *format != "text" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "ccbench: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	emit := func(tab *exp.Table) {
+		if *format == "csv" {
+			fmt.Printf("# %s\n%s\n", tab.Title, tab.CSV())
+			return
+		}
+		fmt.Println(tab)
+	}
+
+	var scale exp.Scale
+	switch *scaleFlag {
+	case "small":
+		scale = exp.Small
+	case "paper":
+		scale = exp.Paper
+	default:
+		fmt.Fprintf(os.Stderr, "ccbench: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	which := strings.Split(*expFlag, ",")
+	run := func(name string) bool {
+		if *expFlag == "all" {
+			return true
+		}
+		for _, w := range which {
+			if strings.TrimSpace(w) == name {
+				return true
+			}
+		}
+		return false
+	}
+
+	ran := 0
+	start := time.Now()
+	if run("fig1a") {
+		fmt.Println(exp.Fig1a())
+		ran++
+	}
+	if run("fig1b") {
+		fmt.Println(exp.Fig1b())
+		ran++
+	}
+	if run("fig3") {
+		res, err := exp.Fig3(exp.DefaultFig3Options(scale))
+		fatal(err)
+		emit(res.TableA())
+		emit(res.TableB())
+		ran++
+	}
+	if run("table1") {
+		res, err := exp.Table1(exp.DefaultTable1Options(scale))
+		fatal(err)
+		emit(res.Table())
+		ran++
+	}
+	if run("extensions") {
+		memMB, pages := 1, int32(768)
+		if scale == exp.Paper {
+			memMB, pages = 6, 4096
+		}
+		for _, f := range []func() (*exp.Table, error){
+			func() (*exp.Table, error) { return exp.BackingStoreSweep(memMB, pages, 1) },
+			func() (*exp.Table, error) { return exp.CompressionSpeedSweep(memMB, pages, 1) },
+			func() (*exp.Table, error) { return exp.AdvisoryPinning(memMB, pages/3*2, 1) },
+			func() (*exp.Table, error) { return exp.CompressedFileCache(memMB, 1) },
+			func() (*exp.Table, error) { return exp.LFSComparison(memMB, pages, 1) },
+			func() (*exp.Table, error) { return exp.Multiprogramming(memMB, 1) },
+			func() (*exp.Table, error) { return exp.ModelValidation(memMB, 1) },
+			func() (*exp.Table, error) { return exp.MobileScenario(memMB, 1) },
+		} {
+			tab, err := f()
+			fatal(err)
+			emit(tab)
+		}
+		ran++
+	}
+	if run("ablations") {
+		memMB, pages := 1, int32(768)
+		if scale == exp.Paper {
+			memMB, pages = 6, 4096
+		}
+		for _, f := range []func() (*exp.Table, error){
+			func() (*exp.Table, error) { return exp.AblationPartialIO(memMB, pages, 1) },
+			func() (*exp.Table, error) { return exp.AblationSpanning(memMB, pages, 1) },
+			func() (*exp.Table, error) { return exp.AblationBias(memMB, pages, 1) },
+			func() (*exp.Table, error) { return exp.AblationThreshold(memMB, 1) },
+			func() (*exp.Table, error) { return exp.AblationCodec(memMB, pages, 1) },
+			func() (*exp.Table, error) { return exp.AblationFixedSize(memMB, 1) },
+		} {
+			tab, err := f()
+			fatal(err)
+			emit(tab)
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "ccbench: unknown experiment %q\n", *expFlag)
+		os.Exit(2)
+	}
+	fmt.Printf("ccbench: %d experiment group(s) at %s scale in %v (host time)\n",
+		ran, scale, time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccbench:", err)
+		os.Exit(1)
+	}
+}

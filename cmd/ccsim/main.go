@@ -1,0 +1,95 @@
+// Command ccsim runs one workload on a configurable simulated machine and
+// prints the statistics block — the interactive way to explore the
+// compression cache's behaviour.
+//
+// Usage:
+//
+//	ccsim [-mem MB] [-cc] [-codec name] [-workload name] [flags...]
+//
+// Workloads: thrasher_ro, thrasher_rw, compare, isca, sort_random,
+// sort_partial, gold_create, gold_cold, gold_warm.
+//
+// Examples:
+//
+//	ccsim -workload thrasher_rw -mem 6 -size 20        # paper Figure 3 point
+//	ccsim -workload compare -mem 8 -cc                 # best-case app
+//	ccsim -workload sort_random -mem 8 -cc             # worst-case app
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"compcache/internal/machine"
+	"compcache/internal/workload"
+)
+
+func main() {
+	memMB := flag.Int("mem", 6, "user memory in MB")
+	useCC := flag.Bool("cc", false, "enable the compression cache")
+	codec := flag.String("codec", "lzrw1", "compression codec (lzrw1, lzss, rle, null)")
+	name := flag.String("workload", "thrasher_rw", "workload to run")
+	sizeMB := flag.Int("size", 12, "working-set size in MB (thrasher, sort, compare scale)")
+	passes := flag.Int("passes", 2, "thrasher passes")
+	seed := flag.Int64("seed", 1, "workload random seed")
+	partialIO := flag.Bool("partialio", false, "allow sub-block backing-store transfers (ablation)")
+	span := flag.Bool("span", false, "let compressed pages span file blocks (ablation)")
+	flag.Parse()
+
+	cfg := machine.Default(int64(*memMB) << 20)
+	if *useCC {
+		cfg = cfg.WithCC()
+		cfg.CC.Codec = *codec
+	}
+	cfg.FS.AllowPartialIO = *partialIO
+	cfg.Swap.SpanBlocks = *span
+
+	pages := int32(*sizeMB << 20 / 4096)
+	var w workload.Workload
+	switch *name {
+	case "thrasher_ro":
+		w = &workload.Thrasher{Pages: pages, Write: false, Passes: *passes, Seed: *seed}
+	case "thrasher_rw":
+		w = &workload.Thrasher{Pages: pages, Write: true, Passes: *passes, Seed: *seed}
+	case "compare":
+		// Size the band matrix to about sizeMB.
+		band := 1024
+		n := *sizeMB << 20 / band
+		w = &workload.Compare{N: n, Band: band, Seed: *seed}
+	case "isca":
+		w = &workload.CacheSim{CPUs: 8, Sets: 2048, Ways: 2,
+			AddrWords: uint64(*sizeMB) << 20 / 8, BlockWordsList: []int{4, 16, 64},
+			Refs: 1 << 20, Seed: *seed}
+	case "sort_random":
+		w = &workload.Sort{Bytes: int64(*sizeMB) << 20, Mode: workload.SortRandom, Seed: *seed}
+	case "sort_partial":
+		w = &workload.Sort{Bytes: int64(*sizeMB) << 20, Mode: workload.SortPartial, Seed: *seed}
+	case "gold_create", "gold_cold", "gold_warm":
+		phase := workload.GoldCreate
+		switch *name {
+		case "gold_cold":
+			phase = workload.GoldCold
+		case "gold_warm":
+			phase = workload.GoldWarm
+		}
+		msgs := *sizeMB << 20 / (32 * 8 * 2) // index ~= sizeMB
+		w = &workload.Gold{Messages: msgs, WordsPerMessage: 32, VocabWords: 16000,
+			Queries: msgs / 3, Phase: phase, Seed: *seed}
+	default:
+		fmt.Fprintf(os.Stderr, "ccsim: unknown workload %q\n", *name)
+		os.Exit(2)
+	}
+
+	st, err := workload.Measure(cfg, w)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccsim:", err)
+		os.Exit(1)
+	}
+	mode := "baseline (no compression cache)"
+	if *useCC {
+		mode = fmt.Sprintf("compression cache on (%s)", *codec)
+	}
+	fmt.Printf("workload %s on %d MB, %s\n\n", w.Name(), *memMB, mode)
+	fmt.Print(st)
+}

@@ -1,0 +1,123 @@
+// Command cctrace records and replays page-reference traces, so one
+// workload execution can be re-examined under different machine
+// configurations — the classic trace-driven-simulation workflow.
+//
+// Usage:
+//
+//	cctrace -record trace.cct -workload thrasher_rw -size 8 -mem 2
+//	cctrace -replay trace.cct -mem 2 -cc
+//	cctrace -info trace.cct
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"compcache/internal/machine"
+	"compcache/internal/trace"
+	"compcache/internal/workload"
+)
+
+func main() {
+	record := flag.String("record", "", "record the workload's trace to this file")
+	replay := flag.String("replay", "", "replay the trace in this file")
+	info := flag.String("info", "", "print a summary of the trace in this file")
+	name := flag.String("workload", "thrasher_rw", "workload to record (thrasher_ro, thrasher_rw, filescan)")
+	memMB := flag.Int("mem", 2, "user memory in MB")
+	sizeMB := flag.Int("size", 6, "working-set size in MB")
+	useCC := flag.Bool("cc", false, "enable the compression cache (replay)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	switch {
+	case *record != "":
+		doRecord(*record, *name, *memMB, *sizeMB, *seed)
+	case *replay != "":
+		doReplay(*replay, *memMB, *useCC, *seed)
+	case *info != "":
+		doInfo(*info)
+	default:
+		fmt.Fprintln(os.Stderr, "cctrace: one of -record, -replay or -info is required")
+		os.Exit(2)
+	}
+}
+
+func doRecord(path, name string, memMB, sizeMB int, seed int64) {
+	m, err := machine.New(machine.Default(int64(memMB) << 20))
+	fatal(err)
+	var rec trace.Recorder
+	m.VM.SetTraceHook(rec.Note)
+
+	pages := int32(sizeMB << 20 / 4096)
+	var w workload.Workload
+	switch name {
+	case "thrasher_ro":
+		w = &workload.Thrasher{Pages: pages, Write: false, Passes: 2, Seed: seed}
+	case "thrasher_rw":
+		w = &workload.Thrasher{Pages: pages, Write: true, Passes: 2, Seed: seed}
+	case "filescan":
+		w = &workload.FileScan{FileBytes: int64(sizeMB) << 20, Passes: 2, Seed: seed}
+	default:
+		fmt.Fprintf(os.Stderr, "cctrace: unknown workload %q\n", name)
+		os.Exit(2)
+	}
+	fatal(w.Run(m))
+
+	f, err := os.Create(path)
+	fatal(err)
+	defer f.Close()
+	n, err := rec.WriteTo(f)
+	fatal(err)
+	fmt.Printf("recorded %d references (%d bytes) from %s to %s\n",
+		len(rec.Refs), n, w.Name(), path)
+}
+
+func doReplay(path string, memMB int, useCC bool, seed int64) {
+	f, err := os.Open(path)
+	fatal(err)
+	defer f.Close()
+	refs, err := trace.ReadTrace(f)
+	fatal(err)
+
+	cfg := machine.Default(int64(memMB) << 20)
+	mode := "baseline"
+	if useCC {
+		cfg = cfg.WithCC()
+		mode = "compression cache"
+	}
+	st, err := workload.Measure(cfg, &workload.Replay{Refs: refs, Seed: seed})
+	fatal(err)
+	fmt.Printf("replayed %d references on %d MB (%s)\n\n", len(refs), memMB, mode)
+	fmt.Print(st)
+}
+
+func doInfo(path string) {
+	f, err := os.Open(path)
+	fatal(err)
+	defer f.Close()
+	refs, err := trace.ReadTrace(f)
+	fatal(err)
+	segs := map[int32]int32{}
+	writes := 0
+	for _, r := range refs {
+		if r.Page >= segs[r.Seg] {
+			segs[r.Seg] = r.Page + 1
+		}
+		if r.Write {
+			writes++
+		}
+	}
+	fmt.Printf("%s: %d references, %d segment(s), %.1f%% writes\n",
+		path, len(refs), len(segs), 100*float64(writes)/float64(max(len(refs), 1)))
+	for seg, pages := range segs {
+		fmt.Printf("  segment %d: %d pages (%.1f MB)\n", seg, pages, float64(pages)*4096/(1<<20))
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cctrace:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,195 @@
+// Package compcache is a from-scratch reproduction of the system described
+// in Fred Douglis, "The Compression Cache: Using On-line Compression to
+// Extend Physical Memory", Winter 1993 USENIX Conference.
+//
+// The compression cache is a level of the memory hierarchy between
+// uncompressed virtual-memory pages and the backing store: least-recently
+// used pages are compressed (with LZRW1) and retained in a variable-size
+// circular buffer of page frames; pages that still do not fit are written to
+// the backing store in compressed, fragment-padded, clustered form. Whether
+// this wins depends on the ratio of compression speed to I/O speed, the
+// compressibility of the data, and the application's access pattern — the
+// three axes this package's experiments sweep.
+//
+// Because the original ran inside the Sprite kernel on a DECstation 5000/200
+// and a Go process cannot observe its own paging truthfully, the
+// reproduction is built on a deterministic simulated machine with a virtual
+// clock: a frame pool, an RZ57-class disk model, a Sprite-like block file
+// system, exact-LRU virtual memory, and the compression cache itself.
+// Workloads place real bytes in simulated pages, so compression ratios are
+// measured, not assumed.
+//
+// # Quick start
+//
+//	cfg := compcache.Default(6 << 20).WithCC() // 6 MB of memory, cache on
+//	m, err := compcache.New(cfg)
+//	if err != nil { ... }
+//	heap := m.NewSegment("heap", 24<<20) // a 24 MB address space
+//	heap.WriteWord(0, 42)                // touch pages; paging just happens
+//	fmt.Println(m.Stats())
+//
+// Ready-made workloads (the paper's applications) and experiment harnesses
+// that regenerate every table and figure live here too:
+//
+//	res, _ := compcache.Table1(compcache.DefaultTable1Options(compcache.SmallScale))
+//	fmt.Println(res.Table())
+//
+// The cmd/ccbench command prints all of them.
+package compcache
+
+import (
+	"compcache/internal/compress"
+	"compcache/internal/disk"
+	"compcache/internal/exp"
+	"compcache/internal/machine"
+	"compcache/internal/model"
+	"compcache/internal/netdev"
+	"compcache/internal/stats"
+	"compcache/internal/trace"
+	"compcache/internal/workload"
+)
+
+// Core machine types.
+type (
+	// Config describes a simulated machine; see Default and WithCC.
+	Config = machine.Config
+	// CCConfig is the compression-cache section of Config.
+	CCConfig = machine.CCConfig
+	// Machine is a simulated computer running in virtual time.
+	Machine = machine.Machine
+	// Space is a byte-addressable simulated address space.
+	Space = machine.Space
+	// Stats is the statistics block a run produces.
+	Stats = stats.Run
+	// DiskParams parameterizes the backing-store device.
+	DiskParams = disk.Params
+	// NetParams parameterizes a network page server (the diskless mobile
+	// scenario of the paper's introduction).
+	NetParams = netdev.Params
+	// Codec is a page-compression algorithm.
+	Codec = compress.Codec
+	// PageRef is one recorded page reference.
+	PageRef = trace.PageRef
+	// TraceRecorder captures page references via Machine.VM.SetTraceHook.
+	TraceRecorder = trace.Recorder
+)
+
+// Workload types (the paper's §5 applications).
+type (
+	// Workload is a program that runs against a Machine.
+	Workload = workload.Workload
+	// Thrasher is the §5.1 maximum-improvement probe.
+	Thrasher = workload.Thrasher
+	// Compare is the dynamic-programming file differencer (2.68x in the paper).
+	Compare = workload.Compare
+	// CacheSim is the coherent-cache simulator, "isca" (1.60x).
+	CacheSim = workload.CacheSim
+	// Sort is the quicksort benchmark; see SortPartial and SortRandom.
+	Sort = workload.Sort
+	// Gold is the inverted-index main-memory database; see GoldCreate,
+	// GoldCold and GoldWarm.
+	Gold = workload.Gold
+	// FileScan cyclically reads a large file through the file system (the
+	// §6 compressed-file-cache scenario).
+	FileScan = workload.FileScan
+	// Replay re-executes a recorded page-reference trace.
+	Replay = workload.Replay
+	// Multi runs several workloads as interleaved processes on one machine.
+	Multi = workload.Multi
+	// Comparison is a baseline-versus-compression-cache measurement pair.
+	Comparison = workload.Comparison
+)
+
+// Sort input orders and gold phases.
+const (
+	SortPartial = workload.SortPartial
+	SortRandom  = workload.SortRandom
+	GoldCreate  = workload.GoldCreate
+	GoldCold    = workload.GoldCold
+	GoldWarm    = workload.GoldWarm
+)
+
+// Experiment types.
+type (
+	// Fig1Result is a panel of the paper's Figure 1.
+	Fig1Result = exp.Fig1Result
+	// Fig3Result is the §5.1 thrasher sweep (Figure 3).
+	Fig3Result = exp.Fig3Result
+	// Fig3Options sizes the Figure 3 sweep.
+	Fig3Options = exp.Fig3Options
+	// Table1Result is the §5.2 application table.
+	Table1Result = exp.Table1Result
+	// Table1Options sizes the Table 1 runs.
+	Table1Options = exp.Table1Options
+	// Table is a rendered result table.
+	Table = exp.Table
+	// ModelParams adjusts the Figure 1 analytic model.
+	ModelParams = model.Params
+)
+
+// Experiment scales.
+const (
+	// SmallScale shrinks experiments for fast runs (tests, benchmarks).
+	SmallScale = exp.Small
+	// PaperScale uses the paper's sizes.
+	PaperScale = exp.Paper
+)
+
+// Default returns the paper's baseline machine configuration (DECstation
+// 5000/200-class CPU costs, RZ57 disk, 4-KByte pages) with the given user
+// memory and the compression cache disabled.
+func Default(memoryBytes int64) Config { return machine.Default(memoryBytes) }
+
+// RZ57 returns the paper's disk parameters.
+func RZ57() DiskParams { return disk.RZ57() }
+
+// Ethernet10 returns parameters for a 10-Mbps Ethernet page server.
+func Ethernet10() NetParams { return netdev.Ethernet10() }
+
+// Wireless2 returns parameters for a ~2-Mbps early-90s wireless LAN, the
+// paper's mobile paging scenario.
+func Wireless2() NetParams { return netdev.Wireless2() }
+
+// ReadTrace loads a page-reference trace written by TraceRecorder.WriteTo.
+var ReadTrace = trace.ReadTrace
+
+// New builds a machine.
+func New(cfg Config) (*Machine, error) { return machine.New(cfg) }
+
+// Measure runs a workload on a fresh machine built from cfg.
+func Measure(cfg Config, w Workload) (Stats, error) { return workload.Measure(cfg, w) }
+
+// RunBoth measures a workload on the baseline and compression-cache
+// machines, producing one Table 1-style comparison.
+func RunBoth(base, cc Config, w Workload) (Comparison, error) {
+	return workload.RunBoth(base, cc, w)
+}
+
+// LookupCodec returns a registered page-compression codec ("lzrw1", "rle",
+// "null").
+func LookupCodec(name string) (Codec, error) { return compress.Lookup(name) }
+
+// Codecs lists the registered codec names.
+func Codecs() []string { return compress.Names() }
+
+// DefaultModel returns the Figure 1 analytic-model assumptions.
+func DefaultModel() ModelParams { return model.Default() }
+
+// Fig1a regenerates Figure 1(a): bandwidth speedup of compressed transfers.
+func Fig1a() *Fig1Result { return exp.Fig1a() }
+
+// Fig1b regenerates Figure 1(b): reference-time speedup with compressed
+// pages kept in memory.
+func Fig1b() *Fig1Result { return exp.Fig1b() }
+
+// DefaultFig3Options sizes the Figure 3 sweep for a scale.
+func DefaultFig3Options(s exp.Scale) Fig3Options { return exp.DefaultFig3Options(s) }
+
+// Fig3 regenerates Figure 3: the thrasher sweep.
+func Fig3(opts Fig3Options) (*Fig3Result, error) { return exp.Fig3(opts) }
+
+// DefaultTable1Options sizes the Table 1 runs for a scale.
+func DefaultTable1Options(s exp.Scale) Table1Options { return exp.DefaultTable1Options(s) }
+
+// Table1 regenerates Table 1: the application speedups.
+func Table1(opts Table1Options) (*Table1Result, error) { return exp.Table1(opts) }

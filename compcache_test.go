@@ -1,0 +1,90 @@
+package compcache
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	cfg := Default(1 << 20).WithCC()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap := m.NewSegment("heap", 4<<20)
+	for p := int32(0); p < heap.Pages(); p++ {
+		heap.WriteWord(int64(p)*4096, uint64(p))
+	}
+	for p := int32(0); p < heap.Pages(); p++ {
+		if got := heap.ReadWord(int64(p) * 4096); got != uint64(p) {
+			t.Fatalf("page %d corrupted: %d", p, got)
+		}
+	}
+	st := m.Stats()
+	if st.CC.Inserts == 0 {
+		t.Fatal("compression cache unused on a 4x-memory working set")
+	}
+	if !strings.Contains(st.String(), "compressions") {
+		t.Fatal("stats rendering broken")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	if f := Fig1a(); len(f.Grid) == 0 {
+		t.Fatal("Fig1a empty")
+	}
+	if f := Fig1b(); len(f.Grid) == 0 {
+		t.Fatal("Fig1b empty")
+	}
+	p := DefaultModel()
+	if p.WorkingSetFactor != 2 {
+		t.Fatal("default model wrong")
+	}
+}
+
+func TestFacadeCodecs(t *testing.T) {
+	names := Codecs()
+	if len(names) < 3 {
+		t.Fatalf("codecs: %v", names)
+	}
+	c, err := LookupCodec("lzrw1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := []byte("compression cache compression cache compression cache")
+	out, err := c.Decompress(nil, c.Compress(nil, src))
+	if err != nil || string(out) != string(src) {
+		t.Fatal("facade codec round trip failed")
+	}
+}
+
+func TestFacadeRunBoth(t *testing.T) {
+	cmp, err := RunBoth(Default(1<<20), Default(1<<20).WithCC(),
+		&Thrasher{Pages: 512, Write: true, Passes: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Speedup() <= 1 {
+		t.Fatalf("thrasher speedup %.2f, want > 1", cmp.Speedup())
+	}
+}
+
+func TestFacadeMeasureWorkloads(t *testing.T) {
+	cfg := Default(1 << 20).WithCC()
+	for _, w := range []Workload{
+		&Compare{N: 1000, Band: 64, Seed: 1},
+		&Sort{Bytes: 1 << 18, Mode: SortPartial, VocabWords: 200, Seed: 1},
+		&Gold{Messages: 200, WordsPerMessage: 8, VocabWords: 100, Queries: 50, Phase: GoldWarm, Seed: 1},
+		&CacheSim{CPUs: 2, Sets: 32, Ways: 2, AddrWords: 1 << 12, BlockWordsList: []int{4}, Refs: 5000, Seed: 1},
+	} {
+		if _, err := Measure(cfg, w); err != nil {
+			t.Fatalf("%s: %v", w.Name(), err)
+		}
+	}
+}
+
+func TestRZ57Exposed(t *testing.T) {
+	if RZ57().BytesPerSec <= 0 {
+		t.Fatal("bad disk params")
+	}
+}

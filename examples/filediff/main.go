@@ -1,0 +1,43 @@
+// Filediff: the paper's best-case application (compare, 2.68x) run as a
+// standalone scenario: diffing two large similar files with a banded
+// dynamic-programming edit distance whose working array far exceeds
+// physical memory.
+//
+//	go run ./examples/filediff [-n length] [-band width] [-mem MB]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"compcache"
+)
+
+func main() {
+	n := flag.Int("n", 12288, "sequence length (file size being diffed)")
+	band := flag.Int("band", 512, "band width around the diagonal")
+	memMB := flag.Int("mem", 2, "physical memory in MB")
+	flag.Parse()
+
+	arrayMB := float64(*n) * float64(*band) / (1 << 20)
+	fmt.Printf("diffing two %d-element files; DP band array %.1f MB vs %d MB of memory\n\n",
+		*n, arrayMB, *memMB)
+
+	mk := func() *compcache.Compare {
+		return &compcache.Compare{N: *n, Band: *band, MutationRate: 0.05, Seed: 7}
+	}
+	base := compcache.Default(int64(*memMB) << 20)
+	cmp, err := compcache.RunBoth(base, base.WithCC(), mk())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("unmodified system:       %v\n", cmp.Std.Time)
+	fmt.Printf("with compression cache:  %v\n", cmp.CC.Time)
+	fmt.Printf("speedup:                 %.2fx (paper measured 2.68x)\n\n", cmp.Speedup())
+	fmt.Printf("the band array compressed to %.0f%% of its size; %.1f%% of pages missed the 4:3 threshold\n",
+		100*cmp.CC.Comp.Ratio(), 100*cmp.CC.Comp.UncompressibleFrac())
+	fmt.Printf("cache hits served %.0f%% of faults (sequential passes keep the fault rate low)\n",
+		100*cmp.CC.CC.HitRate())
+}

@@ -1,0 +1,3 @@
+module compcache
+
+go 1.22

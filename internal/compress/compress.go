@@ -1,0 +1,94 @@
+// Package compress provides the page-compression codecs used by the
+// compression cache.
+//
+// The paper compresses 4-KByte VM pages with Ross Williams's LZRW1 algorithm
+// (Data Compression Conference, 1991), chosen because it is fast enough for
+// on-line use while compressing typical page data 2:1–4:1. This package
+// contains a from-scratch Go implementation of the LZRW1 format, plus two
+// simpler codecs (run-length and null) and a registry so different data types
+// can use different algorithms, one of the design requirements in §3 of the
+// paper ("it should allow different compression algorithms to be used for
+// different types of data").
+package compress
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Codec compresses and decompresses byte blocks. Implementations must be
+// deterministic and safe for concurrent use by multiple goroutines (they may
+// not retain state across calls; scratch space is allocated per call or
+// passed explicitly).
+type Codec interface {
+	// Name reports the registry name of the codec, e.g. "lzrw1".
+	Name() string
+
+	// Compress appends the compressed representation of src to dst and
+	// returns the extended slice. Compress never fails: for incompressible
+	// input every codec falls back to a stored (raw) representation that is
+	// at most MaxCompressedSize(len(src)) bytes long.
+	Compress(dst, src []byte) []byte
+
+	// Decompress appends the decompressed form of a block previously
+	// produced by Compress and returns the extended slice. It returns an
+	// error if src is not a well-formed block.
+	Decompress(dst, src []byte) ([]byte, error)
+
+	// MaxCompressedSize reports an upper bound on the size of the output of
+	// Compress for an input of n bytes.
+	MaxCompressedSize(n int) int
+}
+
+// ErrCorrupt is returned (possibly wrapped) by Decompress when the input is
+// not a valid compressed block.
+var ErrCorrupt = errors.New("compress: corrupt block")
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Codec)
+)
+
+// Register makes a codec available by name. It panics if the name is already
+// taken, matching the behaviour of database/sql-style registries.
+func Register(c Codec) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	name := c.Name()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("compress: Register called twice for codec %q", name))
+	}
+	registry[name] = c
+}
+
+// Lookup returns the codec registered under name.
+func Lookup(name string) (Codec, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	c, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("compress: unknown codec %q", name)
+	}
+	return c, nil
+}
+
+// Names reports the registered codec names in sorted order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	Register(LZRW1{})
+	Register(LZSS{})
+	Register(RLE{})
+	Register(Null{})
+}

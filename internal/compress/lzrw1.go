@@ -1,0 +1,198 @@
+package compress
+
+import "fmt"
+
+// LZRW1 implements Ross Williams's LZRW1 algorithm ("An Extremely Fast
+// Ziv-Lempel Data Compression Algorithm", DCC 1991), the codec the paper's
+// compression cache uses. It is a single-pass LZ77 variant tuned for speed:
+//
+//   - A 4096-entry hash table maps the hash of the next three input bytes to
+//     the most recent position where that hash was seen. There is no
+//     collision chain and no verification beyond a direct byte comparison,
+//     so the table is a heuristic, not an index.
+//   - Output is a sequence of 16-item groups. Each group is preceded by a
+//     16-bit little-endian control word holding one bit per item, LSB first:
+//     0 = literal byte, 1 = copy item.
+//   - A copy item is two bytes: the first byte's high nibble holds bits 8–11
+//     of the match offset and its low nibble holds length-3; the second byte
+//     holds bits 0–7 of the offset. Offsets are 1–4095 back from the current
+//     output position; lengths are 3–18 bytes.
+//   - A block begins with a one-byte flag: flagCompress for compressed data
+//     or flagCopy for stored data. The stored fallback is used whenever
+//     compression would expand the block, so worst-case expansion is exactly
+//     one byte. (Williams's C original used a four-byte flag word; one byte
+//     carries the same information and matters at page granularity.)
+//
+// Decompression needs no hash table and runs roughly twice as fast as
+// compression, the asymmetry Figure 1 of the paper assumes.
+type LZRW1 struct{}
+
+const (
+	flagCompress = 0x00
+	flagCopy     = 0x01
+
+	lzMinMatch = 3
+	lzMaxMatch = 18   // 4-bit length field encodes len-3 in 0..15
+	lzMaxOff   = 4095 // 12-bit offset
+	lzHashSize = 4096
+)
+
+// Name reports "lzrw1".
+func (LZRW1) Name() string { return "lzrw1" }
+
+// MaxCompressedSize reports n+1: the stored fallback adds only the flag byte.
+func (LZRW1) MaxCompressedSize(n int) int { return n + 1 }
+
+// lzHash mixes three bytes into a table index. This is Williams's original
+// multiplicative hash.
+func lzHash(b0, b1, b2 byte) uint32 {
+	return (40543 * ((((uint32(b0) << 4) ^ uint32(b1)) << 4) ^ uint32(b2)) >> 4) & (lzHashSize - 1)
+}
+
+// Compress appends the LZRW1-compressed form of src to dst.
+func (LZRW1) Compress(dst, src []byte) []byte {
+	base := len(dst)
+	if len(src) == 0 {
+		return append(dst, flagCompress)
+	}
+	// Budget: if compressed output reaches len(src)+1 we are not winning;
+	// fall back to a stored block of exactly len(src)+1 bytes.
+	limit := base + len(src) + 1
+
+	var hash [lzHashSize]int32
+	for i := range hash {
+		hash[i] = -1
+	}
+
+	dst = append(dst, flagCompress)
+	// Reserve space for the first control word.
+	ctrlPos := len(dst)
+	dst = append(dst, 0, 0)
+	var control uint16
+	controlBits := 0
+
+	flushControl := func() {
+		dst[ctrlPos] = byte(control)
+		dst[ctrlPos+1] = byte(control >> 8)
+	}
+
+	pos := 0
+	for pos < len(src) {
+		if len(dst)+2 > limit {
+			return storedBlock(dst[:base], src)
+		}
+		emitted := false
+		if pos+lzMinMatch <= len(src) {
+			h := lzHash(src[pos], src[pos+1], src[pos+2])
+			cand := hash[h]
+			hash[h] = int32(pos)
+			if cand >= 0 {
+				off := pos - int(cand)
+				if off >= 1 && off <= lzMaxOff &&
+					src[cand] == src[pos] && src[cand+1] == src[pos+1] && src[cand+2] == src[pos+2] {
+					// Extend the match. The source region may overlap the
+					// current position (off < length), which reproduces
+					// earlier output bytes exactly as LZ77 intends.
+					maxLen := lzMaxMatch
+					if rem := len(src) - pos; rem < maxLen {
+						maxLen = rem
+					}
+					length := lzMinMatch
+					for length < maxLen && src[int(cand)+length] == src[pos+length] {
+						length++
+					}
+					dst = append(dst,
+						byte((off>>4)&0xF0)|byte(length-lzMinMatch),
+						byte(off))
+					pos += length
+					control = control>>1 | 0x8000
+					controlBits++
+					emitted = true
+				}
+			}
+		}
+		if !emitted {
+			dst = append(dst, src[pos])
+			pos++
+			control >>= 1
+			controlBits++
+		}
+		if controlBits == 16 {
+			flushControl()
+			if pos < len(src) {
+				if len(dst)+2 > limit {
+					return storedBlock(dst[:base], src)
+				}
+				ctrlPos = len(dst)
+				dst = append(dst, 0, 0)
+			}
+			control = 0
+			controlBits = 0
+		}
+	}
+	if controlBits > 0 {
+		control >>= 16 - uint(controlBits)
+		flushControl()
+	} else if ctrlPos == len(dst)-2 {
+		// A control word was reserved but no items followed; drop it.
+		dst = dst[:len(dst)-2]
+	}
+	if len(dst) > limit {
+		return storedBlock(dst[:base], src)
+	}
+	return dst
+}
+
+func storedBlock(dst, src []byte) []byte {
+	dst = append(dst, flagCopy)
+	return append(dst, src...)
+}
+
+// Decompress appends the decompressed form of an LZRW1 block to dst.
+func (LZRW1) Decompress(dst, src []byte) ([]byte, error) {
+	if len(src) == 0 {
+		return nil, fmt.Errorf("%w: empty input", ErrCorrupt)
+	}
+	flag, body := src[0], src[1:]
+	switch flag {
+	case flagCopy:
+		return append(dst, body...), nil
+	case flagCompress:
+	default:
+		return nil, fmt.Errorf("%w: bad flag byte %#x", ErrCorrupt, flag)
+	}
+	base := len(dst)
+	pos := 0
+	for pos < len(body) {
+		if pos+2 > len(body) {
+			return nil, fmt.Errorf("%w: truncated control word", ErrCorrupt)
+		}
+		control := uint16(body[pos]) | uint16(body[pos+1])<<8
+		pos += 2
+		for bit := 0; bit < 16 && pos < len(body); bit++ {
+			if control&1 == 1 {
+				if pos+2 > len(body) {
+					return nil, fmt.Errorf("%w: truncated copy item", ErrCorrupt)
+				}
+				b0, b1 := body[pos], body[pos+1]
+				pos += 2
+				off := int(b0&0xF0)<<4 | int(b1)
+				length := int(b0&0x0F) + lzMinMatch
+				start := len(dst) - off
+				if off == 0 || start < base {
+					return nil, fmt.Errorf("%w: copy offset %d out of range", ErrCorrupt, off)
+				}
+				// Byte-at-a-time copy: source and destination may overlap
+				// when off < length.
+				for i := 0; i < length; i++ {
+					dst = append(dst, dst[start+i])
+				}
+			} else {
+				dst = append(dst, body[pos])
+				pos++
+			}
+			control >>= 1
+		}
+	}
+	return dst, nil
+}

@@ -1,0 +1,159 @@
+package compress
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Stream framing: block-at-a-time compression of a byte stream, used by
+// cmd/cczip and by tests that want to run the codecs over real files. Each
+// block is a 3-byte little-endian length followed by the codec's compressed
+// block. The maximum block size keeps the length field honest and bounds
+// decoder allocations.
+const (
+	// StreamMaxBlock is the largest block a stream may carry.
+	StreamMaxBlock = 1 << 20
+	streamLenBytes = 3
+)
+
+// CompressStream reads r in blockSize chunks, compresses each with codec,
+// and writes the framed stream to w. It returns the input and output byte
+// counts.
+func CompressStream(codec Codec, blockSize int, r io.Reader, w io.Writer) (in, out int64, err error) {
+	if blockSize <= 0 || blockSize > StreamMaxBlock {
+		return 0, 0, fmt.Errorf("compress: stream block size %d out of (0,%d]", blockSize, StreamMaxBlock)
+	}
+	br := bufio.NewReader(r)
+	bw := bufio.NewWriter(w)
+	buf := make([]byte, blockSize)
+	var comp []byte
+	var hdr [streamLenBytes]byte
+	for {
+		n, rerr := io.ReadFull(br, buf)
+		if n > 0 {
+			comp = codec.Compress(comp[:0], buf[:n])
+			if len(comp) >= 1<<(8*streamLenBytes) {
+				return in, out, fmt.Errorf("compress: block expanded beyond the stream length field")
+			}
+			putStreamLen(hdr[:], len(comp))
+			if _, err := bw.Write(hdr[:]); err != nil {
+				return in, out, err
+			}
+			if _, err := bw.Write(comp); err != nil {
+				return in, out, err
+			}
+			in += int64(n)
+			out += int64(streamLenBytes + len(comp))
+		}
+		if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+			return in, out, bw.Flush()
+		}
+		if rerr != nil {
+			return in, out, rerr
+		}
+	}
+}
+
+// DecompressStream reverses CompressStream.
+func DecompressStream(codec Codec, r io.Reader, w io.Writer) (in, out int64, err error) {
+	br := bufio.NewReader(r)
+	bw := bufio.NewWriter(w)
+	var hdr [streamLenBytes]byte
+	var comp, plain []byte
+	for {
+		if _, rerr := io.ReadFull(br, hdr[:]); rerr != nil {
+			if rerr == io.EOF {
+				return in, out, bw.Flush()
+			}
+			return in, out, fmt.Errorf("compress: truncated stream header: %w", rerr)
+		}
+		n := getStreamLen(hdr[:])
+		if n == 0 || n > StreamMaxBlock+streamLenBytes {
+			return in, out, fmt.Errorf("%w: implausible stream block length %d", ErrCorrupt, n)
+		}
+		if cap(comp) < n {
+			comp = make([]byte, n)
+		}
+		comp = comp[:n]
+		if _, rerr := io.ReadFull(br, comp); rerr != nil {
+			return in, out, fmt.Errorf("compress: truncated stream block: %w", rerr)
+		}
+		in += int64(streamLenBytes + n)
+		plain, err = codec.Decompress(plain[:0], comp)
+		if err != nil {
+			return in, out, err
+		}
+		if _, err := bw.Write(plain); err != nil {
+			return in, out, err
+		}
+		out += int64(len(plain))
+	}
+}
+
+// BlockReport summarizes how a stream of blocks would fare in the
+// compression cache.
+type BlockReport struct {
+	Blocks        int
+	BytesIn       int64
+	BytesOut      int64
+	FailThreshold int // blocks compressing worse than num/den of their size
+}
+
+// Ratio reports bytes remaining after compression (1 for an empty report).
+func (r BlockReport) Ratio() float64 {
+	if r.BytesIn == 0 {
+		return 1
+	}
+	return float64(r.BytesOut) / float64(r.BytesIn)
+}
+
+// FailFrac reports the fraction of blocks failing the threshold.
+func (r BlockReport) FailFrac() float64 {
+	if r.Blocks == 0 {
+		return 0
+	}
+	return float64(r.FailThreshold) / float64(r.Blocks)
+}
+
+// Analyze compresses r block by block (without writing anything) and reports
+// the per-block outcome against a retention threshold of num/den — the
+// cmd/cczip -stats path, or "what would my file's pages do in the cache?".
+func Analyze(codec Codec, blockSize, num, den int, r io.Reader) (BlockReport, error) {
+	var rep BlockReport
+	if blockSize <= 0 || blockSize > StreamMaxBlock || num <= 0 || den <= 0 {
+		return rep, fmt.Errorf("compress: bad analyze geometry")
+	}
+	br := bufio.NewReader(r)
+	buf := make([]byte, blockSize)
+	var comp []byte
+	for {
+		n, rerr := io.ReadFull(br, buf)
+		if n > 0 {
+			comp = codec.Compress(comp[:0], buf[:n])
+			rep.Blocks++
+			rep.BytesIn += int64(n)
+			rep.BytesOut += int64(len(comp))
+			if len(comp) > n*num/den {
+				rep.FailThreshold++
+			}
+		}
+		if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+			return rep, nil
+		}
+		if rerr != nil {
+			return rep, rerr
+		}
+	}
+}
+
+func putStreamLen(b []byte, n int) {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(n))
+	copy(b, tmp[:streamLenBytes])
+}
+
+func getStreamLen(b []byte) int {
+	return int(b[0]) | int(b[1])<<8 | int(b[2])<<16
+}

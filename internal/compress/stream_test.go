@@ -1,0 +1,119 @@
+package compress
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestStreamRoundTripAllCodecs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	mixed := make([]byte, 40000)
+	rng.Read(mixed[:20000])
+	copy(mixed[20000:], bytes.Repeat([]byte("compressible text "), 1200)[:20000])
+	for _, c := range allCodecs(t) {
+		for _, blockSize := range []int{512, 4096, 10000} {
+			var compressed bytes.Buffer
+			in, out, err := CompressStream(c, blockSize, bytes.NewReader(mixed), &compressed)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", c.Name(), blockSize, err)
+			}
+			if in != int64(len(mixed)) || out != int64(compressed.Len()) {
+				t.Fatalf("%s/%d: counts in=%d out=%d buf=%d", c.Name(), blockSize, in, out, compressed.Len())
+			}
+			var plain bytes.Buffer
+			_, n, err := DecompressStream(c, &compressed, &plain)
+			if err != nil {
+				t.Fatalf("%s/%d: decompress: %v", c.Name(), blockSize, err)
+			}
+			if n != int64(len(mixed)) || !bytes.Equal(plain.Bytes(), mixed) {
+				t.Fatalf("%s/%d: stream round trip mismatch", c.Name(), blockSize)
+			}
+		}
+	}
+}
+
+func TestStreamEmptyInput(t *testing.T) {
+	var c LZRW1
+	var compressed, plain bytes.Buffer
+	if _, _, err := CompressStream(c, 4096, bytes.NewReader(nil), &compressed); err != nil {
+		t.Fatal(err)
+	}
+	if compressed.Len() != 0 {
+		t.Fatalf("empty input produced %d bytes", compressed.Len())
+	}
+	if _, _, err := DecompressStream(c, &compressed, &plain); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamBadGeometry(t *testing.T) {
+	var c LZRW1
+	if _, _, err := CompressStream(c, 0, bytes.NewReader(nil), io.Discard); err == nil {
+		t.Error("block size 0 accepted")
+	}
+	if _, _, err := CompressStream(c, StreamMaxBlock+1, bytes.NewReader(nil), io.Discard); err == nil {
+		t.Error("oversize block accepted")
+	}
+}
+
+func TestStreamCorruption(t *testing.T) {
+	var c LZRW1
+	var compressed bytes.Buffer
+	src := []byte(strings.Repeat("data data data ", 500))
+	if _, _, err := CompressStream(c, 1024, bytes.NewReader(src), &compressed); err != nil {
+		t.Fatal(err)
+	}
+	// Truncated header.
+	if _, _, err := DecompressStream(c, bytes.NewReader(compressed.Bytes()[:compressed.Len()-1]), io.Discard); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	// Zero-length block header.
+	if _, _, err := DecompressStream(c, bytes.NewReader([]byte{0, 0, 0}), io.Discard); err == nil {
+		t.Error("zero-length block accepted")
+	}
+	// Length larger than the stream bound.
+	if _, _, err := DecompressStream(c, bytes.NewReader([]byte{0xFF, 0xFF, 0xFF}), io.Discard); err == nil {
+		t.Error("implausible block length accepted")
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	var c LZRW1
+	// Half compressible, half random blocks.
+	rng := rand.New(rand.NewSource(2))
+	src := make([]byte, 8*4096)
+	for b := 0; b < 8; b++ {
+		blk := src[b*4096 : (b+1)*4096]
+		if b%2 == 0 {
+			copy(blk, bytes.Repeat([]byte{byte(b)}, 4096))
+		} else {
+			rng.Read(blk)
+		}
+	}
+	rep, err := Analyze(c, 4096, 3, 4, bytes.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Blocks != 8 || rep.BytesIn != 8*4096 {
+		t.Fatalf("report %+v", rep)
+	}
+	if rep.FailThreshold != 4 {
+		t.Fatalf("FailThreshold = %d, want 4 (the random blocks)", rep.FailThreshold)
+	}
+	if rep.FailFrac() != 0.5 {
+		t.Fatalf("FailFrac = %v", rep.FailFrac())
+	}
+	if rep.Ratio() >= 1 || rep.Ratio() <= 0.3 {
+		t.Fatalf("Ratio = %v, want between 0.3 and 1 for the mix", rep.Ratio())
+	}
+	if _, err := Analyze(c, 0, 3, 4, bytes.NewReader(nil)); err == nil {
+		t.Error("bad geometry accepted")
+	}
+	empty, err := Analyze(c, 4096, 3, 4, bytes.NewReader(nil))
+	if err != nil || empty.Ratio() != 1 || empty.FailFrac() != 0 {
+		t.Errorf("empty analyze: %+v err %v", empty, err)
+	}
+}

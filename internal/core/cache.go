@@ -1,0 +1,509 @@
+// Package core implements the compression cache, the paper's primary
+// contribution (§4).
+//
+// The cache is a variable-size circular buffer of physical page frames
+// mapped (conceptually) into contiguous kernel virtual addresses. Compressed
+// pages are appended at the tail, each preceded by a small header; they may
+// span frame boundaries because the buffer is virtually contiguous. Frames
+// are reclaimed from the oldest end — or from the middle when no clean frame
+// is available at the oldest end — and returned to the shared pool, shrinking
+// the cache; growth happens one frame at a time as insertions need space.
+//
+// Entry life cycle (the paper's Figure 2 states, at entry granularity):
+//
+//	dirty — holds modified data that exists nowhere else; must be written
+//	        to the backing store before its frame can be reclaimed.
+//	clean — the backing store holds the same contents (either the cleaner
+//	        wrote it out, or the entry was populated from a backing-store
+//	        read); droppable at any time.
+//	dead  — superseded (the page was faulted back in, or dropped); its
+//	        space is reclaimed when its frame leaves the ring.
+//
+// A frame whose overlapping entries are all clean or dead is reclaimable; a
+// "new" frame in the paper's terminology is the tail frame still being
+// filled. The cleaner writes the oldest dirty entries to the backing store
+// in clustered batches so a supply of reclaimable frames is ready before the
+// allocator needs them (§4.2).
+package core
+
+import (
+	"fmt"
+
+	"compcache/internal/mem"
+	"compcache/internal/sim"
+	"compcache/internal/stats"
+	"compcache/internal/swap"
+)
+
+// Params configures a Cache.
+type Params struct {
+	// MaxFrames caps the cache's physical size; 0 means unbounded (the
+	// replacement policy is then the only limit). When the cap is reached,
+	// insertions recycle the cache's own oldest reclaimable frame instead
+	// of growing.
+	MaxFrames int
+
+	// MinFrames stops ReleaseOldest from shrinking the cache below this
+	// size. Setting MinFrames == MaxFrames and prefilling produces the
+	// fixed-size cache of the paper's first design (§4.2), kept for the
+	// ablation study.
+	MinFrames int
+
+	// FrameHeaderBytes is the per-frame header (24 bytes in the paper).
+	FrameHeaderBytes int
+
+	// EntryHeaderBytes is the per-compressed-page header (36 bytes in the
+	// paper).
+	EntryHeaderBytes int
+
+	// CleanBatchBytes is how much dirty data one cleaning pass batches into
+	// a clustered write (32 KBytes in the paper).
+	CleanBatchBytes int
+
+	// RefreshOnFault makes a fault refresh the entry's age, so the
+	// three-way policy treats actively reused compressed data as young
+	// (LRU-like aging). The paper's ring ages entries by insertion only
+	// (FIFO), which is the default; LRU aging helps read-mostly reuse
+	// (e.g. the compressed file cache) but over-retains the cache for
+	// workloads like gold that need uncompressed frames more.
+	RefreshOnFault bool
+}
+
+// DefaultParams returns the paper's configuration.
+func DefaultParams() Params {
+	return Params{
+		FrameHeaderBytes: 24,
+		EntryHeaderBytes: 36,
+		CleanBatchBytes:  32 * 1024,
+	}
+}
+
+// Entry is one compressed page in the cache.
+type Entry struct {
+	Key    swap.PageKey
+	Data   []byte
+	Dirty  bool
+	dead   bool
+	insert sim.Time
+	frames []*ccFrame
+}
+
+// footprint is the buffer space the entry occupies, including its header.
+func (e *Entry) footprint(p Params) int { return len(e.Data) + p.EntryHeaderBytes }
+
+type ccFrame struct {
+	id      mem.FrameID
+	used    int // bytes consumed, including the frame header
+	entries []*Entry
+}
+
+// reclaimable reports whether every entry overlapping the frame is clean or
+// dead.
+func (f *ccFrame) reclaimable() bool {
+	for _, e := range f.entries {
+		if !e.dead && e.Dirty {
+			return false
+		}
+	}
+	return true
+}
+
+// FlushFunc persists a batch of dirty entries to the backing store (the
+// machine implements it with a clustered asynchronous write and updates the
+// affected pages' bookkeeping). It is called before the entries are marked
+// clean.
+type FlushFunc func(items []swap.Item)
+
+// DropFunc is called when a live clean entry is discarded during frame
+// reclamation, so the owner can account that the page now lives only on the
+// backing store.
+type DropFunc func(key swap.PageKey)
+
+// Cache is the compression cache.
+type Cache struct {
+	params Params
+	clock  *sim.Clock
+	pool   *mem.Pool
+
+	frames  []*ccFrame // ring order; frames[0] is the oldest
+	entries map[swap.PageKey]*Entry
+	order   []*Entry // insertion order; order[head:] are current
+	head    int
+
+	dirtyBytes int
+	liveBytes  int
+
+	flush  FlushFunc
+	onDrop DropFunc
+
+	st stats.CC
+}
+
+// New creates a compression cache drawing frames from pool.
+func New(params Params, clock *sim.Clock, pool *mem.Pool) *Cache {
+	if params.FrameHeaderBytes < 0 || params.EntryHeaderBytes < 0 {
+		panic("core: negative header size")
+	}
+	if params.CleanBatchBytes <= 0 {
+		params.CleanBatchBytes = 32 * 1024
+	}
+	if params.FrameHeaderBytes >= pool.PageSize() {
+		panic("core: frame header exceeds the page size")
+	}
+	return &Cache{
+		params:  params,
+		clock:   clock,
+		pool:    pool,
+		entries: make(map[swap.PageKey]*Entry),
+	}
+}
+
+// SetHooks installs the backing-store flush and the drop notification.
+func (c *Cache) SetHooks(flush FlushFunc, onDrop DropFunc) {
+	c.flush = flush
+	c.onDrop = onDrop
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() stats.CC { return c.st }
+
+// FrameCount reports the number of physical frames the cache holds.
+func (c *Cache) FrameCount() int { return len(c.frames) }
+
+// LiveBytes reports the footprint of live (non-dead) entries.
+func (c *Cache) LiveBytes() int { return c.liveBytes }
+
+// DirtyBytes reports the footprint of dirty entries.
+func (c *Cache) DirtyBytes() int { return c.dirtyBytes }
+
+// Len reports the number of live entries.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Has reports whether the cache holds a live entry for key.
+func (c *Cache) Has(key swap.PageKey) bool {
+	_, ok := c.entries[key]
+	return ok
+}
+
+// frameCap is the usable bytes per frame.
+func (c *Cache) frameCap() int { return c.pool.PageSize() - c.params.FrameHeaderBytes }
+
+// Insert adds a compressed page to the tail of the ring. It reports false —
+// without side effects — when the cache cannot obtain the frames it needs
+// (pool empty and nothing reclaimable, or MaxFrames reached); the caller
+// then sends the page to the backing store instead. Data is retained by the
+// cache (callers must not reuse the slice).
+func (c *Cache) Insert(key swap.PageKey, data []byte, dirty bool) bool {
+	if len(data) > c.pool.PageSize() {
+		panic(fmt.Sprintf("core: entry for %v of %d bytes larger than a page", key, len(data)))
+	}
+	need := len(data) + c.params.EntryHeaderBytes
+
+	// Work out how many new frames the tail needs, then acquire them all
+	// before mutating anything so failure has no side effects. A frame's
+	// `used` includes its frame header, so free space is measured against
+	// the full page size.
+	rem := 0
+	if n := len(c.frames); n > 0 {
+		rem = c.pool.PageSize() - c.frames[n-1].used
+	}
+	newFrames := 0
+	if need > rem {
+		newFrames = (need - rem + c.frameCap() - 1) / c.frameCap()
+	}
+	acquired := make([]mem.FrameID, 0, newFrames)
+	for i := 0; i < newFrames; i++ {
+		if c.params.MaxFrames > 0 && len(c.frames)+len(acquired) >= c.params.MaxFrames {
+			// At the cap: rotate the ring by recycling the oldest
+			// reclaimable frame (fixed-size behaviour).
+			if !c.reclaimFirst() {
+				if c.Clean() == 0 || !c.reclaimFirst() {
+					break
+				}
+			}
+		}
+		id, ok := c.pool.Alloc(mem.CC)
+		if !ok {
+			break
+		}
+		acquired = append(acquired, id)
+	}
+	if len(acquired) < newFrames {
+		for _, id := range acquired {
+			c.pool.Release(id)
+		}
+		return false
+	}
+
+	if old, ok := c.entries[key]; ok {
+		// A stale copy exists (e.g. the page went out, came back, changed,
+		// and is going out again): supersede it now that success is assured.
+		c.kill(old)
+	}
+
+	e := &Entry{Key: key, Data: data, Dirty: dirty, insert: c.clock.Now()}
+	left := need
+	if rem > 0 {
+		tail := c.frames[len(c.frames)-1]
+		take := min(rem, left)
+		tail.used += take
+		tail.entries = append(tail.entries, e)
+		e.frames = append(e.frames, tail)
+		left -= take
+	}
+	for _, id := range acquired {
+		f := &ccFrame{id: id, used: c.params.FrameHeaderBytes}
+		take := min(c.pool.PageSize()-f.used, left)
+		f.used += take
+		f.entries = append(f.entries, e)
+		e.frames = append(e.frames, f)
+		c.frames = append(c.frames, f)
+		left -= take
+		c.st.FrameGrows++
+	}
+	if left != 0 {
+		panic("core: space accounting error during insert")
+	}
+	c.entries[key] = e
+	c.order = append(c.order, e)
+	c.liveBytes += need
+	if dirty {
+		c.dirtyBytes += need
+	}
+	c.st.Inserts++
+	return true
+}
+
+// Fault returns the entry for key, satisfying a page fault from the cache.
+// The caller decompresses Data; dirty reports whether the backing store
+// lacks the contents. The entry is RETAINED: "the compressed copy in memory
+// can be freed at any time" (§4.1), and keeping it means a later eviction of
+// the still-unmodified page costs nothing — the owner must Drop the entry
+// when the page is modified.
+func (c *Cache) Fault(key swap.PageKey) (data []byte, dirty bool, ok bool) {
+	e, found := c.entries[key]
+	if !found {
+		c.st.Misses++
+		return nil, false, false
+	}
+	c.st.Hits++
+	if c.params.RefreshOnFault {
+		// A re-reference refreshes the entry's age (LRU-like aging). The
+		// ring's frame-reclamation order is positional and unchanged; only
+		// the age the allocator compares against other consumers moves.
+		e.insert = c.clock.Now()
+	}
+	return e.Data, e.Dirty, true
+}
+
+// Drop discards the entry for key if present (used when a stale copy must be
+// invalidated). It does not call the drop hook: the caller initiated it.
+func (c *Cache) Drop(key swap.PageKey) {
+	if e, ok := c.entries[key]; ok {
+		c.kill(e)
+		c.st.Dropped++
+	}
+}
+
+// kill marks an entry dead and removes it from the live index.
+func (c *Cache) kill(e *Entry) {
+	if e.dead {
+		return
+	}
+	e.dead = true
+	c.liveBytes -= e.footprint(c.params)
+	if e.Dirty {
+		c.dirtyBytes -= e.footprint(c.params)
+		e.Dirty = false
+	}
+	delete(c.entries, e.Key)
+}
+
+// OldestAge reports the insertion time of the oldest live entry; ok is false
+// when the cache is empty. This makes the cache a consumer in the three-way
+// memory trade.
+func (c *Cache) OldestAge() (sim.Time, bool) {
+	c.advanceHead()
+	if c.head >= len(c.order) {
+		return 0, false
+	}
+	return c.order[c.head].insert, true
+}
+
+func (c *Cache) advanceHead() {
+	for c.head < len(c.order) && c.order[c.head].dead {
+		c.head++
+	}
+	// Periodically compact the order slice so it does not grow without
+	// bound across a long run.
+	if c.head > 1024 && c.head*2 > len(c.order) {
+		c.order = append(c.order[:0], c.order[c.head:]...)
+		c.head = 0
+	}
+}
+
+// Clean writes the oldest dirty entries — about one clean batch's worth — to
+// the backing store through the flush hook and marks them clean. It returns
+// the number of entries cleaned (0 when nothing is dirty or no flush hook is
+// installed).
+func (c *Cache) Clean() int {
+	if c.flush == nil || c.dirtyBytes == 0 {
+		return 0
+	}
+	var batch []*Entry
+	var items []swap.Item
+	bytes := 0
+	for i := c.head; i < len(c.order) && bytes < c.params.CleanBatchBytes; i++ {
+		e := c.order[i]
+		if e.dead || !e.Dirty {
+			continue
+		}
+		batch = append(batch, e)
+		items = append(items, swap.Item{Key: e.Key, Data: e.Data, Compressed: true})
+		bytes += e.footprint(c.params)
+	}
+	if len(batch) == 0 {
+		return 0
+	}
+	c.flush(items)
+	for _, e := range batch {
+		e.Dirty = false
+		c.dirtyBytes -= e.footprint(c.params)
+		c.st.CleanWrites++
+	}
+	return len(batch)
+}
+
+// ReclaimableFrames reports how many frames could be released right now
+// without any I/O.
+func (c *Cache) ReclaimableFrames() int {
+	n := 0
+	for _, f := range c.frames {
+		if f.reclaimable() {
+			n++
+		}
+	}
+	return n
+}
+
+// Prefill grows the cache to k empty frames, taking them from the pool.
+// Together with MinFrames == MaxFrames == k this reproduces the original
+// fixed-size compression cache for the §4.2 ablation. It panics when the
+// pool cannot supply the frames (a configuration error).
+func (c *Cache) Prefill(k int) {
+	for len(c.frames) < k {
+		id, ok := c.pool.Alloc(mem.CC)
+		if !ok {
+			panic("core: Prefill exceeds available memory")
+		}
+		c.frames = append(c.frames, &ccFrame{id: id, used: c.params.FrameHeaderBytes})
+		c.st.FrameGrows++
+	}
+}
+
+// ReleaseOldest reclaims one frame for the pool: the oldest frame whose
+// entries are all clean or dead, dropping any live clean entries it overlaps
+// (they remain available on the backing store). If no such frame exists, it
+// cleans the oldest dirty data first and retries. It reports false when the
+// cache holds no frames, is at its configured minimum size, or cleaning is
+// impossible.
+func (c *Cache) ReleaseOldest() bool {
+	if len(c.frames) == 0 || len(c.frames) <= c.params.MinFrames {
+		return false
+	}
+	if c.reclaimFirst() {
+		return true
+	}
+	if c.Clean() == 0 {
+		return false
+	}
+	return c.reclaimFirst()
+}
+
+// reclaimFirst releases the oldest reclaimable frame, searching from the
+// head of the ring toward the tail (a middle reclaim when the head frame is
+// pinned by dirty data, as §4.1 allows).
+func (c *Cache) reclaimFirst() bool {
+	for i, f := range c.frames {
+		if !f.reclaimable() {
+			continue
+		}
+		for _, e := range f.entries {
+			if e.dead {
+				continue
+			}
+			// Live clean entry: drop it. It may span into a neighbouring
+			// frame; dropping is still correct since the backing store has
+			// the contents.
+			c.kill(e)
+			c.st.Dropped++
+			if c.onDrop != nil {
+				c.onDrop(e.Key)
+			}
+		}
+		c.frames = append(c.frames[:i], c.frames[i+1:]...)
+		c.pool.Release(f.id)
+		c.st.FrameShrinks++
+		if i != 0 {
+			c.st.MidReclaims++
+		}
+		return true
+	}
+	return false
+}
+
+// CheckConsistency validates the cache's internal invariants: index/ring
+// agreement, byte accounting, and frame occupancy. Tests call it after
+// stressing the cache.
+func (c *Cache) CheckConsistency() error {
+	live, dirty := 0, 0
+	for key, e := range c.entries {
+		if e.dead {
+			return fmt.Errorf("core: dead entry %v in live index", key)
+		}
+		if e.Key != key {
+			return fmt.Errorf("core: entry key mismatch %v vs %v", e.Key, key)
+		}
+		if len(e.frames) == 0 {
+			return fmt.Errorf("core: live entry %v occupies no frames", key)
+		}
+		live += e.footprint(c.params)
+		if e.Dirty {
+			dirty += e.footprint(c.params)
+		}
+	}
+	if live != c.liveBytes {
+		return fmt.Errorf("core: liveBytes %d, recomputed %d", c.liveBytes, live)
+	}
+	if dirty != c.dirtyBytes {
+		return fmt.Errorf("core: dirtyBytes %d, recomputed %d", c.dirtyBytes, dirty)
+	}
+	frameSet := make(map[*ccFrame]bool, len(c.frames))
+	for _, f := range c.frames {
+		frameSet[f] = true
+		if f.used < c.params.FrameHeaderBytes || f.used > c.pool.PageSize() {
+			return fmt.Errorf("core: frame %d occupancy %d out of range", f.id, f.used)
+		}
+		if c.pool.Owner(f.id) != mem.CC {
+			return fmt.Errorf("core: frame %d owned by %v", f.id, c.pool.Owner(f.id))
+		}
+	}
+	for key, e := range c.entries {
+		for _, f := range e.frames {
+			if !frameSet[f] {
+				return fmt.Errorf("core: entry %v references a frame not in the ring", key)
+			}
+		}
+	}
+	// Every live entry must be reachable from the order deque.
+	reach := make(map[*Entry]bool)
+	for _, e := range c.order[min(c.head, len(c.order)):] {
+		reach[e] = true
+	}
+	for key, e := range c.entries {
+		if !reach[e] {
+			return fmt.Errorf("core: live entry %v unreachable from the ring order", key)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package disk
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"compcache/internal/sim"
+)
+
+func newTestDisk(t *testing.T) (*Disk, *sim.Clock) {
+	t.Helper()
+	var clock sim.Clock
+	d, err := New(RZ57(), &clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, &clock
+}
+
+func TestValidate(t *testing.T) {
+	if err := RZ57().Validate(); err != nil {
+		t.Fatalf("RZ57 params invalid: %v", err)
+	}
+	bad := []Params{
+		{BytesPerSec: 0, SectorSize: 512},
+		{BytesPerSec: 1e6, SectorSize: 0},
+		{BytesPerSec: 1e6, SectorSize: 512, SeekAvg: -time.Millisecond},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted bad params %+v", i, p)
+		}
+	}
+	if _, err := New(Params{}, &sim.Clock{}); err == nil {
+		t.Error("New accepted invalid params")
+	}
+}
+
+func TestTransferTimeRoundsToSectors(t *testing.T) {
+	p := Params{BytesPerSec: 1e6, SectorSize: 512}
+	if got, want := p.TransferTime(1), p.TransferTime(512); got != want {
+		t.Errorf("1 byte should cost a full sector: %v vs %v", got, want)
+	}
+	if got, want := p.TransferTime(513), p.TransferTime(1024); got != want {
+		t.Errorf("513 bytes should cost two sectors: %v vs %v", got, want)
+	}
+	if p.TransferTime(0) != 0 {
+		t.Error("zero bytes should cost nothing")
+	}
+}
+
+func TestReadAdvancesClock(t *testing.T) {
+	d, clock := newTestDisk(t)
+	d.Read(0, 4096)
+	p := RZ57()
+	want := p.PerOp + p.SeekAvg + p.RotLatency + p.TransferTime(4096)
+	if got := time.Duration(clock.Now()); got != want {
+		t.Fatalf("first read took %v, want %v", got, want)
+	}
+	if d.Stats().Reads != 1 || d.Stats().BytesRead != 4096 {
+		t.Fatalf("stats = %+v", d.Stats())
+	}
+}
+
+func TestSequentialAccessSkipsSeek(t *testing.T) {
+	d, clock := newTestDisk(t)
+	d.Read(0, 4096)
+	t0 := clock.Now()
+	d.Read(4096, 4096) // starts exactly where the last one ended
+	p := RZ57()
+	want := p.PerOp + p.TransferTime(4096)
+	if got := clock.Elapsed(t0); got != want {
+		t.Fatalf("sequential read took %v, want %v (no seek)", got, want)
+	}
+	if d.Stats().Seeks != 1 {
+		t.Fatalf("seeks = %d, want 1", d.Stats().Seeks)
+	}
+}
+
+func TestNonSequentialPaysSeek(t *testing.T) {
+	d, _ := newTestDisk(t)
+	d.Read(0, 4096)
+	d.Read(1<<20, 4096)
+	if d.Stats().Seeks != 2 {
+		t.Fatalf("seeks = %d, want 2", d.Stats().Seeks)
+	}
+}
+
+func TestWriteAsyncDoesNotBlock(t *testing.T) {
+	d, clock := newTestDisk(t)
+	done := d.WriteAsync(0, 32*1024)
+	if clock.Now() != 0 {
+		t.Fatalf("async write advanced the clock to %v", clock.Now())
+	}
+	if done <= 0 {
+		t.Fatal("async completion time should be positive")
+	}
+	if d.BusyUntil() != done {
+		t.Fatalf("BusyUntil = %v, want %v", d.BusyUntil(), done)
+	}
+	d.Drain()
+	if clock.Now() != done {
+		t.Fatalf("Drain advanced clock to %v, want %v", clock.Now(), done)
+	}
+}
+
+func TestSyncReadQueuesBehindAsyncWrite(t *testing.T) {
+	d, clock := newTestDisk(t)
+	wDone := d.WriteAsync(0, 1<<20) // a long write
+	d.Read(1<<24, 4096)
+	if clock.Now() <= wDone {
+		t.Fatalf("read completed at %v, should be after the pending write at %v", clock.Now(), wDone)
+	}
+}
+
+func TestAsyncSequentialChain(t *testing.T) {
+	d, _ := newTestDisk(t)
+	d.WriteAsync(0, 32*1024)
+	d.WriteAsync(32*1024, 32*1024)
+	d.WriteAsync(64*1024, 32*1024)
+	if d.Stats().Seeks != 1 {
+		t.Fatalf("sequential async chain paid %d seeks, want 1", d.Stats().Seeks)
+	}
+}
+
+func TestIdleDiskStartsImmediately(t *testing.T) {
+	d, clock := newTestDisk(t)
+	d.Read(0, 512)
+	first := clock.Now()
+	clock.Advance(time.Second) // idle period
+	d.Read(0, 512)
+	p := RZ57()
+	// Second read at same address is non-sequential (next is 512), pays seek,
+	// but starts at once because the device is idle.
+	want := first.Add(time.Second + p.PerOp + p.SeekAvg + p.RotLatency + p.TransferTime(512))
+	if clock.Now() != want {
+		t.Fatalf("second read done at %v, want %v", clock.Now(), want)
+	}
+}
+
+// Property: the busy timeline never moves backward and the clock never
+// overtakes it for synchronous operations.
+func TestBusyTimelineMonotoneProperty(t *testing.T) {
+	f := func(ops []struct {
+		Addr  uint16
+		Size  uint8
+		Async bool
+	}) bool {
+		var clock sim.Clock
+		d, err := New(RZ57(), &clock)
+		if err != nil {
+			return false
+		}
+		prevBusy := sim.Time(0)
+		for _, op := range ops {
+			n := int(op.Size)%4096 + 1
+			addr := int64(op.Addr) * 512
+			if op.Async {
+				d.WriteAsync(addr, n)
+			} else {
+				d.Read(addr, n)
+			}
+			if d.BusyUntil() < prevBusy {
+				return false
+			}
+			if clock.Now() > d.BusyUntil() {
+				return false
+			}
+			prevBusy = d.BusyUntil()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBusyTimeAccounting(t *testing.T) {
+	d, _ := newTestDisk(t)
+	d.Read(0, 4096)
+	d.Write(4096, 4096)
+	p := RZ57()
+	want := 2*p.PerOp + p.SeekAvg + p.RotLatency + 2*p.TransferTime(4096)
+	if got := d.Stats().BusyTime; got != want {
+		t.Fatalf("BusyTime = %v, want %v", got, want)
+	}
+}
+
+func TestSequentialAfterIdlePaysRotation(t *testing.T) {
+	d, clock := newTestDisk(t)
+	d.Read(0, 4096)
+	// Host does work between faults: the device goes idle and the next
+	// sequential sector rotates past.
+	clock.Advance(2 * time.Millisecond)
+	t0 := clock.Now()
+	d.Read(4096, 4096)
+	p := RZ57()
+	want := p.PerOp + p.RotLatency + p.TransferTime(4096)
+	if got := clock.Elapsed(t0); got != want {
+		t.Fatalf("idle sequential read took %v, want %v (rotation miss, no seek)", got, want)
+	}
+	if d.Stats().Seeks != 1 {
+		t.Fatalf("seeks = %d, want 1 (only the first op)", d.Stats().Seeks)
+	}
+}
+
+func TestQueuedSequentialStreams(t *testing.T) {
+	d, _ := newTestDisk(t)
+	// Three async writes queued back-to-back with no idle gap: only the
+	// first pays positioning; the rest stream.
+	d.WriteAsync(0, 4096)
+	t1 := d.BusyUntil()
+	d.WriteAsync(4096, 4096)
+	p := RZ57()
+	if got := d.BusyUntil().Sub(t1); got != p.PerOp+p.TransferTime(4096) {
+		t.Fatalf("queued sequential write took %v, want streaming %v", got, p.PerOp+p.TransferTime(4096))
+	}
+}

@@ -1,0 +1,117 @@
+// Package exp regenerates every table and figure in the paper's evaluation
+// (§3 Figure 1, §5.1 Figure 3, §5.2 Table 1), plus the ablation studies
+// DESIGN.md calls out. Each experiment returns a structured result with a
+// text renderer that prints the same rows or series the paper reports.
+//
+// Absolute numbers come from a simulated machine, not the authors' 1993
+// testbed; per the reproduction methodology, the quantities to compare are
+// the shapes: who wins, by roughly what factor, and where the crossovers
+// fall. EXPERIMENTS.md records the paper-vs-measured comparison.
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// csvEscape quotes a cell when needed.
+func csvEscape(cell string) string {
+	if strings.ContainsAny(cell, ",\"\n") {
+		return "\"" + strings.ReplaceAll(cell, "\"", "\"\"") + "\""
+	}
+	return cell
+}
+
+// Table is a generic result table.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title)))
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "\n%s\n", t.Note)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (header row first), the
+// plot-ready form of every experiment result.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	row := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvEscape(c))
+		}
+		b.WriteByte('\n')
+	}
+	row(t.Header)
+	for _, r := range t.Rows {
+		row(r)
+	}
+	return b.String()
+}
+
+// Scale selects experiment sizing. The paper's full scale takes a few
+// minutes of host time; the small scale exercises every code path in
+// seconds and is what the unit tests and testing.B benchmarks use.
+type Scale int
+
+// Experiment scales.
+const (
+	// Small shrinks memory and working sets ~8x for fast runs.
+	Small Scale = iota
+	// Paper uses the paper's sizes: 6 MB user memory for Figure 3, 14 MB
+	// for Table 1, address spaces up to 40 MB.
+	Paper
+)
+
+// String returns the scale name.
+func (s Scale) String() string {
+	if s == Paper {
+		return "paper"
+	}
+	return "small"
+}

@@ -1,0 +1,96 @@
+package exp
+
+import (
+	"fmt"
+
+	"compcache/internal/model"
+)
+
+// Fig1Result holds one panel of Figure 1: a speedup surface over the
+// (compression ratio, relative compression speed) plane plus the region map
+// the paper shades.
+type Fig1Result struct {
+	Title  string
+	Ratios []float64 // fraction of bytes remaining after compression
+	Speeds []float64 // compression speed relative to I/O speed
+	Grid   [][]float64
+}
+
+// Fig1a models transferring compressed pages to and from the backing store
+// (the paper's Figure 1(a)).
+func Fig1a() *Fig1Result {
+	p := model.Default()
+	r := &Fig1Result{
+		Title:  "Figure 1(a): bandwidth speedup, compressed transfers to backing store",
+		Ratios: model.Linspace(0.05, 1.0, 20),
+		Speeds: model.Logspace(0.25, 32, 15),
+	}
+	r.Grid = model.Grid(p.BandwidthSpeedup, r.Ratios, r.Speeds)
+	return r
+}
+
+// Fig1b models keeping compressed pages in memory for the cyclic workload
+// with W = 2M (the paper's Figure 1(b)).
+func Fig1b() *Fig1Result {
+	p := model.Default()
+	r := &Fig1Result{
+		Title:  "Figure 1(b): mean memory-reference-time speedup, compressed pages kept in memory (W = 2M)",
+		Ratios: model.Linspace(0.05, 1.0, 20),
+		Speeds: model.Logspace(0.25, 32, 15),
+	}
+	r.Grid = model.Grid(p.ReferenceSpeedup, r.Ratios, r.Speeds)
+	return r
+}
+
+// Regions classifies every grid point the way the paper's figure is shaded
+// and reports the fraction of the plane in each region.
+func (f *Fig1Result) Regions() map[string]float64 {
+	counts := map[string]int{}
+	total := 0
+	for _, row := range f.Grid {
+		for _, v := range row {
+			counts[model.Region(v)]++
+			total++
+		}
+	}
+	out := map[string]float64{}
+	for k, c := range counts {
+		out[k] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// String renders the surface as a character map (rows: compression ratio,
+// best at top; columns: compression speed, slowest at left), using the
+// paper's three shades: '#' for >6x, '+' for 1-6x, '.' for slowdown,
+// followed by a numeric table of selected rows.
+func (f *Fig1Result) String() string {
+	t := &Table{Title: f.Title}
+	t.Header = []string{"ratio\\speed"}
+	for _, s := range f.Speeds {
+		t.Header = append(t.Header, fmt.Sprintf("%.2g", s))
+	}
+	for i, r := range f.Ratios {
+		row := []string{fmt.Sprintf("%.2f", r)}
+		for j := range f.Speeds {
+			row = append(row, fmt.Sprintf("%.2f", f.Grid[i][j]))
+		}
+		t.AddRow(row...)
+	}
+	mapStr := "region map ('#' >6x, '+' 1-6x, '.' <1x); top row = best compression:\n"
+	for i := range f.Ratios {
+		for j := range f.Speeds {
+			switch model.Region(f.Grid[i][j]) {
+			case ">6x":
+				mapStr += "#"
+			case "1-6x":
+				mapStr += "+"
+			default:
+				mapStr += "."
+			}
+		}
+		mapStr += "\n"
+	}
+	t.Note = mapStr
+	return t.String()
+}

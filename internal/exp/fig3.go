@@ -1,0 +1,130 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"compcache/internal/machine"
+	"compcache/internal/workload"
+)
+
+// Fig3Point is one x position of Figure 3: one address-space size measured
+// four ways.
+type Fig3Point struct {
+	SizeMB    int
+	StdRW     time.Duration // average page access, unmodified system, read/write
+	CCRW      time.Duration // with compression cache, read/write
+	StdRO     time.Duration // unmodified, read-only
+	CCRO      time.Duration // with compression cache, read-only
+	SpeedRW   float64       // Figure 3(b): StdRW / CCRW
+	SpeedRO   float64       // Figure 3(b): StdRO / CCRO
+	CCHitRW   float64
+	CCHitRO   float64
+	CompRatio float64
+}
+
+// Fig3Result is the full sweep.
+type Fig3Result struct {
+	MemoryMB int
+	Points   []Fig3Point
+}
+
+// Fig3Options sizes the experiment.
+type Fig3Options struct {
+	// MemoryMB is user-available memory; the paper uses ~6.
+	MemoryMB int
+	// SizesMB are the address-space sizes to sweep; the paper sweeps 0-40.
+	SizesMB []int
+	// Passes is the number of timed access sweeps after initialization.
+	Passes int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// DefaultFig3Options returns the sweep for the given scale.
+func DefaultFig3Options(s Scale) Fig3Options {
+	if s == Paper {
+		return Fig3Options{
+			MemoryMB: 6,
+			SizesMB:  []int{2, 4, 6, 8, 10, 12, 15, 20, 25, 30, 35, 40},
+			Passes:   2,
+			Seed:     1,
+		}
+	}
+	return Fig3Options{
+		MemoryMB: 2,
+		SizesMB:  []int{1, 2, 3, 4, 6, 8},
+		Passes:   2,
+		Seed:     1,
+	}
+}
+
+// Fig3 runs the §5.1 thrasher sweep: average page access time and speedup
+// versus address-space size, read-only and read-write, with and without the
+// compression cache.
+func Fig3(opts Fig3Options) (*Fig3Result, error) {
+	res := &Fig3Result{MemoryMB: opts.MemoryMB}
+	memBytes := int64(opts.MemoryMB) << 20
+	for _, sizeMB := range opts.SizesMB {
+		pt := Fig3Point{SizeMB: sizeMB}
+		pages := int32(sizeMB << 20 / 4096)
+		for _, write := range []bool{true, false} {
+			mk := func() *workload.Thrasher {
+				return &workload.Thrasher{Pages: pages, Write: write, Passes: opts.Passes, Seed: opts.Seed}
+			}
+			cmp, err := workload.RunBoth(machine.Default(memBytes), machine.Default(memBytes).WithCC(), mk())
+			if err != nil {
+				return nil, fmt.Errorf("fig3 %dMB write=%v: %w", sizeMB, write, err)
+			}
+			touches := time.Duration(mk().TimedSweeps()) * time.Duration(pages)
+			if write {
+				pt.StdRW = cmp.Std.Time / touches
+				pt.CCRW = cmp.CC.Time / touches
+				pt.SpeedRW = cmp.Speedup()
+				pt.CCHitRW = cmp.CC.CC.HitRate()
+				pt.CompRatio = cmp.CC.Comp.Ratio()
+			} else {
+				pt.StdRO = cmp.Std.Time / touches
+				pt.CCRO = cmp.CC.Time / touches
+				pt.SpeedRO = cmp.Speedup()
+				pt.CCHitRO = cmp.CC.CC.HitRate()
+			}
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// TableA renders Figure 3(a): average page access time per curve.
+func (r *Fig3Result) TableA() *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 3(a): average page access time (user memory %d MB)", r.MemoryMB),
+		Header: []string{"size(MB)", "std_rw", "cc_rw", "std_ro", "cc_ro"},
+		Note:   "std = unmodified system, cc = compression cache; _rw touches write one word per page, _ro only read.",
+	}
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprint(p.SizeMB),
+			fmt.Sprint(p.StdRW.Round(time.Microsecond)),
+			fmt.Sprint(p.CCRW.Round(time.Microsecond)),
+			fmt.Sprint(p.StdRO.Round(time.Microsecond)),
+			fmt.Sprint(p.CCRO.Round(time.Microsecond)))
+	}
+	return t
+}
+
+// TableB renders Figure 3(b): speedup relative to the unmodified system.
+func (r *Fig3Result) TableB() *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 3(b): speedup relative to the unmodified system (user memory %d MB)", r.MemoryMB),
+		Header: []string{"size(MB)", "cc_rw", "cc_ro", "hit_rw", "hit_ro", "ratio"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprint(p.SizeMB),
+			fmt.Sprintf("%.2f", p.SpeedRW),
+			fmt.Sprintf("%.2f", p.SpeedRO),
+			fmt.Sprintf("%.2f", p.CCHitRW),
+			fmt.Sprintf("%.2f", p.CCHitRO),
+			fmt.Sprintf("%.2f", p.CompRatio))
+	}
+	return t
+}

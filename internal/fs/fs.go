@@ -1,0 +1,532 @@
+// Package fs implements the simulated machine's block file system.
+//
+// The paper's backing store is a swap file in the Sprite file system, and the
+// central complication of its §4.3 is that the file system "enforces
+// transfers in multiples of a whole file system block": writing part of a
+// 4-KByte block costs a 4-KByte read plus a 4-KByte write, and reading 2 KB
+// within a block reads all 4 KB. This package reproduces that interface:
+//
+//   - Cached reads and writes go through an LRU buffer cache whose frames
+//     come from the shared physical pool, so the file cache competes with
+//     the VM system and the compression cache for memory (§4.2).
+//   - Raw (uncached) I/O, used by the swap layers, transfers whole blocks.
+//     The AllowPartialIO option relaxes this to sector granularity; it is
+//     the "better interface to the backing store" ablation from §6.
+//
+// File contents are held authoritatively in an in-memory "platter" so the
+// simulation can verify end-to-end page integrity; the buffer cache and the
+// disk model contribute memory pressure and virtual-time costs.
+package fs
+
+import (
+	"fmt"
+	"sort"
+
+	"compcache/internal/mem"
+	"compcache/internal/sim"
+	"compcache/internal/stats"
+)
+
+// Device is the backing hardware the file system runs on. *disk.Disk is the
+// usual implementation; *netdev.Net implements it for the paper's diskless
+// mobile environment (paging over a network to a page server).
+type Device interface {
+	// Read performs a synchronous transfer from the device, advancing the
+	// caller's clock to completion.
+	Read(addr int64, n int)
+	// Write performs a synchronous transfer to the device.
+	Write(addr int64, n int)
+	// WriteAsync queues a write without blocking; it returns the completion
+	// instant.
+	WriteAsync(addr int64, n int) sim.Time
+	// Drain advances the clock until queued operations complete.
+	Drain()
+	// Granularity is the device's addressing granularity in bytes (a disk
+	// sector, a network packet payload).
+	Granularity() int
+	// Stats reports transfer counters.
+	Stats() stats.Disk
+}
+
+// fileExtent is the disk address space reserved per file. Files are sparse;
+// the extent only fixes the mapping from file offsets to disk addresses so
+// that sequential file blocks are sequential on disk.
+const fileExtent = 1 << 30
+
+// Options configures a file system.
+type Options struct {
+	// BlockSize is the file-system block size; the paper's Sprite systems
+	// use 4-KByte blocks, equal to the DECstation page size.
+	BlockSize int
+
+	// AllowPartialIO permits raw transfers at sector granularity instead of
+	// whole blocks (ablation of the paper's §4.3 constraint).
+	AllowPartialIO bool
+
+	// CacheCapacity caps the number of buffer-cache frames (0 = no cap
+	// beyond pool pressure).
+	CacheCapacity int
+}
+
+// CompressedBlockCache holds evicted file-cache blocks in compressed form,
+// the §6 extension ("the system could keep part or all of the file buffer
+// cache in compressed format in order to improve the cache hit rate"). The
+// machine package implements it on top of the compression cache.
+type CompressedBlockCache interface {
+	// Store offers an evicted block's (durable) contents; the cache may
+	// decline (incompressible, no memory).
+	Store(fileID int32, block int64, data []byte) bool
+	// Load fetches a cached block into data, reporting whether it hit.
+	Load(fileID int32, block int64, data []byte) bool
+	// Invalidate drops any cached copy (the block was modified).
+	Invalidate(fileID int32, block int64)
+}
+
+// FS is a simulated block file system on one device.
+type FS struct {
+	opts    Options
+	disk    Device
+	clock   *sim.Clock
+	pool    *mem.Pool
+	ccb     CompressedBlockCache // optional §6 compressed block cache
+	scratch []byte               // eviction copy buffer for the block cache
+	nextID  int32
+
+	files    map[string]*File
+	nextBase int64
+
+	// frameSource obtains a frame for the buffer cache, reclaiming one from
+	// some consumer if the pool is empty. The machine wires this to the
+	// replacement policy after construction.
+	frameSource func(mem.Owner) mem.FrameID
+
+	cache     map[blockKey]*cacheBlock
+	lruHead   *cacheBlock // least recently used
+	lruTail   *cacheBlock // most recently used
+	hits      uint64
+	misses    uint64
+	ccHits    uint64 // misses served by the compressed block cache
+	writeHits uint64
+}
+
+type blockKey struct {
+	file  *File
+	block int64
+}
+
+type cacheBlock struct {
+	key        blockKey
+	frame      mem.FrameID
+	dirty      bool
+	lastUse    sim.Time
+	prev, next *cacheBlock
+}
+
+// File is a simulated file. Its blocks map to a contiguous disk extent, so
+// block n of the file lives at disk address base + n*BlockSize.
+type File struct {
+	fs      *FS
+	name    string
+	id      int32 // identity for the compressed block cache; changes on truncate
+	base    int64
+	size    int64
+	platter map[int64][]byte // authoritative block contents
+}
+
+// New creates a file system on device d, drawing cache frames from pool.
+func New(opts Options, d Device, clock *sim.Clock, pool *mem.Pool) (*FS, error) {
+	if opts.BlockSize <= 0 {
+		return nil, fmt.Errorf("fs: BlockSize must be positive, got %d", opts.BlockSize)
+	}
+	if opts.BlockSize%d.Granularity() != 0 {
+		return nil, fmt.Errorf("fs: BlockSize %d not a multiple of device granularity %d",
+			opts.BlockSize, d.Granularity())
+	}
+	f := &FS{
+		opts:  opts,
+		disk:  d,
+		clock: clock,
+		pool:  pool,
+		files: make(map[string]*File),
+		cache: make(map[blockKey]*cacheBlock),
+	}
+	f.frameSource = func(o mem.Owner) mem.FrameID {
+		id, ok := pool.Alloc(o)
+		if !ok {
+			panic("fs: no frame source wired and pool exhausted")
+		}
+		return id
+	}
+	return f, nil
+}
+
+// SetFrameSource installs the policy-backed frame allocator.
+func (fs *FS) SetFrameSource(f func(mem.Owner) mem.FrameID) { fs.frameSource = f }
+
+// SetCompressedBlockCache installs the §6 compressed block cache.
+func (fs *FS) SetCompressedBlockCache(c CompressedBlockCache) { fs.ccb = c }
+
+// BlockSize reports the file-system block size.
+func (fs *FS) BlockSize() int { return fs.opts.BlockSize }
+
+// AllowPartialIO reports whether raw I/O may be sub-block.
+func (fs *FS) AllowPartialIO() bool { return fs.opts.AllowPartialIO }
+
+// CacheStats reports buffer-cache hits, misses and write hits.
+func (fs *FS) CacheStats() (hits, misses uint64) { return fs.hits, fs.misses }
+
+// CompressedCacheHits reports how many buffer-cache misses were served by
+// the compressed block cache instead of the device.
+func (fs *FS) CompressedCacheHits() uint64 { return fs.ccHits }
+
+// CacheLen reports the number of cached blocks.
+func (fs *FS) CacheLen() int { return len(fs.cache) }
+
+// Create creates (or truncates) a file.
+func (fs *FS) Create(name string) *File {
+	if f, ok := fs.files[name]; ok {
+		f.platter = make(map[int64][]byte)
+		f.size = 0
+		fs.dropFileBlocks(f)
+		// A fresh identity orphans any compressed-cache entries for the old
+		// contents.
+		f.id = fs.nextID
+		fs.nextID++
+		return f
+	}
+	f := &File{
+		fs:      fs,
+		name:    name,
+		id:      fs.nextID,
+		base:    fs.nextBase,
+		platter: make(map[int64][]byte),
+	}
+	fs.nextID++
+	fs.nextBase += fileExtent
+	fs.files[name] = f
+	return f
+}
+
+// Open returns an existing file.
+func (fs *FS) Open(name string) (*File, error) {
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("fs: file %q does not exist", name)
+	}
+	return f, nil
+}
+
+// Name reports the file's name.
+func (f *File) Name() string { return f.name }
+
+// Size reports the file's logical size (highest byte written + 1).
+func (f *File) Size() int64 { return f.size }
+
+// ---------------------------------------------------------------------------
+// Cached I/O (workload file access)
+
+// ReadAt reads len(p) bytes at offset off through the buffer cache. Reads
+// beyond the written extent return zero bytes, matching sparse-file
+// semantics.
+func (f *File) ReadAt(p []byte, off int64) {
+	if off < 0 {
+		panic("fs: negative offset")
+	}
+	bs := int64(f.fs.opts.BlockSize)
+	for len(p) > 0 {
+		block := off / bs
+		inOff := int(off % bs)
+		n := int(bs) - inOff
+		if n > len(p) {
+			n = len(p)
+		}
+		cb := f.fs.getBlock(f, block, true)
+		copy(p[:n], f.fs.pool.Bytes(cb.frame)[inOff:inOff+n])
+		p = p[n:]
+		off += int64(n)
+	}
+}
+
+// WriteAt writes len(p) bytes at offset off through the buffer cache. A
+// write that only partially covers an uncached block pays the §4.3
+// read-modify-write: the whole block is read from disk first.
+func (f *File) WriteAt(p []byte, off int64) {
+	if off < 0 {
+		panic("fs: negative offset")
+	}
+	bs := int64(f.fs.opts.BlockSize)
+	for len(p) > 0 {
+		block := off / bs
+		inOff := int(off % bs)
+		n := int(bs) - inOff
+		if n > len(p) {
+			n = len(p)
+		}
+		full := inOff == 0 && n == int(bs)
+		cb := f.fs.getBlock(f, block, !full)
+		copy(f.fs.pool.Bytes(cb.frame)[inOff:inOff+n], p[:n])
+		cb.dirty = true
+		if f.fs.ccb != nil {
+			f.fs.ccb.Invalidate(f.id, block)
+		}
+		// Keep the platter authoritative immediately; the dirty flag defers
+		// only the disk write's cost, not the contents.
+		copy(f.platterBlock(block)[inOff:inOff+n], p[:n])
+		if end := off + int64(n); end > f.size {
+			f.size = end
+		}
+		p = p[n:]
+		off += int64(n)
+	}
+}
+
+// Sync writes all dirty cached blocks of the file system to disk, in disk
+// address order (the cheapest schedule).
+func (fs *FS) Sync() {
+	var dirty []*cacheBlock
+	for _, cb := range fs.cache {
+		if cb.dirty {
+			dirty = append(dirty, cb)
+		}
+	}
+	sort.Slice(dirty, func(i, j int) bool {
+		return dirty[i].key.file.addr(dirty[i].key.block) < dirty[j].key.file.addr(dirty[j].key.block)
+	})
+	for _, cb := range dirty {
+		fs.disk.Write(cb.key.file.addr(cb.key.block), fs.opts.BlockSize)
+		cb.dirty = false
+	}
+}
+
+// Name identifies the buffer cache in the replacement policy ("fs").
+func (fs *FS) Name() string { return "fs" }
+
+// OldestAge reports the last-use instant of the LRU cached block. ok is
+// false when the cache is empty. This makes the buffer cache a consumer in
+// the three-way memory trade.
+func (fs *FS) OldestAge() (sim.Time, bool) {
+	if fs.lruHead == nil {
+		return 0, false
+	}
+	return fs.lruHead.lastUse, true
+}
+
+// ReleaseOldest evicts the LRU cached block, writing it back first if dirty,
+// and returns its frame to the pool. It reports false when the cache is
+// empty.
+func (fs *FS) ReleaseOldest() bool {
+	cb := fs.lruHead
+	if cb == nil {
+		return false
+	}
+	fs.evict(cb)
+	return true
+}
+
+// DropCaches evicts every cached block (writing back dirty ones); used by
+// benchmarks to start runs cold.
+func (fs *FS) DropCaches() {
+	fs.Sync()
+	for fs.lruHead != nil {
+		fs.evict(fs.lruHead)
+	}
+}
+
+func (fs *FS) evict(cb *cacheBlock) {
+	if cb.dirty {
+		fs.disk.Write(cb.key.file.addr(cb.key.block), fs.opts.BlockSize)
+		cb.dirty = false
+	}
+	fs.lruRemove(cb)
+	delete(fs.cache, cb.key)
+	if fs.ccb == nil {
+		fs.pool.Release(cb.frame)
+		return
+	}
+	// The block is durable on the device now; keep a compressed copy in
+	// memory so a re-read can skip the device (§6). Release the frame first
+	// so the compressed cache can absorb it — the same ordering the VM
+	// eviction path uses.
+	if fs.scratch == nil {
+		fs.scratch = make([]byte, fs.opts.BlockSize)
+	}
+	copy(fs.scratch, fs.pool.Bytes(cb.frame))
+	fs.pool.Release(cb.frame)
+	fs.ccb.Store(cb.key.file.id, cb.key.block, fs.scratch)
+}
+
+func (fs *FS) dropFileBlocks(f *File) {
+	for key, cb := range fs.cache {
+		if key.file == f {
+			fs.lruRemove(cb)
+			delete(fs.cache, key)
+			fs.pool.Release(cb.frame)
+		}
+	}
+}
+
+// getBlock returns the cache entry for (f, block), faulting it in from disk
+// when fill is true (a full-block overwrite skips the disk read).
+func (fs *FS) getBlock(f *File, block int64, fill bool) *cacheBlock {
+	key := blockKey{f, block}
+	if cb, ok := fs.cache[key]; ok {
+		fs.hits++
+		fs.lruTouch(cb)
+		return cb
+	}
+	fs.misses++
+	if fs.opts.CacheCapacity > 0 && len(fs.cache) >= fs.opts.CacheCapacity {
+		fs.ReleaseOldest()
+	}
+	frame := fs.frameSource(mem.FS)
+	cb := &cacheBlock{key: key, frame: frame}
+	if fill {
+		if fs.ccb != nil && fs.ccb.Load(f.id, block, fs.pool.Bytes(frame)) {
+			fs.ccHits++
+		} else {
+			fs.disk.Read(f.addr(block), fs.opts.BlockSize)
+			copy(fs.pool.Bytes(frame), f.platterBlock(block))
+		}
+	}
+	fs.cache[key] = cb
+	fs.lruAppend(cb)
+	return cb
+}
+
+// ---------------------------------------------------------------------------
+// Raw I/O (swap layers; bypasses the buffer cache)
+
+// checkRaw validates raw transfer geometry against the whole-block rule.
+func (fs *FS) checkRaw(off int64, n int) {
+	gran := int64(fs.opts.BlockSize)
+	if fs.opts.AllowPartialIO {
+		gran = int64(fs.disk.Granularity())
+	}
+	if off%gran != 0 || int64(n)%gran != 0 {
+		panic(fmt.Sprintf("fs: raw I/O of %d bytes at %d violates %d-byte transfer granularity",
+			n, off, gran))
+	}
+}
+
+// RawRead reads n bytes at off directly from disk into p (len(p) >= n),
+// bypassing the cache. Geometry must respect the transfer granularity.
+func (f *File) RawRead(p []byte, off int64, n int) {
+	f.fs.checkRaw(off, n)
+	f.fs.disk.Read(f.base+off, n)
+	f.copyOut(p, off, n)
+}
+
+// RawWrite synchronously writes n bytes from p at off, bypassing the cache.
+func (f *File) RawWrite(p []byte, off int64, n int) {
+	f.fs.checkRaw(off, n)
+	f.copyIn(p, off, n)
+	f.fs.disk.Write(f.base+off, n)
+}
+
+// RawWriteAsync queues a raw write on the device without blocking the
+// caller; it returns the completion instant. The platter is updated
+// immediately so simulated contents are never stale.
+func (f *File) RawWriteAsync(p []byte, off int64, n int) sim.Time {
+	f.fs.checkRaw(off, n)
+	f.copyIn(p, off, n)
+	return f.fs.disk.WriteAsync(f.base+off, n)
+}
+
+// WriteStage stores bytes at off without charging any device cost: the data
+// sits in a memory buffer (whose frames the caller accounts for separately)
+// until RawWriteStaged flushes the region. The log-structured store uses it
+// for its pinned segment buffer.
+func (f *File) WriteStage(off int64, data []byte) {
+	f.copyIn(data, off, len(data))
+}
+
+// ReadStaged copies bytes back out of the file image without charging any
+// device cost — for data the caller knows is buffer-resident (staged and
+// not yet flushed) or already paid for (a just-read region).
+func (f *File) ReadStaged(off int64, buf []byte) {
+	f.copyOut(buf, off, len(buf))
+}
+
+// RawWriteStaged charges one asynchronous device write for a region whose
+// contents were previously placed with WriteStage. Geometry rules are those
+// of RawWrite.
+func (f *File) RawWriteStaged(off int64, n int) sim.Time {
+	f.fs.checkRaw(off, n)
+	return f.fs.disk.WriteAsync(f.base+off, n)
+}
+
+func (f *File) addr(block int64) int64 { return f.base + block*int64(f.fs.opts.BlockSize) }
+
+func (f *File) platterBlock(block int64) []byte {
+	b, ok := f.platter[block]
+	if !ok {
+		b = make([]byte, f.fs.opts.BlockSize)
+		f.platter[block] = b
+	}
+	return b
+}
+
+func (f *File) copyIn(p []byte, off int64, n int) {
+	bs := int64(f.fs.opts.BlockSize)
+	for done := 0; done < n; {
+		block := (off + int64(done)) / bs
+		inOff := int((off + int64(done)) % bs)
+		c := int(bs) - inOff
+		if c > n-done {
+			c = n - done
+		}
+		copy(f.platterBlock(block)[inOff:inOff+c], p[done:done+c])
+		done += c
+	}
+	if end := off + int64(n); end > f.size {
+		f.size = end
+	}
+}
+
+func (f *File) copyOut(p []byte, off int64, n int) {
+	bs := int64(f.fs.opts.BlockSize)
+	for done := 0; done < n; {
+		block := (off + int64(done)) / bs
+		inOff := int((off + int64(done)) % bs)
+		c := int(bs) - inOff
+		if c > n-done {
+			c = n - done
+		}
+		copy(p[done:done+c], f.platterBlock(block)[inOff:inOff+c])
+		done += c
+	}
+}
+
+// ---------------------------------------------------------------------------
+// LRU list plumbing
+
+func (fs *FS) lruAppend(cb *cacheBlock) {
+	cb.lastUse = fs.clock.Now()
+	cb.prev = fs.lruTail
+	cb.next = nil
+	if fs.lruTail != nil {
+		fs.lruTail.next = cb
+	} else {
+		fs.lruHead = cb
+	}
+	fs.lruTail = cb
+}
+
+func (fs *FS) lruRemove(cb *cacheBlock) {
+	if cb.prev != nil {
+		cb.prev.next = cb.next
+	} else {
+		fs.lruHead = cb.next
+	}
+	if cb.next != nil {
+		cb.next.prev = cb.prev
+	} else {
+		fs.lruTail = cb.prev
+	}
+	cb.prev, cb.next = nil, nil
+}
+
+func (fs *FS) lruTouch(cb *cacheBlock) {
+	fs.lruRemove(cb)
+	fs.lruAppend(cb)
+}

@@ -1,0 +1,337 @@
+package fs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"compcache/internal/disk"
+	"compcache/internal/mem"
+	"compcache/internal/sim"
+)
+
+func newTestFS(t *testing.T, opts Options) (*FS, *disk.Disk, *sim.Clock, *mem.Pool) {
+	t.Helper()
+	if opts.BlockSize == 0 {
+		opts.BlockSize = 4096
+	}
+	var clock sim.Clock
+	d, err := disk.New(disk.RZ57(), &clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := mem.NewPool(64, opts.BlockSize)
+	f, err := New(opts, d, &clock, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, d, &clock, pool
+}
+
+func TestNewValidation(t *testing.T) {
+	var clock sim.Clock
+	d, _ := disk.New(disk.RZ57(), &clock)
+	pool := mem.NewPool(4, 4096)
+	if _, err := New(Options{BlockSize: 0}, d, &clock, pool); err == nil {
+		t.Error("BlockSize 0 accepted")
+	}
+	if _, err := New(Options{BlockSize: 1000}, d, &clock, pool); err == nil {
+		t.Error("non-sector-multiple BlockSize accepted")
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	fsys, _, _, _ := newTestFS(t, Options{})
+	f := fsys.Create("data")
+	msg := []byte("hello, sprite file system")
+	f.WriteAt(msg, 100)
+	got := make([]byte, len(msg))
+	f.ReadAt(got, 100)
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("read back %q", got)
+	}
+	if f.Size() != 100+int64(len(msg)) {
+		t.Fatalf("Size = %d", f.Size())
+	}
+}
+
+func TestSparseReadsZero(t *testing.T) {
+	fsys, _, _, _ := newTestFS(t, Options{})
+	f := fsys.Create("sparse")
+	f.WriteAt([]byte("x"), 10000)
+	got := make([]byte, 64)
+	f.ReadAt(got, 0)
+	if !bytes.Equal(got, make([]byte, 64)) {
+		t.Fatal("unwritten extent not zero")
+	}
+}
+
+func TestCrossBlockIO(t *testing.T) {
+	fsys, _, _, _ := newTestFS(t, Options{})
+	f := fsys.Create("span")
+	data := make([]byte, 4096*3)
+	rand.New(rand.NewSource(3)).Read(data)
+	f.WriteAt(data, 2048) // spans 4 blocks, partial at both ends
+	got := make([]byte, len(data))
+	f.ReadAt(got, 2048)
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-block round trip mismatch")
+	}
+}
+
+func TestPartialWritePaysReadModifyWrite(t *testing.T) {
+	fsys, d, _, _ := newTestFS(t, Options{})
+	f := fsys.Create("rmw")
+	// Populate one block and force it out of the cache.
+	f.WriteAt(make([]byte, 4096), 0)
+	fsys.DropCaches()
+	r0 := d.Stats().Reads
+
+	// Partial write to the uncached block: must read the whole block first.
+	f.WriteAt(make([]byte, 2048), 0)
+	if got := d.Stats().Reads - r0; got != 1 {
+		t.Fatalf("partial write to uncached block issued %d reads, want 1", got)
+	}
+}
+
+func TestFullBlockWriteSkipsRead(t *testing.T) {
+	fsys, d, _, _ := newTestFS(t, Options{})
+	f := fsys.Create("full")
+	r0 := d.Stats().Reads
+	f.WriteAt(make([]byte, 4096), 0) // exactly one whole block
+	if got := d.Stats().Reads - r0; got != 0 {
+		t.Fatalf("full-block write issued %d reads, want 0", got)
+	}
+}
+
+func TestCacheHitAvoidsDisk(t *testing.T) {
+	fsys, d, _, _ := newTestFS(t, Options{})
+	f := fsys.Create("hot")
+	f.WriteAt([]byte("abc"), 0)
+	reads := d.Stats().Reads
+	buf := make([]byte, 3)
+	for i := 0; i < 10; i++ {
+		f.ReadAt(buf, 0)
+	}
+	if d.Stats().Reads != reads {
+		t.Fatal("cached reads went to disk")
+	}
+	hits, _ := fsys.CacheStats()
+	if hits < 10 {
+		t.Fatalf("hits = %d, want >= 10", hits)
+	}
+}
+
+func TestSyncWritesDirtyBlocks(t *testing.T) {
+	fsys, d, _, _ := newTestFS(t, Options{})
+	f := fsys.Create("dirty")
+	f.WriteAt(make([]byte, 4096*2), 0)
+	w0 := d.Stats().Writes
+	fsys.Sync()
+	if got := d.Stats().Writes - w0; got != 2 {
+		t.Fatalf("Sync wrote %d blocks, want 2", got)
+	}
+	// Second sync is a no-op.
+	w1 := d.Stats().Writes
+	fsys.Sync()
+	if d.Stats().Writes != w1 {
+		t.Fatal("Sync rewrote clean blocks")
+	}
+}
+
+func TestEvictionWritesBackDirty(t *testing.T) {
+	fsys, d, _, _ := newTestFS(t, Options{})
+	f := fsys.Create("evict")
+	f.WriteAt(make([]byte, 4096), 0)
+	w0 := d.Stats().Writes
+	if !fsys.ReleaseOldest() {
+		t.Fatal("ReleaseOldest failed")
+	}
+	if d.Stats().Writes != w0+1 {
+		t.Fatal("dirty eviction did not write back")
+	}
+	// Contents survive eviction via the platter.
+	buf := make([]byte, 1)
+	f.ReadAt(buf, 0)
+}
+
+func TestReleaseOldestEmptyCache(t *testing.T) {
+	fsys, _, _, _ := newTestFS(t, Options{})
+	if fsys.ReleaseOldest() {
+		t.Fatal("ReleaseOldest on empty cache reported true")
+	}
+	if _, ok := fsys.OldestAge(); ok {
+		t.Fatal("OldestAge on empty cache reported ok")
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	fsys, _, clock, _ := newTestFS(t, Options{})
+	f := fsys.Create("lru")
+	buf := make([]byte, 1)
+	f.ReadAt(buf, 0) // block 0
+	t0 := clock.Now()
+	f.ReadAt(buf, 4096) // block 1
+	f.ReadAt(buf, 0)    // touch block 0 again: block 1 is now LRU
+	age, ok := fsys.OldestAge()
+	if !ok {
+		t.Fatal("OldestAge not ok")
+	}
+	if age < t0 {
+		t.Fatalf("oldest age %v predates block 1 load at %v", age, t0)
+	}
+	fsys.ReleaseOldest()
+	// Block 0 must still be cached: reading it is free.
+	hits, _ := fsys.CacheStats()
+	f.ReadAt(buf, 0)
+	if h2, _ := fsys.CacheStats(); h2 != hits+1 {
+		t.Fatal("evicted the recently used block instead of the LRU one")
+	}
+}
+
+func TestCacheCapacity(t *testing.T) {
+	fsys, _, _, _ := newTestFS(t, Options{CacheCapacity: 2})
+	f := fsys.Create("cap")
+	buf := make([]byte, 1)
+	for i := int64(0); i < 5; i++ {
+		f.ReadAt(buf, i*4096)
+	}
+	if fsys.CacheLen() > 2 {
+		t.Fatalf("cache grew to %d blocks, cap 2", fsys.CacheLen())
+	}
+}
+
+func TestRawIO(t *testing.T) {
+	fsys, d, _, _ := newTestFS(t, Options{})
+	f := fsys.Create("swap")
+	data := make([]byte, 8192)
+	rand.New(rand.NewSource(9)).Read(data)
+	f.RawWrite(data, 4096, 8192)
+	got := make([]byte, 8192)
+	r0 := d.Stats().Reads
+	f.RawRead(got, 4096, 8192)
+	if !bytes.Equal(got, data) {
+		t.Fatal("raw round trip mismatch")
+	}
+	if d.Stats().Reads != r0+1 {
+		t.Fatal("raw read should be a single device op")
+	}
+}
+
+func TestRawGranularityEnforced(t *testing.T) {
+	fsys, _, _, _ := newTestFS(t, Options{})
+	f := fsys.Create("strict")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sub-block raw write did not panic with AllowPartialIO=false")
+		}
+	}()
+	f.RawWrite(make([]byte, 1024), 0, 1024)
+}
+
+func TestRawPartialIOAllowed(t *testing.T) {
+	fsys, _, _, _ := newTestFS(t, Options{AllowPartialIO: true})
+	f := fsys.Create("loose")
+	f.RawWrite(make([]byte, 1024), 512, 1024) // sector-aligned: fine
+	got := make([]byte, 1024)
+	f.RawRead(got, 512, 1024)
+}
+
+func TestRawWriteAsync(t *testing.T) {
+	fsys, _, clock, _ := newTestFS(t, Options{})
+	f := fsys.Create("async")
+	done := f.RawWriteAsync(make([]byte, 4096), 0, 4096)
+	if clock.Now() != 0 {
+		t.Fatal("async write advanced the clock")
+	}
+	if done == 0 {
+		t.Fatal("async completion instant should be positive")
+	}
+	// Contents are visible immediately (platter write-through).
+	got := make([]byte, 4096)
+	f.RawRead(got, 0, 4096)
+}
+
+func TestOpenAndCreate(t *testing.T) {
+	fsys, _, _, _ := newTestFS(t, Options{})
+	if _, err := fsys.Open("missing"); err == nil {
+		t.Fatal("Open of missing file succeeded")
+	}
+	f := fsys.Create("x")
+	f.WriteAt([]byte("abc"), 0)
+	g, err := fsys.Open("x")
+	if err != nil || g != f {
+		t.Fatal("Open returned wrong file")
+	}
+	// Re-creating truncates.
+	f2 := fsys.Create("x")
+	if f2.Size() != 0 {
+		t.Fatal("Create did not truncate")
+	}
+	buf := make([]byte, 3)
+	f2.ReadAt(buf, 0)
+	if !bytes.Equal(buf, make([]byte, 3)) {
+		t.Fatal("truncated file retained data")
+	}
+}
+
+func TestFramesConserved(t *testing.T) {
+	fsys, _, _, pool := newTestFS(t, Options{})
+	f := fsys.Create("cons")
+	buf := make([]byte, 1)
+	for i := int64(0); i < 20; i++ {
+		f.ReadAt(buf, i*4096)
+	}
+	fsys.DropCaches()
+	if pool.FreeCount() != pool.Total() {
+		t.Fatalf("leaked frames: %d free of %d", pool.FreeCount(), pool.Total())
+	}
+	if err := pool.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistinctFilesDistinctExtents(t *testing.T) {
+	fsys, _, _, _ := newTestFS(t, Options{})
+	a := fsys.Create("a")
+	b := fsys.Create("b")
+	a.WriteAt([]byte("AAAA"), 0)
+	b.WriteAt([]byte("BBBB"), 0)
+	got := make([]byte, 4)
+	a.ReadAt(got, 0)
+	if string(got) != "AAAA" {
+		t.Fatal("file contents aliased")
+	}
+}
+
+func TestStagingHelpers(t *testing.T) {
+	fsys, d, _, _ := newTestFS(t, Options{})
+	f := fsys.Create("staged")
+	data := make([]byte, 8192)
+	rand.New(rand.NewSource(21)).Read(data)
+
+	// Staging writes contents without touching the device.
+	w0 := d.Stats().Writes
+	f.WriteStage(0, data)
+	if d.Stats().Writes != w0 {
+		t.Fatal("WriteStage touched the device")
+	}
+	// Staged contents are readable for free.
+	got := make([]byte, 8192)
+	r0 := d.Stats().Reads
+	f.ReadStaged(0, got)
+	if d.Stats().Reads != r0 {
+		t.Fatal("ReadStaged touched the device")
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("staged round trip mismatch")
+	}
+	// Flushing charges exactly one device write for the region.
+	f.RawWriteStaged(0, 8192)
+	if d.Stats().Writes != w0+1 {
+		t.Fatalf("RawWriteStaged wrote %d ops", d.Stats().Writes-w0)
+	}
+	if d.Stats().BytesWritten != 8192 {
+		t.Fatalf("bytes written = %d", d.Stats().BytesWritten)
+	}
+}

@@ -1,0 +1,230 @@
+// Package machine assembles the simulated computer: clock, frame pool, disk,
+// file system, backing stores, virtual memory, replacement policy and — when
+// enabled — the compression cache. It implements the paging policy that glues
+// the pieces together, which is where the paper's design decisions live:
+// compress-on-eviction with the 4:3 retention threshold, fault service from
+// the cache before the backing store, clustered cleaning, and neighbor
+// prefetch from clustered reads.
+package machine
+
+import (
+	"fmt"
+
+	"compcache/internal/core"
+	"compcache/internal/disk"
+	"compcache/internal/fs"
+	"compcache/internal/netdev"
+	"compcache/internal/policy"
+	"compcache/internal/sim"
+	"compcache/internal/swap"
+)
+
+// CCConfig configures the compression cache.
+type CCConfig struct {
+	// Enabled turns the compression cache on. When false the machine is the
+	// unmodified baseline system: dirty evictions go straight to a direct
+	// (page-per-block) swap file.
+	Enabled bool
+
+	// Codec names the registered compression codec; default "lzrw1".
+	Codec string
+
+	// KeepNum/KeepDen define the retention threshold as a ratio of the page
+	// size: a compressed page is kept only if its size is at most
+	// PageSize*KeepNum/KeepDen. The paper keeps pages that compress better
+	// than 4:3, i.e. to at most 3/4 of the page: KeepNum=3, KeepDen=4.
+	KeepNum, KeepDen int
+
+	// MaxFrames caps the cache's physical size (0 = policy-limited only).
+	MaxFrames int
+
+	// FixedFrames, when positive, reproduces the paper's original
+	// fixed-size compression cache (§4.2's rejected first design): the
+	// cache is pre-grown to exactly this many frames and never shrinks or
+	// grows. Used by the ablation study.
+	FixedFrames int
+
+	// Core carries the low-level cache parameters (headers, clean batch).
+	Core core.Params
+
+	// CleanReserve is the number of free-or-reclaimable frames the cleaner
+	// tries to keep ahead of demand. 0 selects a default proportional to
+	// memory size.
+	CleanReserve int
+
+	// PrefetchNeighbors inserts pages incidentally read by clustered swap
+	// reads into the cache as clean entries (on by default; set
+	// DisablePrefetch to turn off).
+	DisablePrefetch bool
+
+	// MetadataOverhead models the paper's §4.4 memory overhead: ~38 KBytes
+	// of static tables (LZRW1 hash table + code growth) charged at startup,
+	// plus 8 bytes per virtual page charged as segments are created.
+	MetadataOverhead bool
+
+	// FileCache extends the compression cache to evicted file-buffer-cache
+	// blocks, §6's "one might consider ... keep[ing] part or all of the
+	// file buffer cache in compressed format in order to improve the cache
+	// hit rate". Requires Enabled.
+	FileCache bool
+
+	// RefreshOnFault switches the cache from the paper's FIFO entry aging
+	// to LRU-like aging (a fault refreshes the entry's age). See
+	// core.Params.RefreshOnFault for the trade-off.
+	RefreshOnFault bool
+}
+
+// Config describes a simulated machine.
+type Config struct {
+	// PageSize is the VM page size; the paper's DECstations use 4 KBytes.
+	PageSize int
+
+	// MemoryBytes is the physical memory available to user pages (VM pages,
+	// file cache and compression cache combined). The paper runs Figure 3
+	// with ~6 MBytes and Table 1 with ~14 MBytes.
+	MemoryBytes int64
+
+	// Cost is the CPU cost model.
+	Cost sim.CostModel
+
+	// Disk parameterizes the backing-store device.
+	Disk disk.Params
+
+	// Net, when non-nil, replaces the disk with a network page server (the
+	// paper's diskless mobile scenario): all backing-store traffic crosses
+	// the modelled link instead of a local disk.
+	Net *netdev.Params
+
+	// FS configures the file system (block size defaults to PageSize).
+	FS fs.Options
+
+	// Swap configures the clustered backing store used when the compression
+	// cache is enabled.
+	Swap swap.ClusterConfig
+
+	// LFSSwap, when non-nil, replaces the baseline machine's direct
+	// (page-per-block) swap with a log-structured store — the "paging into
+	// Sprite LFS" alternative §5.1 discusses. Ignored when the compression
+	// cache is enabled (the cache brings its own clustered store).
+	LFSSwap *swap.LFSConfig
+
+	// CC configures the compression cache.
+	CC CCConfig
+
+	// Biases configures the three-way memory trade; keys "vm", "fs", "cc".
+	// Defaults to policy.DefaultBiases.
+	Biases map[string]policy.Bias
+
+	// ReserveFrames keeps this many frames free as fault-path headroom;
+	// 0 selects a small default.
+	ReserveFrames int
+}
+
+// Default returns the paper's baseline configuration: a DECstation-class
+// cost model, an RZ57 disk, 4-KByte pages and the given user memory, with
+// the compression cache disabled.
+func Default(memoryBytes int64) Config {
+	return Config{
+		PageSize:    4096,
+		MemoryBytes: memoryBytes,
+		Cost:        sim.DefaultCostModel(),
+		Disk:        disk.RZ57(),
+	}
+}
+
+// WithNetwork returns a copy of the configuration paging over the given
+// network instead of a local disk.
+func (c Config) WithNetwork(p netdev.Params) Config {
+	c.Net = &p
+	return c
+}
+
+// WithLFS returns a copy of the configuration whose baseline machine pages
+// into a log-structured backing store.
+func (c Config) WithLFS(cfg swap.LFSConfig) Config {
+	c.LFSSwap = &cfg
+	return c
+}
+
+// WithCC returns a copy of the configuration with the compression cache
+// enabled using the paper's parameters (LZRW1, 4:3 threshold, 1-KByte
+// fragments, 32-KByte clusters).
+func (c Config) WithCC() Config {
+	c.CC.Enabled = true
+	return c
+}
+
+func (c *Config) setDefaults() error {
+	if c.PageSize == 0 {
+		c.PageSize = 4096
+	}
+	if c.PageSize <= 0 || c.PageSize%512 != 0 {
+		return fmt.Errorf("machine: bad page size %d", c.PageSize)
+	}
+	if c.MemoryBytes < int64(c.PageSize)*8 {
+		return fmt.Errorf("machine: memory %d bytes is too small (need at least 8 pages)", c.MemoryBytes)
+	}
+	if c.Cost == (sim.CostModel{}) {
+		c.Cost = sim.DefaultCostModel()
+	}
+	if c.Disk.BytesPerSec == 0 {
+		c.Disk = disk.RZ57()
+	}
+	if c.FS.BlockSize == 0 {
+		c.FS.BlockSize = c.PageSize
+	}
+	if c.Swap.PageSize == 0 {
+		c.Swap.PageSize = c.PageSize
+	}
+	if c.CC.Codec == "" {
+		c.CC.Codec = "lzrw1"
+	}
+	if c.CC.KeepNum == 0 || c.CC.KeepDen == 0 {
+		c.CC.KeepNum, c.CC.KeepDen = 3, 4
+	}
+	if c.CC.KeepNum < 0 || c.CC.KeepDen <= 0 || c.CC.KeepNum > c.CC.KeepDen {
+		return fmt.Errorf("machine: bad retention threshold %d/%d", c.CC.KeepNum, c.CC.KeepDen)
+	}
+	if c.CC.Core == (core.Params{}) {
+		c.CC.Core = core.DefaultParams()
+	}
+	if c.CC.FileCache {
+		if !c.CC.Enabled {
+			return fmt.Errorf("machine: CC.FileCache requires CC.Enabled")
+		}
+		if c.FS.BlockSize != c.PageSize {
+			return fmt.Errorf("machine: CC.FileCache needs BlockSize == PageSize (got %d vs %d)",
+				c.FS.BlockSize, c.PageSize)
+		}
+	}
+	c.CC.Core.MaxFrames = c.CC.MaxFrames
+	if c.CC.RefreshOnFault {
+		c.CC.Core.RefreshOnFault = true
+	}
+	if c.CC.FixedFrames > 0 {
+		c.CC.Core.MaxFrames = c.CC.FixedFrames
+		c.CC.Core.MinFrames = c.CC.FixedFrames
+	}
+	frames := int(c.MemoryBytes / int64(c.PageSize))
+	if c.CC.CleanReserve == 0 {
+		c.CC.CleanReserve = max(4, frames/64)
+	}
+	if c.ReserveFrames == 0 {
+		c.ReserveFrames = max(2, frames/256)
+	}
+	if c.Biases == nil {
+		c.Biases = policy.DefaultBiases()
+	}
+	return nil
+}
+
+// keepThreshold is the largest compressed size retained, in bytes.
+func (c *Config) keepThreshold() int {
+	return c.PageSize * c.CC.KeepNum / c.CC.KeepDen
+}
+
+// staticOverheadBytes is the §4.4 fixed metadata cost.
+const staticOverheadBytes = 16*1024 + 22*1024 // LZRW1 hash table + code size delta
+
+// perPageOverheadBytes is the §4.4 page-table extension per virtual page.
+const perPageOverheadBytes = 8

@@ -1,0 +1,627 @@
+package machine
+
+import (
+	"fmt"
+	"time"
+
+	"compcache/internal/compress"
+	"compcache/internal/core"
+	"compcache/internal/disk"
+	"compcache/internal/fs"
+	"compcache/internal/mem"
+	"compcache/internal/netdev"
+	"compcache/internal/policy"
+	"compcache/internal/sim"
+	"compcache/internal/stats"
+	"compcache/internal/swap"
+	"compcache/internal/vm"
+)
+
+// Machine is a simulated computer. All subsystems share one virtual clock;
+// running a workload against the machine produces deterministic virtual-time
+// measurements.
+type Machine struct {
+	cfg Config
+
+	Clock *sim.Clock
+	Pool  *mem.Pool
+	// Device is the backing hardware (a *disk.Disk unless the configuration
+	// selects a network page server).
+	Device fs.Device
+	Disk   *disk.Disk // non-nil only for disk-backed machines
+	FS     *fs.FS
+	VM     *vm.VM
+	CC     *core.Cache // nil when the compression cache is disabled
+
+	direct    rawStore        // baseline backing store (direct or LFS)
+	clustered *swap.Clustered // compressed backing store
+	alloc     *policy.Allocator
+	codec     compress.Codec
+
+	segByID     map[int32]*vm.Segment
+	segCodec    map[int32]compress.Codec // per-segment override (§3)
+	comp        stats.Compression
+	start       sim.Time
+	startFrozen bool
+}
+
+// New builds a machine from the configuration.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:      cfg,
+		Clock:    &sim.Clock{},
+		segByID:  make(map[int32]*vm.Segment),
+		segCodec: make(map[int32]compress.Codec),
+	}
+
+	frames := int(cfg.MemoryBytes / int64(cfg.PageSize))
+	m.Pool = mem.NewPool(frames, cfg.PageSize)
+
+	var err error
+	if cfg.Net != nil {
+		m.Device, err = netdev.New(*cfg.Net, m.Clock)
+	} else {
+		m.Disk, err = disk.New(cfg.Disk, m.Clock)
+		m.Device = m.Disk
+	}
+	if err != nil {
+		return nil, err
+	}
+	m.FS, err = fs.New(cfg.FS, m.Device, m.Clock, m.Pool)
+	if err != nil {
+		return nil, err
+	}
+	m.VM = vm.New(m.Clock, m.Pool, cfg.Cost)
+	m.VM.SetPager(m)
+
+	m.alloc = policy.NewAllocator(m.Pool, m.Clock)
+	m.alloc.Reserve = cfg.ReserveFrames
+	bias := func(name string) policy.Bias {
+		if b, ok := cfg.Biases[name]; ok {
+			return b
+		}
+		return policy.Neutral
+	}
+	m.alloc.Register(m.FS, bias("fs"))
+	m.alloc.Register(m.VM, bias("vm"))
+
+	if cfg.CC.Enabled {
+		m.codec, err = compress.Lookup(cfg.CC.Codec)
+		if err != nil {
+			return nil, err
+		}
+		m.CC = core.New(cfg.CC.Core, m.Clock, m.Pool)
+		m.CC.SetHooks(m.flushEntries, m.entryDropped)
+		m.alloc.Register(ccConsumer{m.CC}, bias("cc"))
+		m.clustered, err = swap.NewClustered(cfg.Swap, m.FS)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.CC.FixedFrames > 0 {
+			m.CC.Prefill(cfg.CC.FixedFrames)
+		}
+		if cfg.CC.FileCache {
+			m.FS.SetCompressedBlockCache(fsBlockCache{m})
+		}
+		if cfg.CC.MetadataOverhead {
+			m.reserveKernelBytes(staticOverheadBytes)
+		}
+	} else if cfg.LFSSwap != nil {
+		lfsCfg := *cfg.LFSSwap
+		if lfsCfg.PageSize == 0 {
+			lfsCfg.PageSize = cfg.PageSize
+		}
+		m.direct, err = swap.NewLFS(lfsCfg, m.FS, m.Pool)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		m.direct, err = swap.NewDirect(m.FS, cfg.PageSize)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	m.VM.SetFrameSource(m.allocFrame)
+	m.FS.SetFrameSource(m.allocFrame)
+	return m, nil
+}
+
+// rawStore is the baseline machine's backing store: whole uncompressed
+// pages in, whole pages out. *swap.Direct implements it (the unmodified
+// Sprite arrangement); *swap.LFS implements it for the §5.1 log-structured
+// alternative.
+type rawStore interface {
+	Write(key swap.PageKey, data []byte)
+	Read(key swap.PageKey, buf []byte) bool
+	Has(key swap.PageKey) bool
+	Invalidate(key swap.PageKey)
+	Stats() stats.Swap
+}
+
+// ccConsumer adapts the compression cache to the policy interface with its
+// registry name.
+type ccConsumer struct{ *core.Cache }
+
+func (ccConsumer) Name() string { return "cc" }
+
+// Config returns the machine's (defaulted) configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Elapsed reports the virtual time since the machine was created or since
+// the last ResetClockBase call.
+func (m *Machine) Elapsed() time.Duration { return time.Duration(m.Clock.Now() - m.start) }
+
+// MarkStart makes subsequent Elapsed() calls measure from now; workloads use
+// it to exclude their setup phase if desired. Under FreezeStart it is a
+// no-op.
+func (m *Machine) MarkStart() {
+	if m.startFrozen {
+		return
+	}
+	m.start = m.Clock.Now()
+}
+
+// FreezeStart pins the Elapsed() origin at the current instant and makes
+// later MarkStart calls no-ops. The multiprogramming runner uses it so that
+// member workloads' own MarkStart calls cannot reset the shared clock
+// origin.
+func (m *Machine) FreezeStart() {
+	m.start = m.Clock.Now()
+	m.startFrozen = true
+}
+
+// Drain waits for all queued asynchronous backing-store writes to finish,
+// so that end-of-run timings include background cleaning.
+func (m *Machine) Drain() { m.Device.Drain() }
+
+// EvictAll pushes every resident page out of memory, empties the compression
+// cache to the backing store, and drops the file cache. It models a freshly
+// (re)started process whose address space lives entirely on the backing
+// store — the setup for the gold "cold" benchmark.
+func (m *Machine) EvictAll() {
+	for m.VM.ReleaseOldest() {
+	}
+	if m.CC != nil {
+		for m.CC.ReleaseOldest() {
+		}
+	}
+	m.FS.DropCaches()
+	m.Drain()
+}
+
+// NewSegmentCodec creates a segment whose pages are compressed with a
+// specific codec instead of the machine default — §3's requirement that the
+// design "allow different compression algorithms to be used for different
+// types of data, in order to get the best compression rates and/or
+// throughput".
+func (m *Machine) NewSegmentCodec(name string, bytes int64, codec string) (*Space, error) {
+	c, err := compress.Lookup(codec)
+	if err != nil {
+		return nil, err
+	}
+	sp := m.NewSegment(name, bytes)
+	m.segCodec[sp.seg.ID] = c
+	return sp, nil
+}
+
+// codecFor returns the codec for a segment's pages.
+func (m *Machine) codecFor(seg int32) compress.Codec {
+	if c, ok := m.segCodec[seg]; ok {
+		return c
+	}
+	return m.codec
+}
+
+// NewSegment creates a virtual-memory segment of at least `bytes` bytes and
+// returns an address space handle for it.
+func (m *Machine) NewSegment(name string, bytes int64) *Space {
+	if bytes <= 0 {
+		panic("machine: segment size must be positive")
+	}
+	npages := int32((bytes + int64(m.cfg.PageSize) - 1) / int64(m.cfg.PageSize))
+	seg := m.VM.NewSegment(name, npages)
+	m.segByID[seg.ID] = seg
+	if m.cfg.CC.Enabled && m.cfg.CC.MetadataOverhead {
+		m.reserveKernelBytes(int(npages) * perPageOverheadBytes)
+	}
+	return &Space{m: m, seg: seg}
+}
+
+// reserveKernelBytes pins whole frames to model kernel metadata overhead.
+func (m *Machine) reserveKernelBytes(bytes int) {
+	frames := (bytes + m.cfg.PageSize - 1) / m.cfg.PageSize
+	for i := 0; i < frames; i++ {
+		if _, ok := m.Pool.Alloc(mem.Kernel); !ok {
+			panic("machine: not enough memory for kernel metadata")
+		}
+	}
+}
+
+// allocFrame is the policy-arbitrated frame source shared by the VM fault
+// path and the file cache.
+func (m *Machine) allocFrame(owner mem.Owner) mem.FrameID {
+	id := m.alloc.AllocFrame(owner)
+	m.maybeClean()
+	return id
+}
+
+// maybeClean runs the background cleaner: if the stock of immediately
+// usable frames (free plus clean-reclaimable) is below the reserve, write
+// out the oldest dirty compressed data in clustered batches. The write is
+// asynchronous; its cost appears as device busy time that later synchronous
+// reads queue behind, exactly how the paper's cleaner thread overlaps with
+// computation.
+func (m *Machine) maybeClean() {
+	if m.CC == nil {
+		return
+	}
+	guard := 8 // bound cleaning work per trigger
+	for m.Pool.FreeCount()+m.CC.ReclaimableFrames() < m.cfg.CC.CleanReserve && guard > 0 {
+		if m.CC.Clean() == 0 {
+			return
+		}
+		guard--
+	}
+}
+
+// Stats assembles the full statistics block.
+func (m *Machine) Stats() stats.Run {
+	r := stats.Run{
+		VM:   m.VM.Stats(),
+		Comp: m.comp,
+		Disk: m.Device.Stats(),
+		Time: m.Elapsed(),
+	}
+	if m.CC != nil {
+		r.CC = m.CC.Stats()
+	}
+	if m.clustered != nil {
+		r.Swap = m.clustered.Stats()
+	} else if m.direct != nil {
+		r.Swap = m.direct.Stats()
+	}
+	return r
+}
+
+// ---------------------------------------------------------------------------
+// vm.Pager implementation: the paging policy of §4.1.
+
+// PageOut handles a page leaving uncompressed memory.
+func (m *Machine) PageOut(p *vm.Page, data []byte) {
+	if m.CC == nil {
+		// Baseline system: dirty pages go to the direct swap file; clean
+		// pages with a valid backing copy are simply discarded.
+		if p.Dirty {
+			m.direct.Write(p.Key, data)
+			p.Dirty = false
+			p.SwapValid = true
+		}
+		p.State = vm.Swapped
+		return
+	}
+
+	// Fast path: the page was faulted out of the cache and never modified,
+	// so its compressed copy is still valid — re-entering the cache is just
+	// a page-table update, no compression (§4.1's retained compressed
+	// copies; this is what keeps read-mostly working sets cheap).
+	if !p.Dirty && m.CC.Has(p.Key) {
+		p.State = vm.Compressed
+		return
+	}
+
+	// Compression cache path: compress the page and decide its fate.
+	m.Clock.Advance(m.cfg.Cost.CompressCost(len(data)))
+	m.comp.Compressions++
+	m.comp.BytesIn += uint64(len(data))
+	cdata := m.codecFor(p.Key.Seg).Compress(nil, data)
+	m.comp.BytesOut += uint64(len(cdata))
+
+	if len(cdata) <= m.cfg.keepThreshold() {
+		m.comp.CompressibleIn += uint64(len(data))
+		m.comp.CompressibleOut += uint64(len(cdata))
+		if m.CC.Insert(p.Key, cdata, p.Dirty) {
+			p.State = vm.Compressed
+			p.Dirty = false // dirtiness now tracked by the cache entry
+			m.maybeClean()
+			return
+		}
+		// The cache could not grow; send the compressed page to the backing
+		// store directly, still benefiting from the reduced transfer size.
+		if p.Dirty || !p.SwapValid {
+			m.clustered.WriteCluster([]swap.Item{{Key: p.Key, Data: cdata, Compressed: true}}, true)
+			p.SwapValid = true
+		}
+		p.Dirty = false
+		p.State = vm.Swapped
+		return
+	}
+
+	// Below the 4:3 threshold: the compression effort was wasted (§5.2) and
+	// the page travels uncompressed.
+	m.comp.Incompressible++
+	if p.Dirty || !p.SwapValid {
+		raw := append([]byte(nil), data...)
+		m.clustered.WriteCluster([]swap.Item{{Key: p.Key, Data: raw, Compressed: false}}, true)
+		p.SwapValid = true
+	}
+	p.Dirty = false
+	p.State = vm.Swapped
+}
+
+// PageIn services a fault for a page whose contents are compressed in
+// memory or on the backing store.
+func (m *Machine) PageIn(p *vm.Page, data []byte) vm.Source {
+	if m.CC != nil {
+		if cdata, entryDirty, ok := m.CC.Fault(p.Key); ok {
+			m.decompressInto(data, cdata, p.Key)
+			// The entry is retained and backs the resident copy, so the
+			// page itself is clean; SwapValid tracks whether the entry has
+			// been persisted. Modifying the page invalidates the entry (see
+			// Dirtied).
+			p.Dirty = false
+			p.SwapValid = !entryDirty
+			return vm.SrcCC
+		}
+	}
+	if m.CC == nil {
+		if !m.direct.Read(p.Key, data) {
+			panic(fmt.Sprintf("machine: page %v in state %v has no backing copy", p.Key, p.State))
+		}
+		m.Clock.Advance(m.cfg.Cost.PageCopy)
+		p.Dirty = false
+		p.SwapValid = true
+		return vm.SrcSwap
+	}
+
+	payload, compressed, neighbors, ok := m.clustered.Read(p.Key)
+	if !ok {
+		panic(fmt.Sprintf("machine: page %v in state %v has no backing copy", p.Key, p.State))
+	}
+	if compressed {
+		m.decompressInto(data, payload, p.Key)
+	} else {
+		m.Clock.Advance(m.cfg.Cost.PageCopy)
+		copy(data, payload)
+	}
+	p.Dirty = false
+	p.SwapValid = true
+
+	if !m.cfg.CC.DisablePrefetch {
+		m.insertNeighbors(neighbors)
+	}
+	return vm.SrcSwap
+}
+
+// insertNeighbors caches pages that came along for free with a clustered
+// read ("multiple pages can be obtained with a single read from the backing
+// store", §5.1). Only compressed, currently swapped-out pages are inserted,
+// and only when the cache can take them without stealing memory.
+func (m *Machine) insertNeighbors(neighbors []swap.Neighbor) {
+	for _, n := range neighbors {
+		if !n.Compressed {
+			continue
+		}
+		seg := m.segByID[n.Key.Seg]
+		if seg == nil {
+			continue
+		}
+		p := seg.Page(n.Key.Page)
+		if p.State != vm.Swapped || m.CC.Has(n.Key) {
+			continue
+		}
+		cdata := append([]byte(nil), n.Data...)
+		m.Clock.Advance(m.cfg.Cost.PageCopy / 4) // short memcpy of compressed bytes
+		if !m.CC.Insert(n.Key, cdata, false) {
+			// No free frame: this is how the paper's swap reads behave —
+			// they land in the compression cache, displacing the oldest
+			// memory by the usual age comparison. Make room and retry once.
+			if !m.alloc.FreeOne() || !m.CC.Insert(n.Key, cdata, false) {
+				continue
+			}
+		}
+		p.State = vm.Compressed
+	}
+}
+
+// Dirtied invalidates stale lower-level copies when a clean resident page is
+// first modified: the retained compression-cache entry and the backing-store
+// copy both go stale at that moment.
+func (m *Machine) Dirtied(p *vm.Page) {
+	if m.CC != nil {
+		m.CC.Drop(p.Key)
+	}
+	if m.clustered != nil {
+		m.clustered.Invalidate(p.Key)
+	}
+	if m.direct != nil {
+		m.direct.Invalidate(p.Key)
+	}
+}
+
+// flushEntries is the cleaner's flush hook: persist dirty cache entries with
+// one clustered asynchronous write.
+func (m *Machine) flushEntries(items []swap.Item) {
+	m.clustered.WriteCluster(items, true)
+}
+
+// ---------------------------------------------------------------------------
+// fs.CompressedBlockCache implementation: §6's compressed file cache.
+// File blocks share the compression cache with VM pages under synthetic
+// negative segment IDs, so one pool of compressed memory serves both, with
+// the usual aging and reclamation.
+
+// fsBlockCache adapts the compression cache to the file system.
+type fsBlockCache struct{ m *Machine }
+
+// fsBlockKey maps a (file, block) pair into the page-key namespace; file
+// cache entries use negative segment IDs, which no VM segment ever has.
+func fsBlockKey(fileID int32, block int64) swap.PageKey {
+	return swap.PageKey{Seg: -1 - fileID, Page: int32(block)}
+}
+
+// Store implements fs.CompressedBlockCache.
+func (f fsBlockCache) Store(fileID int32, block int64, data []byte) bool {
+	m := f.m
+	key := fsBlockKey(fileID, block)
+	if m.CC.Has(key) {
+		return true // still-valid compressed copy from an earlier eviction
+	}
+	m.Clock.Advance(m.cfg.Cost.CompressCost(len(data)))
+	m.comp.Compressions++
+	m.comp.BytesIn += uint64(len(data))
+	cdata := m.codec.Compress(nil, data)
+	m.comp.BytesOut += uint64(len(cdata))
+	if len(cdata) > m.cfg.keepThreshold() {
+		m.comp.Incompressible++
+		return false
+	}
+	m.comp.CompressibleIn += uint64(len(data))
+	m.comp.CompressibleOut += uint64(len(cdata))
+	// File blocks are always clean here (written back before Store), so the
+	// entry can be dropped at any time without I/O.
+	return m.CC.Insert(key, cdata, false)
+}
+
+// Load implements fs.CompressedBlockCache.
+func (f fsBlockCache) Load(fileID int32, block int64, data []byte) bool {
+	m := f.m
+	cdata, _, ok := m.CC.Fault(fsBlockKey(fileID, block))
+	if !ok {
+		return false
+	}
+	m.decompressInto(data, cdata, fsBlockKey(fileID, block))
+	return true
+}
+
+// Invalidate implements fs.CompressedBlockCache.
+func (f fsBlockCache) Invalidate(fileID int32, block int64) {
+	f.m.CC.Drop(fsBlockKey(fileID, block))
+}
+
+// entryDropped is called when frame reclamation discards a live clean entry.
+// If the page lived in the cache it now lives only on the backing store; if
+// it is resident (the entry was a retained copy of an unmodified page), the
+// backing store still holds the same contents.
+func (m *Machine) entryDropped(key swap.PageKey) {
+	seg := m.segByID[key.Seg]
+	if seg == nil {
+		return
+	}
+	p := seg.Page(key.Page)
+	switch p.State {
+	case vm.Compressed:
+		p.State = vm.Swapped
+		p.SwapValid = true
+		p.Dirty = false
+	case vm.Resident:
+		// Reclaim only drops clean entries, so the backing store has the
+		// contents.
+		p.SwapValid = true
+	}
+}
+
+// decompressInto decompresses cdata into the page buffer data, charging the
+// cost model, and panics on corruption (which would be a simulator bug: the
+// cache stores only blocks it produced).
+func (m *Machine) decompressInto(data, cdata []byte, key swap.PageKey) {
+	m.Clock.Advance(m.cfg.Cost.DecompressCost(len(data)))
+	m.comp.Decompressions++
+	out, err := m.codecFor(key.Seg).Decompress(data[:0], cdata)
+	if err != nil {
+		panic(fmt.Sprintf("machine: corrupt compressed page %v: %v", key, err))
+	}
+	if len(out) != len(data) {
+		panic(fmt.Sprintf("machine: page %v decompressed to %d bytes, want %d", key, len(out), len(data)))
+	}
+}
+
+// CheckInvariants validates cross-subsystem invariants; tests call it after
+// stressing a machine.
+func (m *Machine) CheckInvariants() error {
+	if err := m.Pool.CheckConservation(); err != nil {
+		return err
+	}
+	if err := m.VM.CheckLRU(); err != nil {
+		return err
+	}
+	if m.CC != nil {
+		if err := m.CC.CheckConsistency(); err != nil {
+			return err
+		}
+	}
+	if m.clustered != nil {
+		if err := m.clustered.CheckConsistency(); err != nil {
+			return err
+		}
+	}
+	// Every page's state must agree with the subsystem actually holding it.
+	for _, seg := range m.VM.Segments() {
+		for i := int32(0); i < seg.NPages; i++ {
+			p := seg.Page(i)
+			switch p.State {
+			case vm.Compressed:
+				if m.CC == nil || !m.CC.Has(p.Key) {
+					return fmt.Errorf("machine: page %v marked compressed but absent from cache", p.Key)
+				}
+			case vm.Swapped:
+				hasBacking := (m.direct != nil && m.direct.Has(p.Key)) ||
+					(m.clustered != nil && m.clustered.Has(p.Key))
+				if !hasBacking {
+					return fmt.Errorf("machine: page %v marked swapped but absent from backing store", p.Key)
+				}
+			case vm.Resident:
+				if p.Frame == mem.NoFrame {
+					return fmt.Errorf("machine: resident page %v has no frame", p.Key)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Space: the workload-facing address-space handle.
+
+// Space is a byte-addressable view of one segment. Workloads allocate their
+// data structures inside spaces so every access goes through the simulated
+// VM system.
+type Space struct {
+	m   *Machine
+	seg *vm.Segment
+}
+
+// Machine returns the owning machine.
+func (s *Space) Machine() *Machine { return s.m }
+
+// Size reports the segment size in bytes.
+func (s *Space) Size() int64 { return s.seg.Size(s.m.cfg.PageSize) }
+
+// Pages reports the segment size in pages.
+func (s *Space) Pages() int32 { return s.seg.NPages }
+
+// Touch references one word on page n (reading or writing), the primitive
+// the thrasher workload uses.
+func (s *Space) Touch(page int32, write bool) { s.m.VM.Touch(s.seg, page, write) }
+
+// Pin faults page n in (if needed) and exempts it from eviction — the §3
+// advisory for applications that know LRU will behave poorly.
+func (s *Space) Pin(page int32) { s.m.VM.Pin(s.seg, page) }
+
+// Unpin makes page n evictable again.
+func (s *Space) Unpin(page int32) { s.m.VM.Unpin(s.seg, page) }
+
+// Read copies from the space into buf.
+func (s *Space) Read(off int64, buf []byte) { s.m.VM.Read(s.seg, off, buf) }
+
+// Write copies data into the space.
+func (s *Space) Write(off int64, data []byte) { s.m.VM.Write(s.seg, off, data) }
+
+// ReadWord reads the 8-byte word at off.
+func (s *Space) ReadWord(off int64) uint64 { return s.m.VM.ReadWord(s.seg, off) }
+
+// WriteWord writes the 8-byte word at off.
+func (s *Space) WriteWord(off int64, val uint64) { s.m.VM.WriteWord(s.seg, off, val) }

@@ -1,0 +1,180 @@
+// Package mem manages the simulated machine's physical page frames.
+//
+// A frame is a real []byte of one page; frames are owned at any instant by
+// exactly one consumer — the VM system (an uncompressed resident page), the
+// compression cache, the file system's buffer cache — or they are free. The
+// pool enforces conservation: frames never appear or disappear, which is one
+// of the property-tested invariants of the simulation (the three-way memory
+// trade of §4.2 of the paper only makes sense if the three consumers compete
+// for a fixed stock).
+package mem
+
+import "fmt"
+
+// FrameID names a physical page frame. NoFrame is the zero of the type and
+// never names a real frame.
+type FrameID int32
+
+// NoFrame is the sentinel "no frame" value.
+const NoFrame FrameID = -1
+
+// Owner identifies which subsystem holds a frame.
+type Owner int8
+
+// Frame owners.
+const (
+	Free   Owner = iota // on the free list
+	VM                  // holds an uncompressed resident virtual-memory page
+	CC                  // mapped into the compression cache
+	FS                  // holds a file-system buffer-cache block
+	Kernel              // pinned kernel metadata (page tables, CC headers)
+	numOwners
+)
+
+// String returns the owner name.
+func (o Owner) String() string {
+	switch o {
+	case Free:
+		return "free"
+	case VM:
+		return "vm"
+	case CC:
+		return "cc"
+	case FS:
+		return "fs"
+	case Kernel:
+		return "kernel"
+	default:
+		return fmt.Sprintf("owner(%d)", int(o))
+	}
+}
+
+// Pool is the fixed stock of physical page frames.
+type Pool struct {
+	pageSize int
+	data     []byte // one backing array, sliced per frame
+	owner    []Owner
+	free     []FrameID
+	counts   [numOwners]int
+}
+
+// NewPool creates a pool of n frames of pageSize bytes each.
+func NewPool(n, pageSize int) *Pool {
+	if n <= 0 || pageSize <= 0 {
+		panic(fmt.Sprintf("mem: invalid pool geometry %d x %d", n, pageSize))
+	}
+	p := &Pool{
+		pageSize: pageSize,
+		data:     make([]byte, n*pageSize),
+		owner:    make([]Owner, n),
+		free:     make([]FrameID, 0, n),
+	}
+	// Push in reverse so frame 0 is handed out first; allocation order is
+	// deterministic, which keeps runs reproducible.
+	for i := n - 1; i >= 0; i-- {
+		p.free = append(p.free, FrameID(i))
+	}
+	p.counts[Free] = n
+	return p
+}
+
+// PageSize reports the frame size in bytes.
+func (p *Pool) PageSize() int { return p.pageSize }
+
+// Total reports the number of frames in the pool.
+func (p *Pool) Total() int { return len(p.owner) }
+
+// FreeCount reports the number of free frames.
+func (p *Pool) FreeCount() int { return p.counts[Free] }
+
+// OwnedBy reports how many frames o currently holds.
+func (p *Pool) OwnedBy(o Owner) int { return p.counts[o] }
+
+// Alloc takes a free frame for owner o. It reports ok=false when the pool is
+// exhausted; the caller must then reclaim a frame through the replacement
+// policy. The frame's contents are NOT zeroed: like real page frames they
+// hold whatever the previous owner left, and callers that need zero-fill
+// (fresh VM pages) must clear them.
+func (p *Pool) Alloc(o Owner) (FrameID, bool) {
+	if o == Free || o >= numOwners {
+		panic(fmt.Sprintf("mem: Alloc for invalid owner %v", o))
+	}
+	if len(p.free) == 0 {
+		return NoFrame, false
+	}
+	id := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	p.owner[id] = o
+	p.counts[Free]--
+	p.counts[o]++
+	return id, true
+}
+
+// Release returns a frame to the free list.
+func (p *Pool) Release(id FrameID) {
+	o := p.ownerOf(id)
+	if o == Free {
+		panic(fmt.Sprintf("mem: double release of frame %d", id))
+	}
+	p.counts[o]--
+	p.counts[Free]++
+	p.owner[id] = Free
+	p.free = append(p.free, id)
+}
+
+// Transfer reassigns a frame from its current owner to o without it passing
+// through the free list. The eviction path uses this when a frame moves
+// between the VM system and the compression cache in one step.
+func (p *Pool) Transfer(id FrameID, o Owner) {
+	if o == Free || o >= numOwners {
+		panic(fmt.Sprintf("mem: Transfer to invalid owner %v", o))
+	}
+	cur := p.ownerOf(id)
+	if cur == Free {
+		panic(fmt.Sprintf("mem: Transfer of free frame %d", id))
+	}
+	p.counts[cur]--
+	p.counts[o]++
+	p.owner[id] = o
+}
+
+// Owner reports the current owner of a frame.
+func (p *Pool) Owner(id FrameID) Owner { return p.ownerOf(id) }
+
+// Bytes returns the frame's backing bytes (always pageSize long).
+func (p *Pool) Bytes(id FrameID) []byte {
+	p.ownerOf(id) // bounds check
+	off := int(id) * p.pageSize
+	return p.data[off : off+p.pageSize : off+p.pageSize]
+}
+
+// CheckConservation verifies that ownership counts are consistent with the
+// per-frame table and sum to the pool size. Tests call it after stressing
+// the policy machinery.
+func (p *Pool) CheckConservation() error {
+	var counts [numOwners]int
+	for _, o := range p.owner {
+		counts[o]++
+	}
+	if counts != p.counts {
+		return fmt.Errorf("mem: ownership counts drifted: table %v, counters %v", counts, p.counts)
+	}
+	sum := 0
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != len(p.owner) {
+		return fmt.Errorf("mem: frame count drifted: %d != %d", sum, len(p.owner))
+	}
+	if counts[Free] != len(p.free) {
+		return fmt.Errorf("mem: free list length %d != free count %d", len(p.free), counts[Free])
+	}
+	return nil
+}
+
+func (p *Pool) ownerOf(id FrameID) Owner {
+	if id < 0 || int(id) >= len(p.owner) {
+		panic(fmt.Sprintf("mem: bad frame id %d (pool has %d frames)", id, len(p.owner)))
+	}
+	return p.owner[id]
+}

@@ -1,0 +1,205 @@
+// Package model contains the closed-form analysis behind Figure 1 of the
+// paper, which plots the benefit of compressed paging "modeled analytically"
+// as a function of two variables:
+//
+//	r — the compression ratio, expressed as the paper expresses it: the
+//	    fraction of bytes left after compression (0 < r ≤ 1, smaller is
+//	    better; 0.25 means pages compress 4:1);
+//	s — the speed of compression relative to I/O (compression bandwidth
+//	    divided by backing-store bandwidth).
+//
+// Decompression is assumed twice as fast as compression, "as is roughly the
+// case for algorithms such as LZRW1". All times are measured in units of one
+// uncompressed page transfer to the backing store.
+//
+// Figure 1(a) models transferring compressed pages to and from the backing
+// store; Figure 1(b) models keeping compressed pages in memory for an
+// application that sequentially cycles through twice as many pages as fit in
+// memory, reading and writing one word on each page, where the speedup leaps
+// when everything fits compressed (r ≤ M/W = 0.5) and is then linear in s.
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params adjusts the model's fixed assumptions.
+type Params struct {
+	// DecompressFactor is how much faster decompression is than
+	// compression; the paper (and LZRW1) use 2.
+	DecompressFactor float64
+
+	// WorkingSetFactor is W/M for Figure 1(b): the application touches
+	// WorkingSetFactor times as many pages as fit in memory; the paper
+	// uses 2.
+	WorkingSetFactor float64
+
+	// Overhead is fixed per-fault software overhead in page-transfer units
+	// (small; 0 reproduces the idealized figure).
+	Overhead float64
+}
+
+// Default returns the paper's assumptions.
+func Default() Params {
+	return Params{DecompressFactor: 2, WorkingSetFactor: 2}
+}
+
+func (p Params) check(r, s float64) error {
+	if r <= 0 || r > 1 {
+		return fmt.Errorf("model: compression ratio %g out of (0,1]", r)
+	}
+	if s <= 0 {
+		return fmt.Errorf("model: relative compression speed %g must be positive", s)
+	}
+	return nil
+}
+
+// compressTime is the time to compress one page, in transfer units.
+func (p Params) compressTime(s float64) float64 { return 1 / s }
+
+// decompressTime is the time to decompress one page.
+func (p Params) decompressTime(s float64) float64 {
+	d := p.DecompressFactor
+	if d <= 0 {
+		d = 2
+	}
+	return 1 / (s * d)
+}
+
+// BandwidthWriteSpeedup is the Figure 1(a) speedup for the pageout path:
+// compress, then transfer r of a page, versus transferring the whole page.
+func (p Params) BandwidthWriteSpeedup(r, s float64) float64 {
+	if err := p.check(r, s); err != nil {
+		panic(err)
+	}
+	return (1 + p.Overhead) / (p.compressTime(s) + r + p.Overhead)
+}
+
+// BandwidthReadSpeedup is the Figure 1(a) speedup for the pagein path:
+// transfer r of a page, then decompress.
+func (p Params) BandwidthReadSpeedup(r, s float64) float64 {
+	if err := p.check(r, s); err != nil {
+		panic(err)
+	}
+	return (1 + p.Overhead) / (r + p.decompressTime(s) + p.Overhead)
+}
+
+// BandwidthSpeedup is Figure 1(a)'s combined speedup for a balanced
+// pageout+pagein cycle.
+func (p Params) BandwidthSpeedup(r, s float64) float64 {
+	if err := p.check(r, s); err != nil {
+		panic(err)
+	}
+	std := 2 * (1 + p.Overhead)
+	comp := p.compressTime(s) + p.decompressTime(s) + 2*r + 2*p.Overhead
+	return std / comp
+}
+
+// ReferenceSpeedup is Figure 1(b): the speedup of mean memory-reference time
+// when compressed pages are retained in memory, for the cyclic-sequential
+// read/write workload with W = WorkingSetFactor*M.
+//
+// Derivation: with LRU and a cyclic sweep longer than memory, the baseline
+// faults on every page, paying one page write (the dirty victim) and one
+// page read per access: cost_std = 2 + overhead. With the compression cache
+// holding C compressed pages in essentially all of memory, C = M/r, and a
+// fault hits the cache with probability min(1, C/W); a hit costs one
+// compression (victim) plus one decompression; a miss additionally moves 2r
+// of a page to and from the backing store (compressed transfers).
+func (p Params) ReferenceSpeedup(r, s float64) float64 {
+	if err := p.check(r, s); err != nil {
+		panic(err)
+	}
+	w := p.WorkingSetFactor
+	if w <= 1 {
+		w = 2
+	}
+	hit := 1 / (r * w) // = (M/r)/W
+	if hit > 1 {
+		hit = 1
+	}
+	std := 2 + p.Overhead
+	comp := p.compressTime(s) + p.decompressTime(s) + p.Overhead + (1-hit)*2*r
+	return std / comp
+}
+
+// ReadOnlyReferenceSpeedup is the read-only variant (no victim writes): the
+// baseline pays one page read per access; the cache pays one decompression
+// plus, on a miss, a compressed read. Clean victims are dropped free in both
+// systems.
+func (p Params) ReadOnlyReferenceSpeedup(r, s float64) float64 {
+	if err := p.check(r, s); err != nil {
+		panic(err)
+	}
+	w := p.WorkingSetFactor
+	if w <= 1 {
+		w = 2
+	}
+	hit := 1 / (r * w)
+	if hit > 1 {
+		hit = 1
+	}
+	std := 1 + p.Overhead
+	// A read-only miss still compresses once: the page was compressed when
+	// it was first evicted into the cache.
+	comp := p.decompressTime(s) + p.Overhead + (1-hit)*r
+	return std / comp
+}
+
+// Region classifies a speedup the way Figure 1 shades its plot: ">6x" (the
+// dark region that goes off the top of the paper's scale), "1-6x" (the light
+// region) and "<1x" (slowdown).
+func Region(speedup float64) string {
+	switch {
+	case speedup >= 6:
+		return ">6x"
+	case speedup >= 1:
+		return "1-6x"
+	default:
+		return "<1x"
+	}
+}
+
+// Grid evaluates f over the cross product of ratios and speeds; result[i][j]
+// is f(ratios[i], speeds[j]).
+func Grid(f func(r, s float64) float64, ratios, speeds []float64) [][]float64 {
+	out := make([][]float64, len(ratios))
+	for i, r := range ratios {
+		out[i] = make([]float64, len(speeds))
+		for j, s := range speeds {
+			out[i][j] = f(r, s)
+		}
+	}
+	return out
+}
+
+// Linspace returns n evenly spaced values in [lo, hi].
+func Linspace(lo, hi float64, n int) []float64 {
+	if n <= 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi // exact endpoint despite float rounding
+	return out
+}
+
+// Logspace returns n log-spaced values in [lo, hi] (lo, hi > 0).
+func Logspace(lo, hi float64, n int) []float64 {
+	if lo <= 0 || hi <= 0 {
+		panic("model: Logspace needs positive bounds")
+	}
+	if n <= 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	ratio := hi / lo
+	for i := range out {
+		out[i] = lo * math.Pow(ratio, float64(i)/float64(n-1))
+	}
+	return out
+}

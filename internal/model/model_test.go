@@ -1,0 +1,184 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestBandwidthWriteSpeedup(t *testing.T) {
+	p := Default()
+	// Infinite-ish compression speed, 4:1 compression: speedup -> 1/r = 4.
+	if got := p.BandwidthWriteSpeedup(0.25, 1e9); !almost(got, 4, 1e-6) {
+		t.Fatalf("got %v, want ~4", got)
+	}
+	// Compression as fast as I/O, no compression benefit: 1/(1+1) = 0.5.
+	if got := p.BandwidthWriteSpeedup(1, 1); !almost(got, 0.5, 1e-9) {
+		t.Fatalf("got %v, want 0.5", got)
+	}
+}
+
+func TestBandwidthReadFasterThanWrite(t *testing.T) {
+	p := Default()
+	for _, r := range []float64{0.2, 0.5, 0.9} {
+		for _, s := range []float64{0.5, 1, 4} {
+			if p.BandwidthReadSpeedup(r, s) <= p.BandwidthWriteSpeedup(r, s) {
+				t.Fatalf("read path (2x decompression) should beat write path at r=%v s=%v", r, s)
+			}
+		}
+	}
+}
+
+func TestBandwidthSpeedupBreakEven(t *testing.T) {
+	p := Default()
+	// Break-even: 2 = 3/(2s) + 2r. At s=1: 2r = 0.5, r = 0.25.
+	if got := p.BandwidthSpeedup(0.25, 1); !almost(got, 1, 1e-9) {
+		t.Fatalf("break-even speedup = %v, want 1", got)
+	}
+	if p.BandwidthSpeedup(0.24, 1) <= 1 {
+		t.Fatal("better ratio should win")
+	}
+	if p.BandwidthSpeedup(0.26, 1) >= 1 {
+		t.Fatal("worse ratio should lose")
+	}
+}
+
+func TestReferenceSpeedupLinearInSpeedWhenFits(t *testing.T) {
+	p := Default()
+	// r <= 0.5 with W = 2M: everything fits compressed, no I/O term:
+	// speedup = 2 / (3/(2s)) = 4s/3, linear in s.
+	for _, s := range []float64{1, 2, 4, 8} {
+		want := 4 * s / 3
+		if got := p.ReferenceSpeedup(0.4, s); !almost(got, want, 1e-9) {
+			t.Fatalf("s=%v: got %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestReferenceSpeedupLeapAtHalf(t *testing.T) {
+	p := Default()
+	s := 8.0
+	below := p.ReferenceSpeedup(0.49, s)
+	above := p.ReferenceSpeedup(0.55, s)
+	if below <= above {
+		t.Fatalf("no leap at r=0.5: below=%v above=%v", below, above)
+	}
+	// The discontinuity must be substantial at high s: I/O enters the
+	// denominator.
+	if below/above < 1.3 {
+		t.Fatalf("leap too small: %v vs %v", below, above)
+	}
+}
+
+func TestReferenceSpeedupSlowdownForPoorCompression(t *testing.T) {
+	p := Default()
+	// Slow compression and bad ratio: the cache should lose.
+	if got := p.ReferenceSpeedup(0.95, 0.5); got >= 1 {
+		t.Fatalf("got %v, want < 1", got)
+	}
+}
+
+func TestReadOnlyVariantBeatsReadWrite(t *testing.T) {
+	p := Default()
+	for _, r := range []float64{0.25, 0.5, 0.8} {
+		ro := p.ReadOnlyReferenceSpeedup(r, 4)
+		rw := p.ReferenceSpeedup(r, 4)
+		if ro <= rw {
+			t.Fatalf("r=%v: read-only speedup %v should exceed read-write %v", r, ro, rw)
+		}
+	}
+}
+
+func TestRegionClassification(t *testing.T) {
+	cases := map[float64]string{7: ">6x", 6: ">6x", 3: "1-6x", 1: "1-6x", 0.8: "<1x"}
+	for v, want := range cases {
+		if got := Region(v); got != want {
+			t.Errorf("Region(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestFigure1aRegionsExist(t *testing.T) {
+	// The paper's Figure 1(a) has all three regions; the model must too
+	// over the plotted domain.
+	p := Default()
+	ratios := Linspace(0.05, 1, 20)
+	speeds := Logspace(0.25, 32, 20)
+	regions := map[string]bool{}
+	for _, r := range ratios {
+		for _, s := range speeds {
+			regions[Region(p.BandwidthSpeedup(r, s))] = true
+		}
+	}
+	for _, want := range []string{">6x", "1-6x", "<1x"} {
+		if !regions[want] {
+			t.Errorf("region %q missing from the Figure 1(a) domain", want)
+		}
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	p := Default()
+	// Speedup decreases in r and increases in s, everywhere.
+	speeds := Logspace(0.5, 16, 8)
+	ratios := Linspace(0.1, 1, 8)
+	for _, s := range speeds {
+		prev := math.Inf(1)
+		for _, r := range ratios {
+			v := p.BandwidthSpeedup(r, s)
+			if v > prev {
+				t.Fatalf("BandwidthSpeedup not decreasing in r at s=%v", s)
+			}
+			prev = v
+		}
+	}
+	for _, r := range ratios {
+		prev := 0.0
+		for _, s := range speeds {
+			v := p.ReferenceSpeedup(r, s)
+			if v < prev {
+				t.Fatalf("ReferenceSpeedup not increasing in s at r=%v", r)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	p := Default()
+	g := Grid(p.BandwidthSpeedup, Linspace(0.1, 1, 3), Logspace(1, 4, 5))
+	if len(g) != 3 || len(g[0]) != 5 {
+		t.Fatalf("grid shape %dx%d", len(g), len(g[0]))
+	}
+}
+
+func TestSpaceHelpers(t *testing.T) {
+	lin := Linspace(0, 10, 11)
+	if lin[0] != 0 || lin[10] != 10 || lin[5] != 5 {
+		t.Fatalf("Linspace wrong: %v", lin)
+	}
+	log := Logspace(1, 8, 4)
+	if !almost(log[0], 1, 1e-9) || !almost(log[3], 8, 1e-9) || !almost(log[1], 2, 1e-9) {
+		t.Fatalf("Logspace wrong: %v", log)
+	}
+	if len(Linspace(1, 2, 1)) != 1 {
+		t.Fatal("n=1 Linspace")
+	}
+}
+
+func TestInvalidInputsPanic(t *testing.T) {
+	p := Default()
+	for _, f := range []func(){
+		func() { p.BandwidthSpeedup(0, 1) },
+		func() { p.BandwidthSpeedup(1.5, 1) },
+		func() { p.ReferenceSpeedup(0.5, 0) },
+		func() { Logspace(0, 1, 3) },
+	} {
+		func() {
+			defer func() { recover() }()
+			f()
+			t.Error("invalid input did not panic")
+		}()
+	}
+}

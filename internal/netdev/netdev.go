@@ -1,0 +1,165 @@
+// Package netdev models paging over a network to a remote page server — the
+// paper's target environment: "mobile computers may communicate over slower
+// wireless networks and run either diskless or with small, slower local
+// disks" (§1). It implements the same device interface the file system uses
+// for a disk, so a whole machine can be built diskless.
+//
+// Cost model: each operation pays one round-trip latency plus transfer time
+// at the link bandwidth, with an asynchronous send queue like the disk's
+// write queue. There is no seek and no rotational position: a network makes
+// every access "random", which is exactly why the paper expects compression
+// to matter more there ("slower backing stores, such as wireless networks",
+// §6).
+package netdev
+
+import (
+	"fmt"
+	"time"
+
+	"compcache/internal/sim"
+	"compcache/internal/stats"
+)
+
+// Params describes a network path to a page server.
+type Params struct {
+	// RTT is the request/response round-trip latency charged per operation.
+	RTT time.Duration
+
+	// BytesPerSec is the link bandwidth.
+	BytesPerSec float64
+
+	// PerOp is fixed protocol processing overhead per operation.
+	PerOp time.Duration
+
+	// PacketBytes is the transfer granularity (payload per packet);
+	// transfers round up to whole packets.
+	PacketBytes int
+}
+
+// Ethernet10 returns parameters for the 10-Mbps Ethernet of the paper's §3
+// footnote ("it is more efficient to page over a 10-Mbps Ethernet to memory
+// on a file server than to page to a local disk").
+func Ethernet10() Params {
+	return Params{
+		RTT:         2 * time.Millisecond,
+		BytesPerSec: 1.25e6,
+		PerOp:       500 * time.Microsecond,
+		PacketBytes: 1024,
+	}
+}
+
+// Wireless2 returns parameters for a ~2-Mbps early-90s wireless LAN
+// (WaveLAN-class), the mobile scenario of §1.
+func Wireless2() Params {
+	return Params{
+		RTT:         15 * time.Millisecond,
+		BytesPerSec: 0.25e6,
+		PerOp:       1 * time.Millisecond,
+		PacketBytes: 1024,
+	}
+}
+
+// Validate reports whether the parameters describe a usable link.
+func (p Params) Validate() error {
+	if p.BytesPerSec <= 0 {
+		return fmt.Errorf("netdev: BytesPerSec must be positive, got %g", p.BytesPerSec)
+	}
+	if p.PacketBytes <= 0 {
+		return fmt.Errorf("netdev: PacketBytes must be positive, got %d", p.PacketBytes)
+	}
+	if p.RTT < 0 || p.PerOp < 0 {
+		return fmt.Errorf("netdev: negative latency parameter")
+	}
+	return nil
+}
+
+// TransferTime reports the link time to move n bytes (whole packets).
+func (p Params) TransferTime(n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	packets := (n + p.PacketBytes - 1) / p.PacketBytes
+	return time.Duration(float64(packets*p.PacketBytes) / p.BytesPerSec * float64(time.Second))
+}
+
+// Net is a remote page server reached over the modelled link. It satisfies
+// the file system's Device interface; the remote server's memory plays the
+// platter's role (contents are tracked by the fs layer, as with a disk).
+type Net struct {
+	params Params
+	clock  *sim.Clock
+	busyAt sim.Time
+	st     stats.Disk
+}
+
+// New creates a network device on the given clock.
+func New(p Params, clock *sim.Clock) (*Net, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Net{params: p, clock: clock}, nil
+}
+
+// Params reports the link parameters.
+func (n *Net) Params() Params { return n.params }
+
+// Granularity reports the packet payload size (the fs.Device interface).
+func (n *Net) Granularity() int { return n.params.PacketBytes }
+
+// Stats reports transfer counters. Seeks are always zero: networks do not
+// seek, which is itself a modelling point of difference from the disk.
+func (n *Net) Stats() stats.Disk { return n.st }
+
+// BusyUntil reports when the send queue drains.
+func (n *Net) BusyUntil() sim.Time { return n.busyAt }
+
+func (n *Net) opTime(bytes int) time.Duration {
+	return n.params.PerOp + n.params.RTT + n.params.TransferTime(bytes)
+}
+
+func (n *Net) start() sim.Time {
+	now := n.clock.Now()
+	if n.busyAt > now {
+		return n.busyAt
+	}
+	return now
+}
+
+// Read fetches n bytes from the page server, blocking the caller.
+func (n *Net) Read(addr int64, bytes int) {
+	svc := n.opTime(bytes)
+	done := n.start().Add(svc)
+	n.busyAt = done
+	n.st.Reads++
+	n.st.BytesRead += uint64(bytes)
+	n.st.BusyTime += svc
+	n.clock.AdvanceTo(done)
+}
+
+// Write sends n bytes to the page server, blocking the caller.
+func (n *Net) Write(addr int64, bytes int) {
+	svc := n.opTime(bytes)
+	done := n.start().Add(svc)
+	n.busyAt = done
+	n.st.Writes++
+	n.st.BytesWritten += uint64(bytes)
+	n.st.BusyTime += svc
+	n.clock.AdvanceTo(done)
+}
+
+// WriteAsync queues a send without blocking; subsequent synchronous
+// operations queue behind it.
+func (n *Net) WriteAsync(addr int64, bytes int) sim.Time {
+	svc := n.opTime(bytes)
+	done := n.start().Add(svc)
+	n.busyAt = done
+	n.st.Writes++
+	n.st.BytesWritten += uint64(bytes)
+	n.st.BusyTime += svc
+	return done
+}
+
+// Drain advances the clock until the send queue empties.
+func (n *Net) Drain() {
+	n.clock.AdvanceTo(n.busyAt)
+}

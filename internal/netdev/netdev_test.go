@@ -1,0 +1,129 @@
+package netdev
+
+import (
+	"testing"
+	"time"
+
+	"compcache/internal/sim"
+)
+
+func newNet(t *testing.T, p Params) (*Net, *sim.Clock) {
+	t.Helper()
+	var clock sim.Clock
+	n, err := New(p, &clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, &clock
+}
+
+func TestValidate(t *testing.T) {
+	for _, p := range []Params{Ethernet10(), Wireless2()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("preset invalid: %v", err)
+		}
+	}
+	bad := []Params{
+		{BytesPerSec: 0, PacketBytes: 1024},
+		{BytesPerSec: 1e6, PacketBytes: 0},
+		{BytesPerSec: 1e6, PacketBytes: 1024, RTT: -time.Second},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := New(Params{}, &sim.Clock{}); err == nil {
+		t.Error("New accepted invalid params")
+	}
+}
+
+func TestTransferRoundsToPackets(t *testing.T) {
+	p := Params{BytesPerSec: 1e6, PacketBytes: 1024}
+	if p.TransferTime(1) != p.TransferTime(1024) {
+		t.Error("1 byte should cost a packet")
+	}
+	if p.TransferTime(1025) != p.TransferTime(2048) {
+		t.Error("1025 bytes should cost two packets")
+	}
+	if p.TransferTime(0) != 0 {
+		t.Error("zero transfer should be free")
+	}
+}
+
+func TestReadCost(t *testing.T) {
+	p := Ethernet10()
+	n, clock := newNet(t, p)
+	n.Read(0, 4096)
+	want := p.PerOp + p.RTT + p.TransferTime(4096)
+	if got := time.Duration(clock.Now()); got != want {
+		t.Fatalf("read took %v, want %v", got, want)
+	}
+	st := n.Stats()
+	if st.Reads != 1 || st.BytesRead != 4096 || st.Seeks != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestNoSequentialDiscount(t *testing.T) {
+	// Unlike a disk, back-to-back sequential reads cost the same as random
+	// ones: the RTT is paid every time.
+	p := Ethernet10()
+	n, clock := newNet(t, p)
+	n.Read(0, 4096)
+	t0 := clock.Now()
+	n.Read(4096, 4096)
+	if got := clock.Elapsed(t0); got != p.PerOp+p.RTT+p.TransferTime(4096) {
+		t.Fatalf("sequential read took %v", got)
+	}
+}
+
+func TestAsyncQueue(t *testing.T) {
+	n, clock := newNet(t, Wireless2())
+	done := n.WriteAsync(0, 32*1024)
+	if clock.Now() != 0 {
+		t.Fatal("async send advanced the clock")
+	}
+	// A read queues behind the pending send.
+	n.Read(0, 4096)
+	if clock.Now() <= done {
+		t.Fatal("read did not queue behind the async send")
+	}
+	n.Drain()
+	if sim.Time(0) >= n.BusyUntil() {
+		t.Fatal("busy timeline not advanced")
+	}
+}
+
+func TestWirelessSlowerThanEthernet(t *testing.T) {
+	e, eClock := newNet(t, Ethernet10())
+	w, wClock := newNet(t, Wireless2())
+	e.Read(0, 4096)
+	w.Read(0, 4096)
+	if wClock.Now() <= eClock.Now() {
+		t.Fatal("wireless should be slower than Ethernet")
+	}
+}
+
+func TestGranularity(t *testing.T) {
+	n, _ := newNet(t, Ethernet10())
+	if n.Granularity() != 1024 {
+		t.Fatalf("granularity = %d", n.Granularity())
+	}
+	if n.Params().PacketBytes != 1024 {
+		t.Fatal("params accessor broken")
+	}
+}
+
+func TestSyncWriteCost(t *testing.T) {
+	p := Wireless2()
+	n, clock := newNet(t, p)
+	n.Write(0, 4096)
+	want := p.PerOp + p.RTT + p.TransferTime(4096)
+	if got := time.Duration(clock.Now()); got != want {
+		t.Fatalf("write took %v, want %v", got, want)
+	}
+	if n.Stats().Writes != 1 {
+		t.Fatal("write not counted")
+	}
+}

@@ -1,0 +1,70 @@
+// Package sim provides the virtual-time substrate for the simulated machine.
+//
+// The entire reproduction runs in virtual time: simulated memory references,
+// page faults, compressions and disk transfers advance a Clock by costs taken
+// from a machine model, so measurements are deterministic and independent of
+// the Go runtime, scheduler and garbage collector. A Clock is the single
+// source of "now" for every other module; ages used by the replacement
+// policies and busy-until timelines used by the disk model are all expressed
+// as Time values from the same clock.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is an instant of virtual time, in nanoseconds since the start of the
+// simulation. It is a distinct type so that virtual instants cannot be mixed
+// up with wall-clock instants or with durations.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. time.Duration is used
+// directly so cost models can be written with natural literals such as
+// 50*time.Microsecond.
+type Duration = time.Duration
+
+// String formats a Time using time.Duration notation (e.g. "1.5ms"), which
+// reads naturally for simulation timestamps.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Clock is a monotonically advancing virtual clock.
+//
+// The zero Clock is ready to use and reads time zero. Clock is not safe for
+// concurrent use; the simulation is single-threaded by design (the paper's
+// kernel-level concurrency, such as the cleaner thread, is modelled with
+// busy-until timelines rather than goroutines, so runs are reproducible).
+type Clock struct {
+	now Time
+}
+
+// Now reports the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves the clock forward by d and returns the new time.
+// Advance panics if d is negative: virtual time never runs backward.
+func (c *Clock) Advance(d Duration) Time {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: Advance by negative duration %v", d))
+	}
+	c.now += Time(d)
+	return c.now
+}
+
+// AdvanceTo moves the clock forward to instant t. It is a no-op if t is in
+// the past; this is the common "wait until the device is free" operation.
+func (c *Clock) AdvanceTo(t Time) Time {
+	if t > c.now {
+		c.now = t
+	}
+	return c.now
+}
+
+// Elapsed reports the duration since instant t.
+func (c *Clock) Elapsed(t Time) Duration { return c.now.Sub(t) }

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockZeroValue(t *testing.T) {
+	var c Clock
+	if got := c.Now(); got != 0 {
+		t.Fatalf("zero clock Now() = %v, want 0", got)
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	c.Advance(5 * time.Millisecond)
+	if got := c.Now(); got != Time(5*time.Millisecond) {
+		t.Fatalf("Now() = %v, want 5ms", got)
+	}
+	c.Advance(0)
+	if got := c.Now(); got != Time(5*time.Millisecond) {
+		t.Fatalf("Advance(0) changed time to %v", got)
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-1)
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	var c Clock
+	c.Advance(10 * time.Millisecond)
+	// Advancing to the past is a no-op.
+	c.AdvanceTo(Time(3 * time.Millisecond))
+	if got := c.Now(); got != Time(10*time.Millisecond) {
+		t.Fatalf("AdvanceTo(past) moved clock to %v", got)
+	}
+	c.AdvanceTo(Time(25 * time.Millisecond))
+	if got := c.Now(); got != Time(25*time.Millisecond) {
+		t.Fatalf("AdvanceTo(future) = %v, want 25ms", got)
+	}
+}
+
+func TestClockElapsed(t *testing.T) {
+	var c Clock
+	start := c.Now()
+	c.Advance(7 * time.Second)
+	if got := c.Elapsed(start); got != 7*time.Second {
+		t.Fatalf("Elapsed = %v, want 7s", got)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	a := Time(time.Second)
+	b := a.Add(500 * time.Millisecond)
+	if b != Time(1500*time.Millisecond) {
+		t.Fatalf("Add = %v", b)
+	}
+	if d := b.Sub(a); d != 500*time.Millisecond {
+		t.Fatalf("Sub = %v", d)
+	}
+	if s := Time(1500 * time.Millisecond).String(); s != "1.5s" {
+		t.Fatalf("String = %q, want 1.5s", s)
+	}
+}
+
+// Property: any sequence of non-negative advances keeps the clock monotone
+// and equal to the running sum.
+func TestClockMonotoneProperty(t *testing.T) {
+	f := func(steps []uint16) bool {
+		var c Clock
+		var sum Time
+		prev := c.Now()
+		for _, s := range steps {
+			d := Duration(s) * time.Microsecond
+			c.Advance(d)
+			sum += Time(d)
+			if c.Now() < prev || c.Now() != sum {
+				return false
+			}
+			prev = c.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultCostModelSane(t *testing.T) {
+	m := DefaultCostModel()
+	if m.CompressBW <= 0 || m.DecompressBW <= 0 {
+		t.Fatal("default bandwidths must be positive")
+	}
+	if m.DecompressBW < m.CompressBW {
+		t.Fatal("decompression should not be slower than compression for LZRW1-class codecs")
+	}
+}
+
+func TestCompressCostScalesLinearly(t *testing.T) {
+	m := DefaultCostModel()
+	c1 := m.CompressCost(4096)
+	c2 := m.CompressCost(8192)
+	if c2 != 2*c1 {
+		t.Fatalf("CompressCost not linear: %v vs %v", c1, c2)
+	}
+	// 4096 bytes at 1 MB/s is ~4.096ms.
+	want := time.Duration(float64(4096) / 1e6 * float64(time.Second))
+	if c1 != want {
+		t.Fatalf("CompressCost(4096) = %v, want %v", c1, want)
+	}
+}
+
+func TestCostEdgeCases(t *testing.T) {
+	m := DefaultCostModel()
+	if m.CompressCost(0) != 0 {
+		t.Fatal("zero bytes should cost nothing")
+	}
+	if m.CompressCost(-5) != 0 {
+		t.Fatal("negative bytes should cost nothing")
+	}
+	z := CostModel{}
+	if z.CompressCost(100) != 0 || z.DecompressCost(100) != 0 {
+		t.Fatal("zero-bandwidth model should charge nothing rather than divide by zero")
+	}
+}
+
+func TestDecompressCostHalfOfCompress(t *testing.T) {
+	m := DefaultCostModel()
+	if got, want := m.DecompressCost(4096), m.CompressCost(4096)/2; got != want {
+		t.Fatalf("DecompressCost = %v, want %v", got, want)
+	}
+}

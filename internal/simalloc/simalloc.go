@@ -1,0 +1,58 @@
+// Package simalloc provides a bump allocator over a simulated address
+// space, so workloads can lay out real data structures (arrays, hash
+// tables, postings lists) inside simulated pages and access them through
+// the paging machinery.
+package simalloc
+
+import (
+	"fmt"
+
+	"compcache/internal/machine"
+)
+
+// Arena allocates regions of a Space from low to high addresses. There is
+// no free: workloads build their structures once, like the paper's
+// applications do, and the whole space is discarded with the machine.
+type Arena struct {
+	space *machine.Space
+	off   int64
+}
+
+// New creates an arena over space.
+func New(space *machine.Space) *Arena {
+	return &Arena{space: space}
+}
+
+// Space returns the underlying address space.
+func (a *Arena) Space() *machine.Space { return a.space }
+
+// Used reports how many bytes have been allocated.
+func (a *Arena) Used() int64 { return a.off }
+
+// Remaining reports how many bytes are left.
+func (a *Arena) Remaining() int64 { return a.space.Size() - a.off }
+
+// Alloc reserves n bytes aligned to align (a power of two) and returns the
+// region's byte offset. It panics when the space is exhausted: workloads
+// size their segments up front, so exhaustion is a bug in the workload.
+func (a *Arena) Alloc(n, align int64) int64 {
+	if n < 0 || align <= 0 || align&(align-1) != 0 {
+		panic(fmt.Sprintf("simalloc: bad allocation n=%d align=%d", n, align))
+	}
+	off := (a.off + align - 1) &^ (align - 1)
+	if off+n > a.space.Size() {
+		panic(fmt.Sprintf("simalloc: out of space: need %d at %d, size %d", n, off, a.space.Size()))
+	}
+	a.off = off + n
+	return off
+}
+
+// AllocWords reserves n 8-byte words, 8-aligned.
+func (a *Arena) AllocWords(n int64) int64 { return a.Alloc(n*8, 8) }
+
+// AllocPageAligned reserves n bytes starting on a page boundary, which
+// workloads use for large arrays so page-level compressibility reflects one
+// structure at a time.
+func (a *Arena) AllocPageAligned(n int64) int64 {
+	return a.Alloc(n, int64(a.space.Machine().Config().PageSize))
+}

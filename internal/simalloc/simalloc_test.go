@@ -1,0 +1,79 @@
+package simalloc
+
+import (
+	"testing"
+
+	"compcache/internal/machine"
+)
+
+func newArena(t *testing.T, bytes int64) *Arena {
+	t.Helper()
+	m, err := machine.New(machine.Default(1 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(m.NewSegment("heap", bytes))
+}
+
+func TestAllocSequence(t *testing.T) {
+	a := newArena(t, 64*1024)
+	x := a.Alloc(100, 1)
+	y := a.Alloc(100, 1)
+	if x != 0 || y != 100 {
+		t.Fatalf("offsets %d, %d", x, y)
+	}
+	if a.Used() != 200 {
+		t.Fatalf("Used = %d", a.Used())
+	}
+}
+
+func TestAlignment(t *testing.T) {
+	a := newArena(t, 64*1024)
+	a.Alloc(3, 1)
+	w := a.AllocWords(2)
+	if w%8 != 0 {
+		t.Fatalf("word allocation at %d not aligned", w)
+	}
+	p := a.AllocPageAligned(10)
+	if p%4096 != 0 {
+		t.Fatalf("page allocation at %d not aligned", p)
+	}
+	if a.Remaining() <= 0 {
+		t.Fatal("remaining should be positive")
+	}
+}
+
+func TestExhaustionPanics(t *testing.T) {
+	a := newArena(t, 8192)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exhaustion did not panic")
+		}
+	}()
+	a.Alloc(10000, 1)
+}
+
+func TestBadArgsPanic(t *testing.T) {
+	a := newArena(t, 8192)
+	for _, args := range [][2]int64{{-1, 1}, {8, 0}, {8, 3}} {
+		func() {
+			defer func() { recover() }()
+			a.Alloc(args[0], args[1])
+			t.Errorf("Alloc(%d,%d) did not panic", args[0], args[1])
+		}()
+	}
+}
+
+func TestDataThroughArena(t *testing.T) {
+	a := newArena(t, 64*1024)
+	off := a.AllocWords(10)
+	s := a.Space()
+	for i := int64(0); i < 10; i++ {
+		s.WriteWord(off+i*8, uint64(i*i))
+	}
+	for i := int64(0); i < 10; i++ {
+		if got := s.ReadWord(off + i*8); got != uint64(i*i) {
+			t.Fatalf("word %d = %d", i, got)
+		}
+	}
+}

@@ -1,0 +1,448 @@
+package swap
+
+import (
+	"fmt"
+	"sort"
+
+	"compcache/internal/fs"
+	"compcache/internal/stats"
+)
+
+// ClusterConfig configures a Clustered store.
+type ClusterConfig struct {
+	// PageSize is the uncompressed page size (raw items must be exactly
+	// this long).
+	PageSize int
+
+	// FragSize is the uniform fragment size compressed pages are padded to;
+	// the paper uses 1 KByte.
+	FragSize int
+
+	// ClusterBytes is the target size of one clustered write; the paper
+	// writes 32 KBytes of compressed pages at once.
+	ClusterBytes int
+
+	// SpanBlocks controls whether a page's fragments may cross file-block
+	// boundaries. When false, pages are padded to the next block, which
+	// "increases fragmentation and the effective bandwidth for writes to
+	// the backing store correspondingly decreases" (§4.3); when true, a
+	// fault on a spanning page must read both blocks.
+	SpanBlocks bool
+
+	// GCTriggerFrac runs a compaction pass when garbage (padding plus freed
+	// fragments) exceeds this fraction of the swap file's span and at least
+	// one cluster's worth of garbage exists. Zero selects the default 0.5.
+	GCTriggerFrac float64
+}
+
+func (c *ClusterConfig) setDefaults() {
+	if c.FragSize == 0 {
+		c.FragSize = 1024
+	}
+	if c.ClusterBytes == 0 {
+		c.ClusterBytes = 32 * 1024
+	}
+	if c.GCTriggerFrac == 0 {
+		c.GCTriggerFrac = 0.5
+	}
+}
+
+// validate checks the configuration against the file system's geometry.
+func (c ClusterConfig) validate(blockSize int) error {
+	if c.PageSize <= 0 || c.PageSize%blockSize != 0 {
+		return fmt.Errorf("swap: page size %d incompatible with block size %d", c.PageSize, blockSize)
+	}
+	if c.FragSize <= 0 || blockSize%c.FragSize != 0 {
+		return fmt.Errorf("swap: fragment size %d must divide block size %d", c.FragSize, blockSize)
+	}
+	if c.ClusterBytes < blockSize || c.ClusterBytes%blockSize != 0 {
+		return fmt.Errorf("swap: cluster size %d must be a positive multiple of block size %d",
+			c.ClusterBytes, blockSize)
+	}
+	if c.GCTriggerFrac < 0 || c.GCTriggerFrac > 1 {
+		return fmt.Errorf("swap: GCTriggerFrac %g out of [0,1]", c.GCTriggerFrac)
+	}
+	return nil
+}
+
+// extent records where a page lives in the swap file.
+type extent struct {
+	start      int32 // first fragment index
+	nfrags     int32
+	length     int32 // exact byte length of the stored data
+	compressed bool
+}
+
+// Neighbor is a page incidentally read by a clustered read because it shares
+// the file blocks of the requested page.
+type Neighbor struct {
+	Key        PageKey
+	Data       []byte
+	Compressed bool
+}
+
+// Clustered is the compressed backing store of §4.3. Compressed pages are
+// padded to FragSize, batched into clustered writes, and located through an
+// explicit page map; stale copies accumulate as garbage until a compaction
+// pass rewrites the live data densely.
+type Clustered struct {
+	cfg       ClusterConfig
+	fsys      *fs.FS
+	file      *fs.File
+	blockSize int
+	fragsPerB int // fragments per file block
+
+	// marked[i] is true when fragment i is part of a live extent or is
+	// cluster padding; free (reusable) fragments are false.
+	marked  []bool
+	extents map[PageKey]extent
+	byStart map[int32]PageKey
+	liveFr  int // fragments covered by live extents
+	padFr   int // marked fragments belonging to no extent (padding)
+	hint    int // first-fit search start
+	inGC    bool
+
+	st stats.Swap
+}
+
+// NewClustered creates a clustered store backed by a dedicated swap file.
+func NewClustered(cfg ClusterConfig, fsys *fs.FS) (*Clustered, error) {
+	cfg.setDefaults()
+	if err := cfg.validate(fsys.BlockSize()); err != nil {
+		return nil, err
+	}
+	return &Clustered{
+		cfg:       cfg,
+		fsys:      fsys,
+		file:      fsys.Create("swap.clustered"),
+		blockSize: fsys.BlockSize(),
+		fragsPerB: fsys.BlockSize() / cfg.FragSize,
+		extents:   make(map[PageKey]extent),
+		byStart:   make(map[int32]PageKey),
+	}, nil
+}
+
+// Stats returns a snapshot of the store's counters, including current
+// fragment accounting: FragsLive counts fragments of live extents and
+// FragsFree counts garbage (holes plus padding) within the file's span.
+func (c *Clustered) Stats() stats.Swap {
+	st := c.st
+	st.FragsLive = uint64(c.liveFr)
+	st.FragsFree = uint64(len(c.marked) - c.liveFr)
+	return st
+}
+
+// Has reports whether the store holds a copy of the page.
+func (c *Clustered) Has(key PageKey) bool {
+	_, ok := c.extents[key]
+	return ok
+}
+
+// Invalidate frees the page's fragments (the page was modified in memory, so
+// the stored copy is stale).
+func (c *Clustered) Invalidate(key PageKey) {
+	if e, ok := c.extents[key]; ok {
+		c.freeExtent(key, e)
+	}
+}
+
+func (c *Clustered) freeExtent(key PageKey, e extent) {
+	for i := e.start; i < e.start+e.nfrags; i++ {
+		c.marked[i] = false
+	}
+	c.liveFr -= int(e.nfrags)
+	if int(e.start) < c.hint {
+		c.hint = int(e.start)
+	}
+	delete(c.extents, key)
+	delete(c.byStart, e.start)
+}
+
+// fragsFor reports the padded fragment count for n bytes of data.
+func (c *Clustered) fragsFor(n int) int32 {
+	return int32((n + c.cfg.FragSize - 1) / c.cfg.FragSize)
+}
+
+type placement struct {
+	item   Item
+	rel    int32 // fragment offset from cluster start
+	nfrags int32
+}
+
+// WriteCluster writes a batch of pages in one clustered operation. Items
+// already in the store are relocated; their old fragments become garbage,
+// which is what forces the §4.3 garbage collection. When async is true the
+// device write is queued without blocking the caller (the cleaner path);
+// otherwise the caller waits for it.
+//
+// Callers should batch items to about ClusterBytes; WriteCluster itself
+// accepts any batch and issues one device operation per call.
+func (c *Clustered) WriteCluster(items []Item, async bool) {
+	if len(items) == 0 {
+		return
+	}
+	// Lay the items out relative to the cluster start. The cluster start is
+	// always block-aligned in whole-block mode, so relative block
+	// boundaries coincide with absolute ones.
+	blockFrags := int32(c.fragsPerB)
+	placements := make([]placement, 0, len(items))
+	var cursor, liveFrags int32
+	for _, it := range items {
+		if !it.Compressed && len(it.Data) != c.cfg.PageSize {
+			panic(fmt.Sprintf("swap: raw item for %v is %d bytes, want %d", it.Key, len(it.Data), c.cfg.PageSize))
+		}
+		nf := c.fragsFor(len(it.Data))
+		if !c.cfg.SpanBlocks {
+			if within := cursor % blockFrags; within != 0 && within+nf > blockFrags {
+				cursor += blockFrags - within // pad to the next block
+			}
+		}
+		placements = append(placements, placement{it, cursor, nf})
+		cursor += nf
+		liveFrags += nf
+	}
+	total := cursor
+	wholeBlocks := !c.fsys.AllowPartialIO()
+	if wholeBlocks {
+		if rem := total % blockFrags; rem != 0 {
+			total += blockFrags - rem
+		}
+	}
+
+	c.maybeGC()
+	start := c.alloc(total, wholeBlocks)
+
+	// Serialize the cluster and record the new locations, freeing any old
+	// copies.
+	buf := make([]byte, int(total)*c.cfg.FragSize)
+	for _, p := range placements {
+		copy(buf[int(p.rel)*c.cfg.FragSize:], p.item.Data)
+		if old, ok := c.extents[p.item.Key]; ok {
+			c.freeExtent(p.item.Key, old)
+		}
+		e := extent{
+			start:      start + p.rel,
+			nfrags:     p.nfrags,
+			length:     int32(len(p.item.Data)),
+			compressed: p.item.Compressed,
+		}
+		c.extents[p.item.Key] = e
+		c.byStart[e.start] = p.item.Key
+	}
+	c.liveFr += int(liveFrags)
+	c.padFr += int(total - liveFrags)
+
+	off := int64(start) * int64(c.cfg.FragSize)
+	n := int(total) * c.cfg.FragSize
+	if async {
+		c.file.RawWriteAsync(buf, off, n)
+	} else {
+		c.file.RawWrite(buf, off, n)
+	}
+	if !c.inGC {
+		c.st.PagesOut += uint64(len(items))
+	}
+}
+
+// alloc finds (first-fit) or creates a run of n free fragments, block-aligned
+// when blockAligned is set, marks the run, and returns its start.
+func (c *Clustered) alloc(n int32, blockAligned bool) int32 {
+	step := 1
+	if blockAligned {
+		step = c.fragsPerB
+	}
+	for startAt := c.hint - c.hint%step; ; startAt += step {
+		for int(n) > len(c.marked)-startAt {
+			c.marked = append(c.marked, false)
+		}
+		run := true
+		for i := 0; i < int(n); i++ {
+			if c.marked[startAt+i] {
+				run = false
+				break
+			}
+		}
+		if !run {
+			continue
+		}
+		for i := 0; i < int(n); i++ {
+			c.marked[startAt+i] = true
+		}
+		if startAt == c.hint {
+			c.hint = startAt + int(n)
+		}
+		return int32(startAt)
+	}
+}
+
+// Read fetches the page into a fresh buffer, honouring the whole-block rule:
+// in whole-block mode the device reads every block the page's fragments
+// touch, and every other page wholly contained in those blocks is returned
+// as a neighbor (the caller typically inserts neighbors into the compression
+// cache as clean pages). It reports ok=false if the page is not stored.
+func (c *Clustered) Read(key PageKey) (data []byte, compressed bool, neighbors []Neighbor, ok bool) {
+	e, found := c.extents[key]
+	if !found {
+		return nil, false, nil, false
+	}
+	c.st.PagesIn++
+	fragOff := int64(e.start) * int64(c.cfg.FragSize)
+	byteLen := int(e.nfrags) * c.cfg.FragSize
+
+	if c.fsys.AllowPartialIO() {
+		buf := make([]byte, byteLen)
+		c.file.RawRead(buf, fragOff, byteLen)
+		return buf[:e.length], e.compressed, nil, true
+	}
+
+	// Whole-block mode: read all covering blocks. A page that spans a block
+	// boundary costs a two-block read (§4.3).
+	bs := int64(c.blockSize)
+	b0 := fragOff / bs
+	b1 := (fragOff + int64(byteLen) + bs - 1) / bs
+	buf := make([]byte, (b1-b0)*bs)
+	c.file.RawRead(buf, b0*bs, len(buf))
+	rel := fragOff - b0*bs
+	data = buf[rel : rel+int64(e.length)]
+
+	// Collect neighbors: pages whose extents lie wholly inside [b0, b1).
+	firstFrag := int32(b0 * bs / int64(c.cfg.FragSize))
+	lastFrag := int32(b1 * bs / int64(c.cfg.FragSize))
+	for f := firstFrag; f < lastFrag; f++ {
+		nk, okk := c.byStart[f]
+		if !okk || nk == key {
+			continue
+		}
+		ne := c.extents[nk]
+		if ne.start+ne.nfrags > lastFrag {
+			continue // partially outside the read
+		}
+		nrel := int64(ne.start)*int64(c.cfg.FragSize) - b0*bs
+		neighbors = append(neighbors, Neighbor{
+			Key:        nk,
+			Data:       buf[nrel : nrel+int64(ne.length)],
+			Compressed: ne.compressed,
+		})
+	}
+	return data, e.compressed, neighbors, true
+}
+
+// maybeGC compacts the swap file when garbage (holes plus padding) exceeds
+// the configured fraction of the file's span.
+func (c *Clustered) maybeGC() {
+	if c.inGC || len(c.marked) == 0 {
+		return
+	}
+	garbage := len(c.marked) - c.liveFr
+	minGarbage := c.cfg.ClusterBytes / c.cfg.FragSize
+	if garbage < minGarbage {
+		return
+	}
+	if float64(garbage)/float64(len(c.marked)) < c.cfg.GCTriggerFrac {
+		return
+	}
+	c.GC()
+}
+
+// GC compacts the swap file: every live extent is read (block-granular) and
+// rewritten densely from the start of the file. The I/O is charged to the
+// device like any other transfer — garbage collection of the backing store
+// is not free, which is the cost §4.3 warns about.
+func (c *Clustered) GC() {
+	if c.inGC {
+		return
+	}
+	c.inGC = true
+	defer func() { c.inGC = false }()
+	c.st.GCs++
+
+	type livePage struct {
+		key  PageKey
+		e    extent
+		data []byte
+	}
+	pages := make([]livePage, 0, len(c.extents))
+	for key, e := range c.extents {
+		pages = append(pages, livePage{key: key, e: e})
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i].e.start < pages[j].e.start })
+
+	// One sequential sweep reading live data, block-granular in whole-block
+	// mode.
+	for i := range pages {
+		e := pages[i].e
+		fragOff := int64(e.start) * int64(c.cfg.FragSize)
+		byteLen := int(e.nfrags) * c.cfg.FragSize
+		if c.fsys.AllowPartialIO() {
+			buf := make([]byte, byteLen)
+			c.file.RawRead(buf, fragOff, byteLen)
+			pages[i].data = buf[:e.length]
+			c.st.GCBytesCopied += uint64(byteLen)
+			continue
+		}
+		bs := int64(c.blockSize)
+		b0 := fragOff / bs
+		b1 := (fragOff + int64(byteLen) + bs - 1) / bs
+		buf := make([]byte, (b1-b0)*bs)
+		c.file.RawRead(buf, b0*bs, len(buf))
+		rel := fragOff - b0*bs
+		pages[i].data = buf[rel : rel+int64(e.length)]
+		c.st.GCBytesCopied += uint64(len(buf))
+	}
+
+	// Reset allocation state and rewrite densely in cluster-sized batches.
+	c.marked = c.marked[:0]
+	c.extents = make(map[PageKey]extent, len(pages))
+	c.byStart = make(map[int32]PageKey, len(pages))
+	c.liveFr = 0
+	c.padFr = 0
+	c.hint = 0
+
+	batch := make([]Item, 0, 32)
+	batchBytes := 0
+	for _, p := range pages {
+		batch = append(batch, Item{Key: p.key, Data: p.data, Compressed: p.e.compressed})
+		batchBytes += int(p.e.nfrags) * c.cfg.FragSize
+		if batchBytes >= c.cfg.ClusterBytes {
+			c.WriteCluster(batch, false)
+			batch = batch[:0]
+			batchBytes = 0
+		}
+	}
+	c.WriteCluster(batch, false)
+}
+
+// CheckConsistency rebuilds the fragment accounting from the extent map and
+// compares it with the incremental counters; tests call it after stressing
+// the store.
+func (c *Clustered) CheckConsistency() error {
+	liveSet := make(map[int32]bool)
+	for key, e := range c.extents {
+		if got := c.byStart[e.start]; got != key {
+			return fmt.Errorf("swap: byStart[%d] = %v, want %v", e.start, got, key)
+		}
+		for i := e.start; i < e.start+e.nfrags; i++ {
+			if liveSet[i] {
+				return fmt.Errorf("swap: fragment %d claimed by two extents", i)
+			}
+			liveSet[i] = true
+			if int(i) >= len(c.marked) || !c.marked[i] {
+				return fmt.Errorf("swap: extent %v covers unmarked fragment %d", key, i)
+			}
+		}
+	}
+	if len(liveSet) != c.liveFr {
+		return fmt.Errorf("swap: liveFr counter %d, extents cover %d", c.liveFr, len(liveSet))
+	}
+	marked := 0
+	for _, m := range c.marked {
+		if m {
+			marked++
+		}
+	}
+	if marked != c.liveFr+c.padFr {
+		return fmt.Errorf("swap: bitmap marks %d fragments, counters say %d live + %d padding",
+			marked, c.liveFr, c.padFr)
+	}
+	return nil
+}

@@ -1,0 +1,685 @@
+package swap
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"compcache/internal/disk"
+	"compcache/internal/fs"
+	"compcache/internal/mem"
+	"compcache/internal/sim"
+)
+
+func newFS(t *testing.T, opts fs.Options) (*fs.FS, *disk.Disk, *sim.Clock) {
+	t.Helper()
+	if opts.BlockSize == 0 {
+		opts.BlockSize = 4096
+	}
+	var clock sim.Clock
+	d, err := disk.New(disk.RZ57(), &clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := mem.NewPool(16, opts.BlockSize)
+	fsys, err := fs.New(opts, d, &clock, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fsys, d, &clock
+}
+
+func page(seed int64, size int) []byte {
+	p := make([]byte, size)
+	rand.New(rand.NewSource(seed)).Read(p)
+	return p
+}
+
+// ---------------------------------------------------------------------------
+// Direct store
+
+func TestDirectRoundTrip(t *testing.T) {
+	fsys, _, _ := newFS(t, fs.Options{})
+	d, err := NewDirect(fsys, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := PageKey{Seg: 1, Page: 7}
+	data := page(1, 4096)
+	d.Write(key, data)
+	if !d.Has(key) {
+		t.Fatal("Has = false after Write")
+	}
+	got := make([]byte, 4096)
+	if !d.Read(key, got) {
+		t.Fatal("Read failed")
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+	st := d.Stats()
+	if st.PagesOut != 1 || st.PagesIn != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDirectMissingPage(t *testing.T) {
+	fsys, _, _ := newFS(t, fs.Options{})
+	d, _ := NewDirect(fsys, 4096)
+	if d.Read(PageKey{0, 0}, make([]byte, 4096)) {
+		t.Fatal("Read of never-written page succeeded")
+	}
+}
+
+func TestDirectInvalidate(t *testing.T) {
+	fsys, _, _ := newFS(t, fs.Options{})
+	d, _ := NewDirect(fsys, 4096)
+	key := PageKey{2, 3}
+	d.Write(key, page(2, 4096))
+	d.Invalidate(key)
+	if d.Has(key) {
+		t.Fatal("Has after Invalidate")
+	}
+}
+
+func TestDirectSegmentsIsolated(t *testing.T) {
+	fsys, _, _ := newFS(t, fs.Options{})
+	d, _ := NewDirect(fsys, 4096)
+	a := page(10, 4096)
+	b := page(11, 4096)
+	d.Write(PageKey{1, 0}, a)
+	d.Write(PageKey{2, 0}, b)
+	got := make([]byte, 4096)
+	d.Read(PageKey{1, 0}, got)
+	if !bytes.Equal(got, a) {
+		t.Fatal("segment files aliased")
+	}
+}
+
+func TestDirectBadGeometry(t *testing.T) {
+	fsys, _, _ := newFS(t, fs.Options{})
+	if _, err := NewDirect(fsys, 1000); err == nil {
+		t.Fatal("NewDirect accepted non-block-multiple page size")
+	}
+}
+
+func TestDirectSequentialPagesSequentialOnDisk(t *testing.T) {
+	fsys, dk, _ := newFS(t, fs.Options{})
+	d, _ := NewDirect(fsys, 4096)
+	for p := int32(0); p < 8; p++ {
+		d.Write(PageKey{1, p}, page(int64(p), 4096))
+	}
+	// Sequential whole-page writes to adjacent pages: only the first pays a
+	// seek.
+	if got := dk.Stats().Seeks; got != 1 {
+		t.Fatalf("8 sequential page writes paid %d seeks, want 1", got)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Clustered store
+
+func newClustered(t *testing.T, fsOpts fs.Options, cfg ClusterConfig) (*Clustered, *fs.FS, *disk.Disk) {
+	t.Helper()
+	fsys, d, _ := newFS(t, fsOpts)
+	if cfg.PageSize == 0 {
+		cfg.PageSize = 4096
+	}
+	c, err := NewClustered(cfg, fsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, fsys, d
+}
+
+func TestClusteredConfigValidation(t *testing.T) {
+	fsys, _, _ := newFS(t, fs.Options{})
+	bad := []ClusterConfig{
+		{PageSize: 1000},
+		{PageSize: 4096, FragSize: 3000},
+		{PageSize: 4096, ClusterBytes: 1000},
+		{PageSize: 4096, GCTriggerFrac: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := NewClustered(cfg, fsys); err == nil {
+			t.Errorf("case %d: config %+v accepted", i, cfg)
+		}
+	}
+}
+
+func TestClusteredRoundTrip(t *testing.T) {
+	c, _, _ := newClustered(t, fs.Options{}, ClusterConfig{})
+	key := PageKey{1, 5}
+	data := page(3, 1500) // compressed page, padded to 2 fragments
+	c.WriteCluster([]Item{{Key: key, Data: data, Compressed: true}}, false)
+	got, compressed, _, ok := c.Read(key)
+	if !ok || !compressed {
+		t.Fatalf("Read ok=%v compressed=%v", ok, compressed)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusteredRawItemRoundTrip(t *testing.T) {
+	c, _, _ := newClustered(t, fs.Options{}, ClusterConfig{})
+	key := PageKey{1, 9}
+	data := page(4, 4096)
+	c.WriteCluster([]Item{{Key: key, Data: data, Compressed: false}}, false)
+	got, compressed, _, ok := c.Read(key)
+	if !ok || compressed {
+		t.Fatalf("Read ok=%v compressed=%v", ok, compressed)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestClusteredRawItemWrongSizePanics(t *testing.T) {
+	c, _, _ := newClustered(t, fs.Options{}, ClusterConfig{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for short raw item")
+		}
+	}()
+	c.WriteCluster([]Item{{Key: PageKey{1, 1}, Data: make([]byte, 100), Compressed: false}}, false)
+}
+
+func TestClusteredSingleDeviceOpPerCluster(t *testing.T) {
+	c, _, d := newClustered(t, fs.Options{}, ClusterConfig{})
+	var items []Item
+	for i := int32(0); i < 16; i++ {
+		items = append(items, Item{Key: PageKey{1, i}, Data: page(int64(i), 1024), Compressed: true})
+	}
+	w0 := d.Stats().Writes
+	c.WriteCluster(items, false)
+	if got := d.Stats().Writes - w0; got != 1 {
+		t.Fatalf("cluster write issued %d device ops, want 1", got)
+	}
+}
+
+func TestClusteredNeighbors(t *testing.T) {
+	// Four 1-fragment pages share one 4-KByte block: reading one must return
+	// the other three as neighbors.
+	c, _, _ := newClustered(t, fs.Options{}, ClusterConfig{})
+	var items []Item
+	for i := int32(0); i < 4; i++ {
+		items = append(items, Item{Key: PageKey{1, i}, Data: page(int64(i), 1000), Compressed: true})
+	}
+	c.WriteCluster(items, false)
+	_, _, neighbors, ok := c.Read(PageKey{1, 0})
+	if !ok {
+		t.Fatal("Read failed")
+	}
+	if len(neighbors) != 3 {
+		t.Fatalf("got %d neighbors, want 3", len(neighbors))
+	}
+	for _, n := range neighbors {
+		want := page(int64(n.Key.Page), 1000)
+		if !bytes.Equal(n.Data, want) {
+			t.Errorf("neighbor %v data mismatch", n.Key)
+		}
+	}
+}
+
+func TestClusteredNoSpanPadsToBlock(t *testing.T) {
+	// With SpanBlocks=false a 3-fragment page following a 2-fragment page
+	// cannot straddle the block boundary at fragment 4, so it starts at
+	// fragment 4 and fragments 2–3 are padding.
+	c, _, _ := newClustered(t, fs.Options{}, ClusterConfig{SpanBlocks: false})
+	items := []Item{
+		{Key: PageKey{1, 0}, Data: page(1, 2000), Compressed: true}, // 2 frags
+		{Key: PageKey{1, 1}, Data: page(2, 2500), Compressed: true}, // 3 frags
+	}
+	c.WriteCluster(items, false)
+	st := c.Stats()
+	if st.FragsLive != 5 {
+		t.Fatalf("live frags = %d, want 5", st.FragsLive)
+	}
+	// Span: 2 frags + 2 pad + 3 frags = 7, rounded to 8 (whole blocks).
+	if st.FragsFree != 3 {
+		t.Fatalf("free frags = %d, want 3 (2 pad + 1 round-up)", st.FragsFree)
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusteredSpanReadsTwoBlocks(t *testing.T) {
+	c, _, d := newClustered(t, fs.Options{}, ClusterConfig{SpanBlocks: true})
+	items := []Item{
+		{Key: PageKey{1, 0}, Data: page(1, 3000), Compressed: true}, // frags 0-2
+		{Key: PageKey{1, 1}, Data: page(2, 3000), Compressed: true}, // frags 3-5: spans blocks 0 and 1
+	}
+	c.WriteCluster(items, false)
+	r0 := d.Stats().BytesRead
+	_, _, _, ok := c.Read(PageKey{1, 1})
+	if !ok {
+		t.Fatal("Read failed")
+	}
+	if got := d.Stats().BytesRead - r0; got != 8192 {
+		t.Fatalf("spanning page read %d bytes, want 8192 (two blocks)", got)
+	}
+}
+
+func TestClusteredPartialIOReadsExactExtent(t *testing.T) {
+	c, _, d := newClustered(t, fs.Options{AllowPartialIO: true}, ClusterConfig{})
+	c.WriteCluster([]Item{{Key: PageKey{1, 0}, Data: page(1, 1500), Compressed: true}}, false)
+	r0 := d.Stats().BytesRead
+	got, _, neighbors, ok := c.Read(PageKey{1, 0})
+	if !ok || len(got) != 1500 {
+		t.Fatalf("Read ok=%v len=%d", ok, len(got))
+	}
+	if neighbors != nil {
+		t.Fatal("partial-IO read returned neighbors")
+	}
+	if got := d.Stats().BytesRead - r0; got != 2048 {
+		t.Fatalf("read %d bytes, want 2048 (two fragments)", got)
+	}
+}
+
+func TestClusteredRewriteRelocates(t *testing.T) {
+	c, _, _ := newClustered(t, fs.Options{}, ClusterConfig{})
+	key := PageKey{1, 0}
+	c.WriteCluster([]Item{{Key: key, Data: page(1, 1024), Compressed: true}}, false)
+	first := c.extents[key].start
+	c.WriteCluster([]Item{{Key: key, Data: page(2, 1024), Compressed: true}}, false)
+	second := c.extents[key].start
+	if first == second {
+		t.Fatal("rewrite stored page at the same location (would be a partial-block overwrite)")
+	}
+	got, _, _, _ := c.Read(key)
+	if !bytes.Equal(got, page(2, 1024)) {
+		t.Fatal("read returned stale data")
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusteredInvalidate(t *testing.T) {
+	c, _, _ := newClustered(t, fs.Options{}, ClusterConfig{})
+	key := PageKey{1, 0}
+	c.WriteCluster([]Item{{Key: key, Data: page(1, 1024), Compressed: true}}, false)
+	c.Invalidate(key)
+	if c.Has(key) {
+		t.Fatal("Has after Invalidate")
+	}
+	if _, _, _, ok := c.Read(key); ok {
+		t.Fatal("Read after Invalidate succeeded")
+	}
+	c.Invalidate(key) // idempotent
+	if err := c.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusteredGCCompactsAndPreservesData(t *testing.T) {
+	c, _, _ := newClustered(t, fs.Options{}, ClusterConfig{GCTriggerFrac: 0.99})
+	// Write 64 pages, then invalidate every other one to create garbage.
+	contents := make(map[PageKey][]byte)
+	var items []Item
+	for i := int32(0); i < 64; i++ {
+		key := PageKey{1, i}
+		data := page(int64(i)+100, 2048)
+		contents[key] = data
+		items = append(items, Item{Key: key, Data: data, Compressed: true})
+		if len(items) == 16 {
+			c.WriteCluster(items, false)
+			items = nil
+		}
+	}
+	for i := int32(0); i < 64; i += 2 {
+		c.Invalidate(PageKey{1, i})
+		delete(contents, PageKey{1, i})
+	}
+	spanBefore := len(c.marked)
+	c.GC()
+	if got := c.Stats().GCs; got != 1 {
+		t.Fatalf("GCs = %d", got)
+	}
+	if len(c.marked) >= spanBefore {
+		t.Fatalf("GC did not shrink the file span: %d -> %d", spanBefore, len(c.marked))
+	}
+	for key, want := range contents {
+		got, _, _, ok := c.Read(key)
+		if !ok {
+			t.Fatalf("GC lost page %v", key)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("GC corrupted page %v", key)
+		}
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusteredAutoGCTriggers(t *testing.T) {
+	c, _, _ := newClustered(t, fs.Options{}, ClusterConfig{GCTriggerFrac: 0.4})
+	// Repeatedly rewrite the same pages; stale copies accumulate until the
+	// trigger fires.
+	for round := 0; round < 20; round++ {
+		var items []Item
+		for i := int32(0); i < 16; i++ {
+			items = append(items, Item{Key: PageKey{1, i}, Data: page(int64(round*16)+int64(i), 2048), Compressed: true})
+		}
+		c.WriteCluster(items, false)
+	}
+	if c.Stats().GCs == 0 {
+		t.Fatal("auto GC never triggered despite heavy rewriting")
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property-style churn: random writes, rewrites, invalidations and GCs never
+// lose or corrupt a live page and keep the accounting consistent.
+func TestClusteredChurn(t *testing.T) {
+	for _, span := range []bool{false, true} {
+		for _, partial := range []bool{false, true} {
+			c, _, _ := newClustered(t, fs.Options{AllowPartialIO: partial},
+				ClusterConfig{SpanBlocks: span, GCTriggerFrac: 0.6})
+			rng := rand.New(rand.NewSource(99))
+			contents := make(map[PageKey][]byte)
+			for step := 0; step < 400; step++ {
+				switch rng.Intn(4) {
+				case 0, 1: // write a cluster of 1-8 pages
+					n := rng.Intn(8) + 1
+					var items []Item
+					for i := 0; i < n; i++ {
+						key := PageKey{1, int32(rng.Intn(40))}
+						size := rng.Intn(4096) + 1
+						compressed := size < 4096
+						if !compressed {
+							size = 4096
+						}
+						data := page(rng.Int63(), size)
+						// Avoid duplicate keys within one cluster.
+						dup := false
+						for _, it := range items {
+							if it.Key == key {
+								dup = true
+							}
+						}
+						if dup {
+							continue
+						}
+						items = append(items, Item{Key: key, Data: data, Compressed: compressed})
+						contents[key] = data
+					}
+					c.WriteCluster(items, rng.Intn(2) == 0)
+				case 2: // invalidate
+					key := PageKey{1, int32(rng.Intn(40))}
+					c.Invalidate(key)
+					delete(contents, key)
+				case 3: // read and verify
+					key := PageKey{1, int32(rng.Intn(40))}
+					got, _, _, ok := c.Read(key)
+					want, live := contents[key]
+					if ok != live {
+						t.Fatalf("span=%v partial=%v: Read(%v) ok=%v, want %v", span, partial, key, ok, live)
+					}
+					if ok && !bytes.Equal(got, want) {
+						t.Fatalf("span=%v partial=%v: Read(%v) data mismatch", span, partial, key)
+					}
+				}
+				if step%50 == 0 {
+					if err := c.CheckConsistency(); err != nil {
+						t.Fatalf("span=%v partial=%v step %d: %v", span, partial, step, err)
+					}
+				}
+			}
+			// Final sweep: every live page is intact.
+			for key, want := range contents {
+				got, _, _, ok := c.Read(key)
+				if !ok || !bytes.Equal(got, want) {
+					t.Fatalf("span=%v partial=%v: final verify failed for %v", span, partial, key)
+				}
+			}
+			if err := c.CheckConsistency(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestClusteredEmptyWrite(t *testing.T) {
+	c, _, d := newClustered(t, fs.Options{}, ClusterConfig{})
+	w0 := d.Stats().Writes
+	c.WriteCluster(nil, false)
+	if d.Stats().Writes != w0 {
+		t.Fatal("empty cluster issued a device write")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// LFS store
+
+func newLFS(t *testing.T, cfg LFSConfig) (*LFS, *disk.Disk, *mem.Pool) {
+	t.Helper()
+	var clock sim.Clock
+	d, err := disk.New(disk.RZ57(), &clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := mem.NewPool(256, 4096)
+	fsys, err := fs.New(fs.Options{BlockSize: 4096}, d, &clock, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.PageSize == 0 {
+		cfg.PageSize = 4096
+	}
+	l, err := NewLFS(cfg, fsys, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, d, pool
+}
+
+func TestLFSValidation(t *testing.T) {
+	var clock sim.Clock
+	d, _ := disk.New(disk.RZ57(), &clock)
+	pool := mem.NewPool(8, 4096)
+	fsys, _ := fs.New(fs.Options{BlockSize: 4096}, d, &clock, pool)
+	bad := []LFSConfig{
+		{PageSize: 1000},
+		{PageSize: 4096, SegmentBytes: 5000},
+		{PageSize: 4096, MaxSegments: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewLFS(cfg, fsys, pool); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// Buffer larger than the pool must fail cleanly.
+	if _, err := NewLFS(LFSConfig{PageSize: 4096, SegmentBytes: 64 * 4096}, fsys, pool); err == nil {
+		t.Error("oversized buffer accepted")
+	}
+}
+
+func TestLFSBufferPinsFrames(t *testing.T) {
+	l, _, pool := newLFS(t, LFSConfig{SegmentBytes: 16 * 4096})
+	if l.BufferFrames() != 16 {
+		t.Fatalf("buffer frames = %d", l.BufferFrames())
+	}
+	if pool.OwnedBy(mem.Kernel) != 16 {
+		t.Fatalf("kernel frames = %d", pool.OwnedBy(mem.Kernel))
+	}
+}
+
+func TestLFSRoundTrip(t *testing.T) {
+	l, _, _ := newLFS(t, LFSConfig{SegmentBytes: 8 * 4096})
+	data := page(1, 4096)
+	l.Write(PageKey{1, 0}, data)
+	got := make([]byte, 4096)
+	if !l.Read(PageKey{1, 0}, got) {
+		t.Fatal("read failed")
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch (buffer-resident)")
+	}
+	// Force a flush and re-read from "disk".
+	l.Flush()
+	if !l.Read(PageKey{1, 0}, got) || !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch (flushed)")
+	}
+	if err := l.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLFSSequentialSegmentWrites(t *testing.T) {
+	l, d, _ := newLFS(t, LFSConfig{SegmentBytes: 8 * 4096})
+	for i := int32(0); i < 8; i++ {
+		l.Write(PageKey{1, i}, page(int64(i), 4096))
+	}
+	// Exactly one device write for the whole segment, and buffered reads
+	// cost nothing.
+	if got := d.Stats().Writes; got != 1 {
+		t.Fatalf("segment flush issued %d writes, want 1", got)
+	}
+	if got := d.Stats().BytesWritten; got != 8*4096 {
+		t.Fatalf("bytes written = %d", got)
+	}
+}
+
+func TestLFSMissingAndInvalidate(t *testing.T) {
+	l, _, _ := newLFS(t, LFSConfig{SegmentBytes: 4 * 4096})
+	if l.Read(PageKey{1, 9}, make([]byte, 4096)) {
+		t.Fatal("read of absent page succeeded")
+	}
+	l.Write(PageKey{1, 0}, page(1, 4096))
+	l.Invalidate(PageKey{1, 0})
+	if l.Has(PageKey{1, 0}) {
+		t.Fatal("Has after Invalidate")
+	}
+	l.Invalidate(PageKey{1, 0}) // idempotent
+	if err := l.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLFSRewriteSupersedes(t *testing.T) {
+	l, _, _ := newLFS(t, LFSConfig{SegmentBytes: 4 * 4096})
+	key := PageKey{1, 0}
+	l.Write(key, page(1, 4096))
+	l.Flush()
+	l.Write(key, page(2, 4096))
+	got := make([]byte, 4096)
+	l.Read(key, got)
+	if !bytes.Equal(got, page(2, 4096)) {
+		t.Fatal("stale data after rewrite")
+	}
+	st := l.Stats()
+	if st.FragsFree == 0 {
+		t.Fatal("rewrite left no garbage (tombstone expected)")
+	}
+}
+
+func TestLFSCleanerReclaimsAndPreservesData(t *testing.T) {
+	l, _, _ := newLFS(t, LFSConfig{SegmentBytes: 4 * 4096, MaxSegments: 4, CleanReserve: 1})
+	contents := map[PageKey][]byte{}
+	// Write and rewrite enough pages to exceed the log cap repeatedly.
+	for round := 0; round < 12; round++ {
+		for i := int32(0); i < 6; i++ {
+			key := PageKey{1, i}
+			data := page(int64(round*10)+int64(i), 4096)
+			contents[key] = data
+			l.Write(key, data)
+		}
+	}
+	if l.Stats().GCs == 0 {
+		t.Fatal("cleaner never ran despite the segment cap")
+	}
+	got := make([]byte, 4096)
+	for key, want := range contents {
+		if !l.Read(key, got) {
+			t.Fatalf("cleaner lost %v", key)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("cleaner corrupted %v", key)
+		}
+	}
+	if err := l.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLFSChurn(t *testing.T) {
+	l, _, _ := newLFS(t, LFSConfig{SegmentBytes: 8 * 4096, MaxSegments: 6})
+	rng := rand.New(rand.NewSource(5))
+	contents := map[PageKey][]byte{}
+	buf := make([]byte, 4096)
+	for step := 0; step < 2000; step++ {
+		key := PageKey{1, int32(rng.Intn(24))}
+		switch rng.Intn(3) {
+		case 0:
+			data := page(rng.Int63(), 4096)
+			contents[key] = append([]byte(nil), data...)
+			l.Write(key, data)
+		case 1:
+			l.Invalidate(key)
+			delete(contents, key)
+		case 2:
+			want, live := contents[key]
+			ok := l.Read(key, buf)
+			if ok != live {
+				t.Fatalf("step %d: Read(%v) ok=%v want %v", step, key, ok, live)
+			}
+			if ok && !bytes.Equal(buf, want) {
+				t.Fatalf("step %d: data mismatch for %v", step, key)
+			}
+		}
+		if step%250 == 0 {
+			if err := l.CheckConsistency(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := l.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any write/invalidate sequence keeps the clustered store's
+// fragment accounting consistent.
+func TestClusteredAccountingProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		fsys, _, _ := newFSQuick()
+		c, err := NewClustered(ClusterConfig{PageSize: 4096}, fsys)
+		if err != nil {
+			return false
+		}
+		for i, op := range ops {
+			key := PageKey{1, int32(op % 16)}
+			if op&0x8000 != 0 {
+				c.Invalidate(key)
+			} else {
+				size := int(op)%3000 + 1
+				c.WriteCluster([]Item{{Key: key, Data: page(int64(i), size), Compressed: true}}, true)
+			}
+			if c.CheckConsistency() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newFSQuick() (*fs.FS, *disk.Disk, *sim.Clock) {
+	var clock sim.Clock
+	d, _ := disk.New(disk.RZ57(), &clock)
+	pool := mem.NewPool(8, 4096)
+	fsys, _ := fs.New(fs.Options{BlockSize: 4096}, d, &clock, pool)
+	return fsys, d, &clock
+}

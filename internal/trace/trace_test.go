@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestUniform(t *testing.T) {
+	g := &Uniform{N: 1000, Range: 512, WriteFrac: 0.3, CPUs: 4, Seed: 1}
+	refs := Collect(g)
+	if len(refs) != 1000 {
+		t.Fatalf("got %d refs", len(refs))
+	}
+	st := Summarize(refs)
+	if st.WriteFrac < 0.2 || st.WriteFrac > 0.4 {
+		t.Fatalf("write frac = %v", st.WriteFrac)
+	}
+	cpus := map[int]bool{}
+	for _, r := range refs {
+		if r.Addr >= 512 {
+			t.Fatalf("addr %d out of range", r.Addr)
+		}
+		cpus[r.CPU] = true
+	}
+	if len(cpus) != 4 {
+		t.Fatalf("cpus used: %d", len(cpus))
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	a := Collect(&Uniform{N: 100, Range: 64, Seed: 7})
+	b := Collect(&Uniform{N: 100, Range: 64, Seed: 7})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different traces")
+		}
+	}
+	c := Collect(&Uniform{N: 100, Range: 64, Seed: 8})
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestZipfSkewsPopularity(t *testing.T) {
+	refs := Collect(&Zipf{N: 10000, Range: 10000, Skew: 1.5, Seed: 2})
+	counts := map[uint64]int{}
+	for _, r := range refs {
+		counts[r.Addr]++
+	}
+	// The most popular address should dominate a uniform expectation (1 ref
+	// per address).
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if maxCount < 100 {
+		t.Fatalf("zipf max popularity = %d, want heavy skew", maxCount)
+	}
+}
+
+func TestStridedStaysInPartition(t *testing.T) {
+	g := &Strided{N: 4000, Range: 4096, Stride: 8, CPUs: 4, Seed: 3}
+	part := uint64(1024)
+	for {
+		r, done := g.Next()
+		if done {
+			break
+		}
+		lo := uint64(r.CPU) * part
+		if r.Addr < lo || r.Addr >= lo+part {
+			t.Fatalf("cpu %d touched addr %d outside [%d,%d)", r.CPU, r.Addr, lo, lo+part)
+		}
+	}
+}
+
+func TestMixDrainsAll(t *testing.T) {
+	m := &Mix{Gens: []Generator{
+		&Uniform{N: 10, Range: 8, Seed: 1},
+		&Uniform{N: 25, Range: 8, Seed: 2},
+	}}
+	refs := Collect(m)
+	if len(refs) != 35 {
+		t.Fatalf("mix produced %d refs, want 35", len(refs))
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	st := Summarize(nil)
+	if st.Refs != 0 || st.WriteFrac != 0 {
+		t.Fatalf("empty summary %+v", st)
+	}
+}
+
+func TestTraceSerializationRoundTrip(t *testing.T) {
+	var rec Recorder
+	rec.Note(0, 5, false)
+	rec.Note(1, 9, true)
+	rec.Note(0, 5, false)
+	var buf bytes.Buffer
+	n, err := rec.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[1] != (PageRef{Seg: 1, Page: 9, Write: true}) {
+		t.Fatalf("round trip mismatch: %v", got)
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,                // empty
+		[]byte("xxxx"),     // bad magic
+		[]byte("cct1\x01"), // short count
+		append([]byte("cct1"), make([]byte, 8)...), // count 0, ok actually
+	}
+	if _, err := ReadTrace(bytes.NewReader(cases[0])); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadTrace(bytes.NewReader(cases[1])); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadTrace(bytes.NewReader(cases[2])); err == nil {
+		t.Error("short count accepted")
+	}
+	if refs, err := ReadTrace(bytes.NewReader(cases[3])); err != nil || len(refs) != 0 {
+		t.Errorf("empty trace should parse: %v %v", refs, err)
+	}
+	// Truncated body.
+	var rec Recorder
+	rec.Note(0, 1, false)
+	var buf bytes.Buffer
+	rec.WriteTo(&buf)
+	trunc := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReadTrace(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated body accepted")
+	}
+	// Implausible count.
+	big := append([]byte("cct1"), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F)
+	if _, err := ReadTrace(bytes.NewReader(big)); err == nil {
+		t.Error("implausible count accepted")
+	}
+}

@@ -1,0 +1,492 @@
+// Package vm implements the simulated virtual-memory system: segments, page
+// tables, an exact-LRU resident list, and the page-fault path.
+//
+// The VM system is deliberately policy-free about where page contents go
+// when they leave memory: it delegates to a Pager, which the machine package
+// implements by combining the compression cache and the backing store. This
+// mirrors the paper's structure, where the compression cache is "a new level
+// in the memory management hierarchy" slotted between uncompressed pages and
+// the backing store (§4.1), and keeps this package reusable for the
+// unmodified baseline system (a Pager that goes straight to swap).
+//
+// Sprite used true LRU approximations; the simulator uses exact LRU, updated
+// on every simulated reference, which is affordable in a simulator and
+// matches the paper's analysis ("The system uses an LRU algorithm for page
+// replacement", §5.1).
+package vm
+
+import (
+	"fmt"
+
+	"compcache/internal/mem"
+	"compcache/internal/sim"
+	"compcache/internal/stats"
+	"compcache/internal/swap"
+)
+
+// PageState is where a page's current contents live.
+type PageState int8
+
+// Page states.
+const (
+	// Untouched pages have never been written; they read as zeros and cost
+	// no I/O to reconstruct.
+	Untouched PageState = iota
+	// Resident pages occupy a physical frame, uncompressed.
+	Resident
+	// Compressed pages live in the compression cache.
+	Compressed
+	// Swapped pages' current contents are only on the backing store.
+	Swapped
+)
+
+// String returns the state name.
+func (s PageState) String() string {
+	switch s {
+	case Untouched:
+		return "untouched"
+	case Resident:
+		return "resident"
+	case Compressed:
+		return "compressed"
+	case Swapped:
+		return "swapped"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Page is one virtual page's bookkeeping. The Pager may read and write the
+// exported fields; the VM owns State, Frame and the LRU links.
+type Page struct {
+	Key   swap.PageKey
+	State PageState
+	Frame mem.FrameID
+
+	// Dirty reports that the resident copy has been modified since it was
+	// last made durable; a dirty page cannot be discarded without either
+	// compressing it into the cache or writing it to the backing store.
+	Dirty bool
+
+	// SwapValid reports that the backing store holds the page's current
+	// contents (so a clean eviction needs no write).
+	SwapValid bool
+
+	// EverWritten distinguishes pages that have only ever been read (their
+	// contents are still all zeros and can be recreated for free).
+	EverWritten bool
+
+	// Pinned pages are exempt from LRU eviction — the §3 "advisory to the
+	// operating system" that LRU replacement will behave poorly. A pinned
+	// page must be resident.
+	Pinned bool
+
+	// LastUse is the virtual time of the page's most recent reference.
+	LastUse sim.Time
+
+	prev, next *Page
+}
+
+// Source says where a fault's contents came from; the Pager returns it so
+// the VM can attribute the fault in its statistics.
+type Source int8
+
+// Fault sources.
+const (
+	SrcZero Source = iota // zero-filled cold fault
+	SrcCC                 // decompressed from the compression cache
+	SrcSwap               // read from the backing store
+)
+
+// Pager moves page contents between memory and the lower levels of the
+// hierarchy. The machine package implements it.
+type Pager interface {
+	// PageOut disposes of the contents of a page leaving Resident state.
+	// data is a scratch copy of the page (the frame itself has already been
+	// released so the pager can reuse it, e.g. to grow the compression
+	// cache). PageOut must set p.State to Compressed, Swapped or Untouched
+	// and maintain p.Dirty/p.SwapValid.
+	PageOut(p *Page, data []byte)
+
+	// PageIn produces the page's current contents into data (the new
+	// frame's bytes) and reports where they came from. It must update
+	// p.Dirty/p.SwapValid; the VM sets p.State to Resident afterwards.
+	PageIn(p *Page, data []byte) Source
+
+	// Dirtied is called when a clean resident page is first modified, so
+	// stale copies at lower levels can be invalidated.
+	Dirtied(p *Page)
+}
+
+// Segment is a contiguous range of virtual pages (the unit that has a swap
+// file in Sprite).
+type Segment struct {
+	ID     int32
+	Name   string
+	NPages int32
+	pages  []Page
+}
+
+// Page returns the page descriptor for page n.
+func (s *Segment) Page(n int32) *Page {
+	if n < 0 || n >= s.NPages {
+		panic(fmt.Sprintf("vm: page %d out of range [0,%d) in segment %q", n, s.NPages, s.Name))
+	}
+	return &s.pages[n]
+}
+
+// Size reports the segment size in bytes, given the page size p.
+func (s *Segment) Size(pageSize int) int64 { return int64(s.NPages) * int64(pageSize) }
+
+// VM is the virtual-memory system.
+type VM struct {
+	clock *sim.Clock
+	pool  *mem.Pool
+	cost  sim.CostModel
+	pager Pager
+
+	// frameSource obtains a frame for a faulting page, reclaiming one
+	// through the replacement policy when the pool is empty.
+	frameSource func(mem.Owner) mem.FrameID
+
+	segs    []*Segment
+	nextSeg int32
+
+	lruHead  *Page // least recently used resident page
+	lruTail  *Page // most recently used
+	resident int
+
+	scratch []byte // eviction copy buffer
+
+	// traceHook, when set, observes every simulated reference (segment,
+	// page, write); the trace package's Recorder plugs in here.
+	traceHook func(seg, page int32, write bool)
+
+	st stats.VM
+}
+
+// New creates a VM system. The pager and frame source must be installed with
+// SetPager/SetFrameSource before the first fault.
+func New(clock *sim.Clock, pool *mem.Pool, cost sim.CostModel) *VM {
+	v := &VM{
+		clock:   clock,
+		pool:    pool,
+		cost:    cost,
+		scratch: make([]byte, pool.PageSize()),
+	}
+	v.frameSource = func(o mem.Owner) mem.FrameID {
+		id, ok := pool.Alloc(o)
+		if !ok {
+			panic("vm: no frame source wired and pool exhausted")
+		}
+		return id
+	}
+	return v
+}
+
+// SetPager installs the pager.
+func (v *VM) SetPager(p Pager) { v.pager = p }
+
+// SetFrameSource installs the policy-backed frame allocator.
+func (v *VM) SetFrameSource(f func(mem.Owner) mem.FrameID) { v.frameSource = f }
+
+// SetTraceHook installs an observer called on every simulated reference;
+// nil disables tracing.
+func (v *VM) SetTraceHook(f func(seg, page int32, write bool)) { v.traceHook = f }
+
+// Stats returns a snapshot of the VM counters.
+func (v *VM) Stats() stats.VM { return v.st }
+
+// ResidentPages reports the number of uncompressed resident pages.
+func (v *VM) ResidentPages() int { return v.resident }
+
+// PageSize reports the page size in bytes.
+func (v *VM) PageSize() int { return v.pool.PageSize() }
+
+// Segments returns the live segments.
+func (v *VM) Segments() []*Segment { return v.segs }
+
+// NewSegment creates a segment of npages pages.
+func (v *VM) NewSegment(name string, npages int32) *Segment {
+	if npages <= 0 {
+		panic(fmt.Sprintf("vm: segment %q must have at least one page", name))
+	}
+	s := &Segment{ID: v.nextSeg, Name: name, NPages: npages, pages: make([]Page, npages)}
+	v.nextSeg++
+	for i := range s.pages {
+		s.pages[i].Key = swap.PageKey{Seg: s.ID, Page: int32(i)}
+		s.pages[i].Frame = mem.NoFrame
+	}
+	v.segs = append(v.segs, s)
+	return s
+}
+
+// Touch simulates one memory reference to page n of segment s, faulting it
+// in if necessary, and returns the page (resident on return). Every call
+// costs one memory-reference time plus whatever the fault path costs.
+func (v *VM) Touch(s *Segment, n int32, write bool) *Page {
+	v.st.Refs++
+	v.clock.Advance(v.cost.MemRef)
+	if v.traceHook != nil {
+		v.traceHook(s.ID, n, write)
+	}
+	p := s.Page(n)
+	if p.State == Resident {
+		v.lruTouch(p)
+		if write {
+			v.markWritten(p)
+		}
+		return p
+	}
+	v.fault(p)
+	if write {
+		v.markWritten(p)
+	}
+	return p
+}
+
+func (v *VM) markWritten(p *Page) {
+	p.EverWritten = true
+	if !p.Dirty {
+		p.Dirty = true
+		if p.SwapValid {
+			p.SwapValid = false
+		}
+		v.pager.Dirtied(p)
+	}
+}
+
+// fault brings a non-resident page into memory.
+func (v *VM) fault(p *Page) {
+	if p.State == Resident {
+		panic("vm: fault on resident page")
+	}
+	v.st.Faults++
+	v.clock.Advance(v.cost.FaultOverhead)
+
+	frame := v.frameSource(mem.VM)
+	data := v.pool.Bytes(frame)
+
+	switch p.State {
+	case Untouched:
+		v.st.ColdFaults++
+		clear(data)
+		p.Dirty = false
+		p.SwapValid = false
+	default:
+		switch src := v.pager.PageIn(p, data); src {
+		case SrcCC:
+			v.st.CacheHits++
+		case SrcSwap:
+			v.st.SwapIns++
+		case SrcZero:
+			v.st.ColdFaults++
+		}
+	}
+	p.Frame = frame
+	p.State = Resident
+	v.lruAppend(p)
+}
+
+// Name identifies the VM system in the replacement policy ("vm").
+func (v *VM) Name() string { return "vm" }
+
+// OldestAge reports the last-use time of the LRU resident page; ok is false
+// when nothing is resident. This makes the VM a consumer in the three-way
+// memory trade.
+func (v *VM) OldestAge() (sim.Time, bool) {
+	if v.lruHead == nil {
+		return 0, false
+	}
+	return v.lruHead.LastUse, true
+}
+
+// ReleaseOldest evicts the least-recently-used unpinned resident page,
+// handing its contents to the pager, and frees its frame. It reports false
+// when nothing evictable is resident.
+func (v *VM) ReleaseOldest() bool {
+	p := v.lruHead
+	for p != nil && p.Pinned {
+		v.st.PinnedSkips++
+		p = p.next
+	}
+	if p == nil {
+		return false
+	}
+	v.Evict(p)
+	return true
+}
+
+// Pin makes the page exempt from eviction, faulting it in first if needed
+// (the §3 advisory interface). It returns the page.
+func (v *VM) Pin(s *Segment, n int32) *Page {
+	p := v.Touch(s, n, false)
+	p.Pinned = true
+	return p
+}
+
+// Unpin makes the page evictable again.
+func (v *VM) Unpin(s *Segment, n int32) {
+	s.Page(n).Pinned = false
+}
+
+// Evict forces a specific resident page out of memory (exported for tests
+// and for workload madvise-style hints).
+func (v *VM) Evict(p *Page) {
+	if p.State != Resident {
+		panic(fmt.Sprintf("vm: Evict of non-resident page %v (%v)", p.Key, p.State))
+	}
+	if p.Pinned {
+		panic(fmt.Sprintf("vm: Evict of pinned page %v", p.Key))
+	}
+	v.st.Evictions++
+	if p.Dirty {
+		v.st.WriteBacks++
+	}
+	v.lruRemove(p)
+	v.resident--
+
+	// Copy the contents to scratch and release the frame first, so the
+	// pager can reuse it (for instance to grow the compression cache by one
+	// frame while absorbing this very page). The copy is a simulation
+	// convenience and is not charged: the kernel compresses straight out of
+	// the page frame.
+	copy(v.scratch, v.pool.Bytes(p.Frame))
+	v.pool.Release(p.Frame)
+	p.Frame = mem.NoFrame
+
+	if !p.Dirty && !p.EverWritten && !p.SwapValid {
+		// Never-written page: contents are all zeros; recreate on demand.
+		p.State = Untouched
+		return
+	}
+	v.pager.PageOut(p, v.scratch)
+}
+
+// lru plumbing ---------------------------------------------------------------
+
+func (v *VM) lruAppend(p *Page) {
+	p.LastUse = v.clock.Now()
+	p.prev = v.lruTail
+	p.next = nil
+	if v.lruTail != nil {
+		v.lruTail.next = p
+	} else {
+		v.lruHead = p
+	}
+	v.lruTail = p
+	v.resident++
+}
+
+func (v *VM) lruRemove(p *Page) {
+	if p.prev != nil {
+		p.prev.next = p.next
+	} else {
+		v.lruHead = p.next
+	}
+	if p.next != nil {
+		p.next.prev = p.prev
+	} else {
+		v.lruTail = p.prev
+	}
+	p.prev, p.next = nil, nil
+}
+
+func (v *VM) lruTouch(p *Page) {
+	v.lruRemove(p)
+	v.resident--
+	v.lruAppend(p)
+}
+
+// CheckLRU verifies the resident list's internal consistency (length,
+// linkage, monotone LastUse order); tests call it after stressing the VM.
+func (v *VM) CheckLRU() error {
+	count := 0
+	var last sim.Time
+	for p := v.lruHead; p != nil; p = p.next {
+		if p.State != Resident {
+			return fmt.Errorf("vm: non-resident page %v on LRU list", p.Key)
+		}
+		if p.LastUse < last {
+			return fmt.Errorf("vm: LRU list out of order at %v", p.Key)
+		}
+		last = p.LastUse
+		count++
+		if count > v.resident {
+			break
+		}
+	}
+	if count != v.resident {
+		return fmt.Errorf("vm: LRU list has %d pages, resident counter says %d", count, v.resident)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Byte-level access: workloads store real data in simulated pages.
+
+// Read copies len(buf) bytes at byte offset off in segment s into buf,
+// touching (and faulting) each covered page.
+func (v *VM) Read(s *Segment, off int64, buf []byte) {
+	v.access(s, off, buf, false)
+}
+
+// Write copies data into segment s at byte offset off, touching (and
+// faulting) each covered page and marking it dirty.
+func (v *VM) Write(s *Segment, off int64, data []byte) {
+	v.access(s, off, data, true)
+}
+
+func (v *VM) access(s *Segment, off int64, buf []byte, write bool) {
+	if off < 0 {
+		panic("vm: negative offset")
+	}
+	ps := int64(v.pool.PageSize())
+	for len(buf) > 0 {
+		page := int32(off / ps)
+		in := int(off % ps)
+		n := int(ps) - in
+		if n > len(buf) {
+			n = len(buf)
+		}
+		p := v.Touch(s, page, write)
+		frame := v.pool.Bytes(p.Frame)
+		if write {
+			copy(frame[in:in+n], buf[:n])
+		} else {
+			copy(buf[:n], frame[in:in+n])
+		}
+		buf = buf[n:]
+		off += int64(n)
+	}
+}
+
+// ReadWord reads the 8-byte little-endian word at byte offset off.
+func (v *VM) ReadWord(s *Segment, off int64) uint64 {
+	page, in := v.wordAddr(off)
+	p := v.Touch(s, page, false)
+	b := v.pool.Bytes(p.Frame)[in:]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// WriteWord writes the 8-byte little-endian word at byte offset off.
+func (v *VM) WriteWord(s *Segment, off int64, val uint64) {
+	page, in := v.wordAddr(off)
+	p := v.Touch(s, page, true)
+	b := v.pool.Bytes(p.Frame)[in:]
+	b[0], b[1], b[2], b[3] = byte(val), byte(val>>8), byte(val>>16), byte(val>>24)
+	b[4], b[5], b[6], b[7] = byte(val>>32), byte(val>>40), byte(val>>48), byte(val>>56)
+}
+
+func (v *VM) wordAddr(off int64) (page int32, in int) {
+	if off < 0 {
+		panic("vm: negative offset")
+	}
+	ps := int64(v.pool.PageSize())
+	in = int(off % ps)
+	if in+8 > int(ps) {
+		panic(fmt.Sprintf("vm: word access at %d straddles a page boundary", off))
+	}
+	return int32(off / ps), in
+}

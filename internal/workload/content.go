@@ -1,0 +1,76 @@
+package workload
+
+import "math/rand"
+
+// fillTunable fills buf with content whose LZRW1 compressibility is tuned by
+// target, the approximate fraction of bytes that should remain after
+// compression (the paper's compression-ratio axis). A prefix of
+// target*len(buf) bytes is random (incompressible) and the remainder is a
+// short repeating pattern (compresses to almost nothing), so the overall
+// ratio lands near target.
+func fillTunable(rng *rand.Rand, buf []byte, target float64) {
+	if target < 0 {
+		target = 0
+	}
+	if target > 1 {
+		target = 1
+	}
+	n := int(float64(len(buf)) * target)
+	rng.Read(buf[:n])
+	pattern := [4]byte{0x20, byte('a' + rng.Intn(26)), byte('a' + rng.Intn(26)), 0x00}
+	for i := n; i < len(buf); i++ {
+		buf[i] = pattern[i&3]
+	}
+}
+
+// vocabulary produces a deterministic pseudo-dictionary of distinct
+// lowercase words, standing in for /usr/dict/words (which the paper's sort
+// benchmark replicates many times). Word lengths are 4-12 letters.
+func vocabulary(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[string]bool, n)
+	words := make([]string, 0, n)
+	for len(words) < n {
+		l := 4 + rng.Intn(9)
+		b := make([]byte, l)
+		// Markov-ish letter chain for a vaguely English shape.
+		prev := byte('a' + rng.Intn(26))
+		for i := range b {
+			if i > 0 && rng.Intn(3) == 0 {
+				b[i] = prev
+				continue
+			}
+			c := byte('a' + rng.Intn(26))
+			b[i] = c
+			prev = c
+		}
+		w := string(b)
+		if !seen[w] {
+			seen[w] = true
+			words = append(words, w)
+		}
+	}
+	return words
+}
+
+// pageFiller synthesizes page contents at a fixed compressibility for
+// trace replay.
+type pageFiller struct {
+	rng    *rand.Rand
+	buf    []byte
+	target float64
+}
+
+func newPageFiller(seed int64, pageSize int, target float64) *pageFiller {
+	return &pageFiller{
+		rng:    rand.New(rand.NewSource(seed)),
+		buf:    make([]byte, pageSize),
+		target: target,
+	}
+}
+
+// page returns a freshly filled page buffer (reused across calls).
+func (p *pageFiller) page() []byte {
+	fillTunable(p.rng, p.buf, p.target)
+	return p.buf
+}

@@ -1,0 +1,211 @@
+package workload
+
+import (
+	"fmt"
+
+	"compcache/internal/machine"
+	"compcache/internal/simalloc"
+	"compcache/internal/trace"
+)
+
+// CacheSim reproduces the paper's "isca" application: Dubnicki & LeBlanc's
+// adjustable-block-size coherent-cache simulator (ISCA '92), "both
+// CPU-intensive and memory-intensive". It simulates P processors with
+// set-associative caches kept coherent by an MSI invalidation protocol,
+// sweeping several block sizes over the same reference trace; the tag
+// arrays and the large per-block statistics tables live in simulated memory,
+// and their contents (small counters, structured tags) compress about 3:1,
+// matching the paper's measurement for isca.
+type CacheSim struct {
+	// CPUs is the number of simulated processors.
+	CPUs int
+
+	// Sets and Ways give each processor's cache geometry.
+	Sets, Ways int
+
+	// AddrWords is the simulated physical address space, in words.
+	AddrWords uint64
+
+	// BlockWordsList is the list of block sizes (in words) to sweep — the
+	// "adjustable block size" study.
+	BlockWordsList []int
+
+	// Refs is the number of trace references per block size.
+	Refs int
+
+	// Seed makes runs reproducible.
+	Seed int64
+
+	// missRates records the result of each sweep (exposed for tests).
+	missRates []float64
+}
+
+// Name implements Workload.
+func (c *CacheSim) Name() string { return "isca" }
+
+// MSI cache-line states, stored in the low bits of each meta word.
+const (
+	lineInvalid  = 0
+	lineShared   = 1
+	lineModified = 2
+)
+
+// Run implements Workload.
+func (c *CacheSim) Run(m *machine.Machine) error {
+	if c.CPUs <= 0 || c.Sets <= 0 || c.Ways <= 0 || c.AddrWords == 0 || c.Refs <= 0 {
+		return fmt.Errorf("isca: incomplete configuration")
+	}
+	if len(c.BlockWordsList) == 0 {
+		c.BlockWordsList = []int{4, 16, 64}
+	}
+	for _, bw := range c.BlockWordsList {
+		if bw <= 0 || bw&(bw-1) != 0 {
+			return fmt.Errorf("isca: block size %d must be a positive power of two", bw)
+		}
+	}
+
+	// Size the simulated heap: per block size, a stats table of 4 words per
+	// block plus tag/meta arrays of Sets*Ways words per CPU.
+	var total int64
+	for _, bw := range c.BlockWordsList {
+		blocks := int64(c.AddrWords) / int64(bw)
+		total += blocks*4*8 + int64(c.CPUs)*int64(c.Sets)*int64(c.Ways)*2*8
+	}
+	total += int64(m.Config().PageSize) * 4
+	space := m.NewSegment("isca", total)
+	arena := simalloc.New(space)
+
+	m.MarkStart()
+	c.missRates = c.missRates[:0]
+	for cfgIdx, bw := range c.BlockWordsList {
+		// The simulator is restarted per block size; tables are zeroed by
+		// construction (fresh allocations read as zero).
+		blocks := int64(c.AddrWords) / int64(bw)
+		statsOff := arena.AllocPageAligned(blocks * 4 * 8)
+		tagOff := arena.AllocPageAligned(int64(c.CPUs) * int64(c.Sets) * int64(c.Ways) * 8)
+		metaOff := arena.AllocPageAligned(int64(c.CPUs) * int64(c.Sets) * int64(c.Ways) * 8)
+
+		slot := func(cpu, set, way int) int64 {
+			return int64(((cpu*c.Sets)+set)*c.Ways+way) * 8
+		}
+		gen := &trace.Mix{Gens: []trace.Generator{
+			&trace.Strided{N: c.Refs / 2, Range: c.AddrWords, Stride: 1, WriteFrac: 0.3,
+				CPUs: c.CPUs, Seed: c.Seed + int64(cfgIdx)},
+			&trace.Zipf{N: c.Refs / 2, Range: c.AddrWords, Skew: 1.3, WriteFrac: 0.3,
+				CPUs: c.CPUs, Seed: c.Seed + 1000 + int64(cfgIdx)},
+		}}
+
+		var refs, misses, invals uint64
+		var stamp uint64
+		for {
+			ref, done := gen.Next()
+			if done {
+				break
+			}
+			refs++
+			stamp++
+			block := ref.Addr / uint64(bw)
+			set := int(block % uint64(c.Sets))
+			tag := block / uint64(c.Sets)
+
+			// Probe the local cache.
+			hitWay := -1
+			victim, victimStamp := 0, ^uint64(0)
+			for w := 0; w < c.Ways; w++ {
+				meta := space.ReadWord(metaOff + slot(ref.CPU, set, w))
+				state := meta & 3
+				lru := meta >> 2
+				if state != lineInvalid {
+					t := space.ReadWord(tagOff + slot(ref.CPU, set, w))
+					if t == tag {
+						hitWay = w
+						break
+					}
+				}
+				if lru < victimStamp {
+					victim, victimStamp = w, lru
+				}
+			}
+
+			statBase := statsOff + int64(block)*4*8
+			if hitWay >= 0 {
+				meta := space.ReadWord(metaOff + slot(ref.CPU, set, hitWay))
+				state := meta & 3
+				if ref.Write && state != lineModified {
+					invals += c.invalidateOthers(space, metaOff, tagOff, slot, ref.CPU, set, tag)
+					state = lineModified
+					space.WriteWord(statBase+8, space.ReadWord(statBase+8)+1) // write upgrades
+				}
+				space.WriteWord(metaOff+slot(ref.CPU, set, hitWay), stamp<<2|state)
+				space.WriteWord(statBase, space.ReadWord(statBase)+1) // accesses
+				continue
+			}
+
+			// Miss: fill the LRU victim way.
+			misses++
+			state := uint64(lineShared)
+			if ref.Write {
+				invals += c.invalidateOthers(space, metaOff, tagOff, slot, ref.CPU, set, tag)
+				state = lineModified
+			} else {
+				// A read fetch downgrades a remote modified copy.
+				c.downgradeOthers(space, metaOff, tagOff, slot, ref.CPU, set, tag)
+			}
+			space.WriteWord(tagOff+slot(ref.CPU, set, victim), tag)
+			space.WriteWord(metaOff+slot(ref.CPU, set, victim), stamp<<2|state)
+			space.WriteWord(statBase, space.ReadWord(statBase)+1)
+			space.WriteWord(statBase+16, space.ReadWord(statBase+16)+1) // misses
+		}
+		// Record the per-config result in the last stats slot for realism
+		// (a real simulator writes its summary).
+		c.missRates = append(c.missRates, float64(misses)/float64(refs))
+		space.WriteWord(statsOff+24, invals)
+	}
+	m.Drain()
+	return nil
+}
+
+// invalidateOthers removes every other CPU's copy of (set, tag), returning
+// the number of invalidations.
+func (c *CacheSim) invalidateOthers(space *machine.Space, metaOff, tagOff int64,
+	slot func(cpu, set, way int) int64, me, set int, tag uint64) uint64 {
+	var n uint64
+	for cpu := 0; cpu < c.CPUs; cpu++ {
+		if cpu == me {
+			continue
+		}
+		for w := 0; w < c.Ways; w++ {
+			meta := space.ReadWord(metaOff + slot(cpu, set, w))
+			if meta&3 == lineInvalid {
+				continue
+			}
+			if space.ReadWord(tagOff+slot(cpu, set, w)) == tag {
+				space.WriteWord(metaOff+slot(cpu, set, w), meta&^3) // -> invalid
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// downgradeOthers moves remote modified copies of (set, tag) to shared.
+func (c *CacheSim) downgradeOthers(space *machine.Space, metaOff, tagOff int64,
+	slot func(cpu, set, way int) int64, me, set int, tag uint64) {
+	for cpu := 0; cpu < c.CPUs; cpu++ {
+		if cpu == me {
+			continue
+		}
+		for w := 0; w < c.Ways; w++ {
+			meta := space.ReadWord(metaOff + slot(cpu, set, w))
+			if meta&3 != lineModified {
+				continue
+			}
+			if space.ReadWord(tagOff+slot(cpu, set, w)) == tag {
+				space.WriteWord(metaOff+slot(cpu, set, w), meta&^3|lineShared)
+			}
+		}
+	}
+}
+
+// MissRates reports the per-block-size miss rates from the last Run.
+func (c *CacheSim) MissRates() []float64 { return c.missRates }

@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"compcache/internal/machine"
+)
+
+// Thrasher is the §5.1 program "contrived to thrash the VM system": it
+// cycles linearly through a working set, reading (and optionally writing)
+// one word of memory on each page each time through. With LRU replacement
+// and a working set larger than memory, every access faults, so the ratio
+// between compression speed and I/O speed bounds the speedup — the maximum
+// possible improvement for the configuration (Figure 3).
+type Thrasher struct {
+	// Pages is the working-set size in pages (the paper's x axis, "size of
+	// address space", sweeps this from a few MB to 40 MB).
+	Pages int32
+
+	// Write makes each touch modify the page (the paper's _rw lines);
+	// otherwise pages are only read after initialization (_ro).
+	Write bool
+
+	// Passes is how many sweeps to time; the paper's numbers stabilize
+	// after the first (cold) pass, which Run performs during setup.
+	Passes int
+
+	// CompressTarget tunes page contents' compressibility; the paper's
+	// thrasher pages "compress roughly 4:1", i.e. 0.25. Zero selects 0.25.
+	CompressTarget float64
+
+	// PinFraction pins this fraction of the working set in memory before
+	// the access sweeps — the §3 advisory: "half the pages could
+	// effectively be pinned in memory with faults occurring only on the
+	// other half". Pinning competes with everything else for frames, so it
+	// only helps when LRU would otherwise behave pathologically.
+	PinFraction float64
+
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// TimedSweeps reports the number of full working-set sweeps the timed run
+// performs: the initialization write sweep plus the Passes access sweeps.
+// Figure 3's average page access time is Elapsed / (TimedSweeps * Pages).
+func (t *Thrasher) TimedSweeps() int {
+	passes := t.Passes
+	if passes <= 0 {
+		passes = 2
+	}
+	return passes + 1
+}
+
+// Name implements Workload.
+func (t *Thrasher) Name() string {
+	if t.Write {
+		return "thrasher_rw"
+	}
+	return "thrasher_ro"
+}
+
+// Run implements Workload.
+func (t *Thrasher) Run(m *machine.Machine) error {
+	if t.Pages <= 0 {
+		return fmt.Errorf("thrasher: Pages must be positive")
+	}
+	passes := t.Passes
+	if passes <= 0 {
+		passes = 2
+	}
+	target := t.CompressTarget
+	if target == 0 {
+		target = 0.25
+	}
+	pageSize := m.Config().PageSize
+	s := m.NewSegment("thrasher", int64(t.Pages)*int64(pageSize))
+
+	// The paper measures the whole program, so the initialization sweep —
+	// which writes every page once and is the source of the dirty-writeback
+	// traffic interleaved with reads — is part of the timed run.
+	m.MarkStart()
+	rng := rand.New(rand.NewSource(t.Seed))
+	buf := make([]byte, pageSize)
+	for p := int32(0); p < t.Pages; p++ {
+		fillTunable(rng, buf, target)
+		s.Write(int64(p)*int64(pageSize), buf)
+	}
+
+	if t.PinFraction > 0 {
+		n := int32(float64(t.Pages) * t.PinFraction)
+		limit := int32(float64(m.Pool.Total()) * 0.9) // leave headroom for the sweep
+		if n > limit {
+			n = limit
+		}
+		for p := int32(0); p < n; p++ {
+			s.Pin(p)
+		}
+	}
+
+	for pass := 0; pass < passes; pass++ {
+		for p := int32(0); p < t.Pages; p++ {
+			if t.Write {
+				// Read-modify-write one word, as the paper describes.
+				off := int64(p) * int64(pageSize)
+				v := s.ReadWord(off)
+				s.WriteWord(off, v+1)
+			} else {
+				s.Touch(p, false)
+			}
+		}
+	}
+	m.Drain()
+	return nil
+}
