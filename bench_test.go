@@ -7,6 +7,7 @@
 package compcache
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -76,11 +77,75 @@ func BenchmarkTable1(b *testing.B) {
 	}
 }
 
+// BenchmarkTable1Parallelism regenerates the whole of Table 1 serially and
+// with the parallel runner. Wall-clock per op is the point of comparison:
+// the runs are independent machines, so -j 4 should approach a 4x win on
+// idle 4-core hardware while producing a byte-identical table (asserted in
+// TestTable1ParallelMatchesSerial). Run with -scale=paper semantics via
+// cmd/ccbench for the paper-sized version of the same comparison.
+func BenchmarkTable1Parallelism(b *testing.B) {
+	for _, j := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			opts := DefaultTable1Options(SmallScale)
+			opts.Parallelism = j
+			for i := 0; i < b.N; i++ {
+				res, err := Table1(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rows) == 0 {
+					b.Fatal("no rows")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable1ParallelismPaper is the acceptance benchmark at the
+// paper's scale: the 14 machines of the full Table 1 regenerated with one
+// worker and with four. On a ≥4-core host the j=4 run must finish in well
+// under 1/1.5 of the serial time (the limit is the slowest single row, not
+// worker count). Skipped under -short; run with
+//
+//	go test -short=false -run='^$' -bench=BenchmarkTable1ParallelismPaper -benchtime=1x
+func BenchmarkTable1ParallelismPaper(b *testing.B) {
+	if testing.Short() {
+		b.Skip("paper-scale Table 1 takes minutes; skipped under -short")
+	}
+	for _, j := range []int{1, 4} {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			opts := DefaultTable1Options(PaperScale)
+			opts.Parallelism = j
+			for i := 0; i < b.N; i++ {
+				if _, err := Table1(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig3Parallelism is the same serial-vs-parallel comparison over
+// the Figure 3 sweep (4 machines per size, embarrassingly parallel).
+func BenchmarkFig3Parallelism(b *testing.B) {
+	for _, j := range []int{1, 4} {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			opts := DefaultFig3Options(SmallScale)
+			opts.Parallelism = j
+			for i := 0; i < b.N; i++ {
+				if _, err := Fig3(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationPartialIO measures whole-block vs exact-size backing
 // store transfers (§4.3 / §6).
 func BenchmarkAblationPartialIO(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.AblationPartialIO(1, 768, 1); err != nil {
+		if _, err := exp.AblationPartialIO(1, 768, 1, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -90,7 +155,7 @@ func BenchmarkAblationPartialIO(b *testing.B) {
 // (§4.3).
 func BenchmarkAblationSpanning(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.AblationSpanning(1, 768, 1); err != nil {
+		if _, err := exp.AblationSpanning(1, 768, 1, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -99,7 +164,7 @@ func BenchmarkAblationSpanning(b *testing.B) {
 // BenchmarkAblationBias sweeps the compression-cache retention bias (§4.2).
 func BenchmarkAblationBias(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.AblationBias(1, 768, 1); err != nil {
+		if _, err := exp.AblationBias(1, 768, 1, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -108,7 +173,7 @@ func BenchmarkAblationBias(b *testing.B) {
 // BenchmarkAblationThreshold sweeps the 4:3 retention threshold (§5.2).
 func BenchmarkAblationThreshold(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.AblationThreshold(1, 1); err != nil {
+		if _, err := exp.AblationThreshold(1, 1, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -117,7 +182,7 @@ func BenchmarkAblationThreshold(b *testing.B) {
 // BenchmarkAblationCodec compares compression algorithms (§3).
 func BenchmarkAblationCodec(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.AblationCodec(1, 768, 1); err != nil {
+		if _, err := exp.AblationCodec(1, 768, 1, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -127,7 +192,7 @@ func BenchmarkAblationCodec(b *testing.B) {
 // adaptive sizing (§4.2).
 func BenchmarkAblationFixedSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.AblationFixedSize(1, 1); err != nil {
+		if _, err := exp.AblationFixedSize(1, 1, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -210,7 +275,7 @@ func BenchmarkThrasherSweep(b *testing.B) {
 // BenchmarkExtensionBackingStore sweeps backing-store speed (§6).
 func BenchmarkExtensionBackingStore(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.BackingStoreSweep(1, 768, 1); err != nil {
+		if _, err := exp.BackingStoreSweep(1, 768, 1, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -219,7 +284,7 @@ func BenchmarkExtensionBackingStore(b *testing.B) {
 // BenchmarkExtensionCompressionSpeed sweeps compression bandwidth (§6).
 func BenchmarkExtensionCompressionSpeed(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.CompressionSpeedSweep(1, 768, 1); err != nil {
+		if _, err := exp.CompressionSpeedSweep(1, 768, 1, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -228,7 +293,7 @@ func BenchmarkExtensionCompressionSpeed(b *testing.B) {
 // BenchmarkExtensionPinning compares §3 advisory pinning with the cache.
 func BenchmarkExtensionPinning(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.AdvisoryPinning(1, 512, 1); err != nil {
+		if _, err := exp.AdvisoryPinning(1, 512, 1, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -237,7 +302,7 @@ func BenchmarkExtensionPinning(b *testing.B) {
 // BenchmarkExtensionFileCache measures the §6 compressed file buffer cache.
 func BenchmarkExtensionFileCache(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.CompressedFileCache(1, 1); err != nil {
+		if _, err := exp.CompressedFileCache(1, 1, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -267,7 +332,7 @@ func BenchmarkReplay(b *testing.B) {
 // paging (§5.1).
 func BenchmarkExtensionLFS(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.LFSComparison(1, 512, 1); err != nil {
+		if _, err := exp.LFSComparison(1, 512, 1, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -277,7 +342,7 @@ func BenchmarkExtensionLFS(b *testing.B) {
 // concurrent processes (§4.2).
 func BenchmarkExtensionMultiprogramming(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Multiprogramming(1, 1); err != nil {
+		if _, err := exp.Multiprogramming(1, 1, 1); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -2,13 +2,18 @@
 //
 // Usage:
 //
-//	ccbench [-scale small|paper] [-exp fig1a|fig1b|fig3|table1|ablations|all]
+//	ccbench [-scale small|paper] [-exp fig1a|fig1b|fig3|table1|ablations|all] [-j N]
 //
 // Each experiment prints the same rows or series the paper reports; the
 // paper's published values are included alongside where applicable (Table 1)
 // so the shape comparison is immediate. At the paper scale the full suite
 // takes a few minutes of host time; the virtual-time measurements themselves
 // are deterministic.
+//
+// -j caps how many simulated machines run concurrently: 0 (the default)
+// uses one worker per core, 1 forces serial execution. Every machine runs
+// on its own virtual clock with its own cloned workload, so the output is
+// byte-for-byte identical at any -j.
 package main
 
 import (
@@ -25,6 +30,7 @@ func main() {
 	scaleFlag := flag.String("scale", "small", "experiment scale: small or paper")
 	expFlag := flag.String("exp", "all", "experiment: fig1a, fig1b, fig3, table1, ablations, extensions, all")
 	format := flag.String("format", "text", "output format for tables: text or csv")
+	jobs := flag.Int("j", 0, "max concurrent simulated machines (0 = one per core, 1 = serial); output is identical at any value")
 	flag.Parse()
 	if *format != "text" && *format != "csv" {
 		fmt.Fprintf(os.Stderr, "ccbench: unknown format %q\n", *format)
@@ -73,14 +79,18 @@ func main() {
 		ran++
 	}
 	if run("fig3") {
-		res, err := exp.Fig3(exp.DefaultFig3Options(scale))
+		opts := exp.DefaultFig3Options(scale)
+		opts.Parallelism = *jobs
+		res, err := exp.Fig3(opts)
 		fatal(err)
 		emit(res.TableA())
 		emit(res.TableB())
 		ran++
 	}
 	if run("table1") {
-		res, err := exp.Table1(exp.DefaultTable1Options(scale))
+		opts := exp.DefaultTable1Options(scale)
+		opts.Parallelism = *jobs
+		res, err := exp.Table1(opts)
 		fatal(err)
 		emit(res.Table())
 		ran++
@@ -90,15 +100,16 @@ func main() {
 		if scale == exp.Paper {
 			memMB, pages = 6, 4096
 		}
+		j := *jobs
 		for _, f := range []func() (*exp.Table, error){
-			func() (*exp.Table, error) { return exp.BackingStoreSweep(memMB, pages, 1) },
-			func() (*exp.Table, error) { return exp.CompressionSpeedSweep(memMB, pages, 1) },
-			func() (*exp.Table, error) { return exp.AdvisoryPinning(memMB, pages/3*2, 1) },
-			func() (*exp.Table, error) { return exp.CompressedFileCache(memMB, 1) },
-			func() (*exp.Table, error) { return exp.LFSComparison(memMB, pages, 1) },
-			func() (*exp.Table, error) { return exp.Multiprogramming(memMB, 1) },
-			func() (*exp.Table, error) { return exp.ModelValidation(memMB, 1) },
-			func() (*exp.Table, error) { return exp.MobileScenario(memMB, 1) },
+			func() (*exp.Table, error) { return exp.BackingStoreSweep(memMB, pages, 1, j) },
+			func() (*exp.Table, error) { return exp.CompressionSpeedSweep(memMB, pages, 1, j) },
+			func() (*exp.Table, error) { return exp.AdvisoryPinning(memMB, pages/3*2, 1, j) },
+			func() (*exp.Table, error) { return exp.CompressedFileCache(memMB, 1, j) },
+			func() (*exp.Table, error) { return exp.LFSComparison(memMB, pages, 1, j) },
+			func() (*exp.Table, error) { return exp.Multiprogramming(memMB, 1, j) },
+			func() (*exp.Table, error) { return exp.ModelValidation(memMB, 1, j) },
+			func() (*exp.Table, error) { return exp.MobileScenario(memMB, 1, j) },
 		} {
 			tab, err := f()
 			fatal(err)
@@ -111,13 +122,14 @@ func main() {
 		if scale == exp.Paper {
 			memMB, pages = 6, 4096
 		}
+		j := *jobs
 		for _, f := range []func() (*exp.Table, error){
-			func() (*exp.Table, error) { return exp.AblationPartialIO(memMB, pages, 1) },
-			func() (*exp.Table, error) { return exp.AblationSpanning(memMB, pages, 1) },
-			func() (*exp.Table, error) { return exp.AblationBias(memMB, pages, 1) },
-			func() (*exp.Table, error) { return exp.AblationThreshold(memMB, 1) },
-			func() (*exp.Table, error) { return exp.AblationCodec(memMB, pages, 1) },
-			func() (*exp.Table, error) { return exp.AblationFixedSize(memMB, 1) },
+			func() (*exp.Table, error) { return exp.AblationPartialIO(memMB, pages, 1, j) },
+			func() (*exp.Table, error) { return exp.AblationSpanning(memMB, pages, 1, j) },
+			func() (*exp.Table, error) { return exp.AblationBias(memMB, pages, 1, j) },
+			func() (*exp.Table, error) { return exp.AblationThreshold(memMB, 1, j) },
+			func() (*exp.Table, error) { return exp.AblationCodec(memMB, pages, 1, j) },
+			func() (*exp.Table, error) { return exp.AblationFixedSize(memMB, 1, j) },
 		} {
 			tab, err := f()
 			fatal(err)

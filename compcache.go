@@ -38,12 +38,15 @@
 package compcache
 
 import (
+	"context"
+
 	"compcache/internal/compress"
 	"compcache/internal/disk"
 	"compcache/internal/exp"
 	"compcache/internal/machine"
 	"compcache/internal/model"
 	"compcache/internal/netdev"
+	"compcache/internal/runner"
 	"compcache/internal/stats"
 	"compcache/internal/trace"
 	"compcache/internal/workload"
@@ -164,6 +167,24 @@ func Measure(cfg Config, w Workload) (Stats, error) { return workload.Measure(cf
 func RunBoth(base, cc Config, w Workload) (Comparison, error) {
 	return workload.RunBoth(base, cc, w)
 }
+
+// RunBothN is RunBoth with the two machines running concurrently on up to
+// workers goroutines (0 = one per core, 1 = serial). Each machine gets its
+// own clone of w and its own virtual clock, so the result is identical to
+// RunBoth at any parallelism.
+func RunBothN(ctx context.Context, base, cc Config, w Workload, workers int) (Comparison, error) {
+	return workload.RunBothN(ctx, base, cc, w, workers)
+}
+
+// CloneWorkload returns an independent copy of a workload, safe to run on a
+// concurrent machine while the original runs elsewhere. Workloads with
+// reference-typed state implement workload.Cloner; plain structs are copied
+// shallowly.
+func CloneWorkload(w Workload) Workload { return workload.Clone(w) }
+
+// Parallelism resolves a worker-count knob the way every experiment harness
+// here does: n if positive, else one worker per available core.
+func Parallelism(n int) int { return runner.Parallelism(n) }
 
 // LookupCodec returns a registered page-compression codec ("lzrw1", "rle",
 // "null").

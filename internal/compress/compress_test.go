@@ -291,22 +291,7 @@ func TestRLELongLiteralSpan(t *testing.T) {
 	roundTrip(t, c, src)
 }
 
-func FuzzLZRW1RoundTrip(f *testing.F) {
-	f.Add([]byte("hello hello hello"))
-	f.Add(make([]byte, 4096))
-	f.Add([]byte{})
-	f.Fuzz(func(t *testing.T, src []byte) {
-		var c LZRW1
-		comp := c.Compress(nil, src)
-		out, err := c.Decompress(nil, comp)
-		if err != nil {
-			t.Fatalf("Decompress: %v", err)
-		}
-		if !bytes.Equal(out, src) {
-			t.Fatal("round trip mismatch")
-		}
-	})
-}
+// Fuzz targets for the LZ codecs live in fuzz_test.go.
 
 func BenchmarkLZRW1CompressText(b *testing.B) {
 	src := []byte(strings.Repeat("memory compression cache paging sprite kernel ", 100))[:4096]
@@ -388,20 +373,4 @@ func TestLZSSDecompressErrors(t *testing.T) {
 	if _, err := c.Decompress(nil, []byte{flagCompress, 0x02, 'a', 0x00, 0x00, 0xFF}); err == nil {
 		t.Error("truncated length extension accepted")
 	}
-}
-
-func FuzzLZSSRoundTrip(f *testing.F) {
-	f.Add([]byte("hello hello hello"))
-	f.Add(make([]byte, 4096))
-	f.Fuzz(func(t *testing.T, src []byte) {
-		var c LZSS
-		comp := c.Compress(nil, src)
-		out, err := c.Decompress(nil, comp)
-		if err != nil {
-			t.Fatalf("Decompress: %v", err)
-		}
-		if !bytes.Equal(out, src) {
-			t.Fatal("round trip mismatch")
-		}
-	})
 }

@@ -24,6 +24,12 @@
 // filled. The cleaner writes the oldest dirty entries to the backing store
 // in clustered batches so a supply of reclaimable frames is ready before the
 // allocator needs them (§4.2).
+//
+// Insert is transactional: it verifies — without touching anything — that
+// the frames it needs can actually be obtained before it reclaims, drops, or
+// flushes anything. A failed Insert therefore has no observable side
+// effects: no entries dropped, no drop hooks fired, no dirty batches
+// flushed, and no counters changed.
 package core
 
 import (
@@ -191,8 +197,11 @@ func (c *Cache) frameCap() int { return c.pool.PageSize() - c.params.FrameHeader
 // Insert adds a compressed page to the tail of the ring. It reports false —
 // without side effects — when the cache cannot obtain the frames it needs
 // (pool empty and nothing reclaimable, or MaxFrames reached); the caller
-// then sends the page to the backing store instead. Data is retained by the
-// cache (callers must not reuse the slice).
+// then sends the page to the backing store instead. Feasibility is
+// established before any destructive work, so a failed insert reclaims no
+// frames, drops no entries, fires no hooks, flushes nothing, and changes no
+// counters. Data is retained by the cache (callers must not reuse the
+// slice).
 func (c *Cache) Insert(key swap.PageKey, data []byte, dirty bool) bool {
 	if len(data) > c.pool.PageSize() {
 		panic(fmt.Sprintf("core: entry for %v of %d bytes larger than a page", key, len(data)))
@@ -204,35 +213,40 @@ func (c *Cache) Insert(key swap.PageKey, data []byte, dirty bool) bool {
 	// `used` includes its frame header, so free space is measured against
 	// the full page size.
 	rem := 0
+	var tailFrame *ccFrame
 	if n := len(c.frames); n > 0 {
-		rem = c.pool.PageSize() - c.frames[n-1].used
+		tailFrame = c.frames[n-1]
+		rem = c.pool.PageSize() - tailFrame.used
+	}
+	if rem == 0 {
+		tailFrame = nil // full tail: nothing to protect during recycling
 	}
 	newFrames := 0
 	if need > rem {
 		newFrames = (need - rem + c.frameCap() - 1) / c.frameCap()
 	}
+	if !c.canAcquire(newFrames, tailFrame != nil) {
+		return false
+	}
 	acquired := make([]mem.FrameID, 0, newFrames)
 	for i := 0; i < newFrames; i++ {
 		if c.params.MaxFrames > 0 && len(c.frames)+len(acquired) >= c.params.MaxFrames {
 			// At the cap: rotate the ring by recycling the oldest
-			// reclaimable frame (fixed-size behaviour).
-			if !c.reclaimFirst() {
-				if c.Clean() == 0 || !c.reclaimFirst() {
-					break
+			// reclaimable frame (fixed-size behaviour). canAcquire proved
+			// the recycling cannot run dry, and the partially filled tail
+			// frame this insert appends into is never recycled from under
+			// it.
+			for !c.reclaimFirstExcept(tailFrame) {
+				if c.Clean() == 0 {
+					panic("core: insert feasibility check admitted an unrecyclable ring")
 				}
 			}
 		}
 		id, ok := c.pool.Alloc(mem.CC)
 		if !ok {
-			break
+			panic("core: insert feasibility check admitted an empty pool")
 		}
 		acquired = append(acquired, id)
-	}
-	if len(acquired) < newFrames {
-		for _, id := range acquired {
-			c.pool.Release(id)
-		}
-		return false
 	}
 
 	if old, ok := c.entries[key]; ok {
@@ -272,6 +286,60 @@ func (c *Cache) Insert(key swap.PageKey, data []byte, dirty bool) bool {
 	}
 	c.st.Inserts++
 	return true
+}
+
+// canAcquire reports whether Insert can obtain n new tail frames, without
+// mutating anything. Frame acquisition draws first from the pool (growth,
+// until MaxFrames is reached) and then recycles the ring's own frames
+// (fixed-size rotation); protectTail excludes the partially filled tail
+// frame — which the pending insert appends into — from recycling. The check
+// mirrors the acquisition loop exactly: once it passes, acquisition cannot
+// fail, so no destructive work happens before success is assured.
+func (c *Cache) canAcquire(n int, protectTail bool) bool {
+	if n == 0 {
+		return true
+	}
+	direct := n
+	if c.params.MaxFrames > 0 {
+		headroom := c.params.MaxFrames - len(c.frames)
+		if headroom < 0 {
+			headroom = 0
+		}
+		if headroom < direct {
+			direct = headroom
+		}
+	}
+	if c.pool.FreeCount() < direct {
+		return false
+	}
+	recycles := n - direct
+	if recycles == 0 {
+		return true
+	}
+	usable := len(c.frames)
+	if protectTail {
+		usable--
+	}
+	if usable < recycles {
+		return false
+	}
+	if c.flush != nil {
+		// Cleaning makes progress whenever dirty entries remain, so with a
+		// flush hook installed every frame is eventually reclaimable.
+		return true
+	}
+	avail := 0
+	for i, f := range c.frames {
+		if protectTail && i == len(c.frames)-1 {
+			continue
+		}
+		if f.reclaimable() {
+			if avail++; avail >= recycles {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Fault returns the entry for key, satisfying a page fault from the cache.
@@ -350,6 +418,9 @@ func (c *Cache) Clean() int {
 	if c.flush == nil || c.dirtyBytes == 0 {
 		return 0
 	}
+	// Skip (and periodically compact) the dead prefix once, instead of
+	// re-walking an arbitrarily long run of dropped entries on every pass.
+	c.advanceHead()
 	var batch []*Entry
 	var items []swap.Item
 	bytes := 0
@@ -423,9 +494,13 @@ func (c *Cache) ReleaseOldest() bool {
 // reclaimFirst releases the oldest reclaimable frame, searching from the
 // head of the ring toward the tail (a middle reclaim when the head frame is
 // pinned by dirty data, as §4.1 allows).
-func (c *Cache) reclaimFirst() bool {
+func (c *Cache) reclaimFirst() bool { return c.reclaimFirstExcept(nil) }
+
+// reclaimFirstExcept is reclaimFirst with one frame exempted (Insert
+// protects the tail frame it is about to append into).
+func (c *Cache) reclaimFirstExcept(skip *ccFrame) bool {
 	for i, f := range c.frames {
-		if !f.reclaimable() {
+		if f == skip || !f.reclaimable() {
 			continue
 		}
 		for _, e := range f.entries {

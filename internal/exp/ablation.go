@@ -2,7 +2,6 @@ package exp
 
 import (
 	"fmt"
-	"time"
 
 	"compcache/internal/machine"
 	"compcache/internal/policy"
@@ -10,14 +9,18 @@ import (
 )
 
 // Ablations quantify the design decisions §4 argues for. Each returns a
-// Table comparing a design variant against the paper's configuration.
+// Table comparing a design variant against the paper's configuration. Every
+// ablation builds its full grid of independent (configuration, workload)
+// runs up front and fans them out across up to workers concurrent machines
+// (0 = one per core, 1 = serial); rows always assemble in grid order, so
+// the tables are byte-identical at any parallelism.
 
 // AblationPartialIO measures §4.3's central constraint: whole-file-block
 // transfers versus an ideal backing store that can move exactly the bytes a
 // compressed page occupies ("Ideally, one would use the compression cache in
 // a system that permitted less than a 4-Kbyte read to satisfy a page fault",
 // §5.2; "A better interface to the backing store would help as well", §6).
-func AblationPartialIO(memoryMB int, pages int32, seed int64) (*Table, error) {
+func AblationPartialIO(memoryMB int, pages int32, seed int64, workers int) (*Table, error) {
 	t := &Table{
 		Title:  "Ablation: whole-block backing-store transfers vs exact-size (partial) I/O",
 		Header: []string{"workload", "backing store", "time", "disk reads", "bytes read", "speedup vs whole-block"},
@@ -30,20 +33,26 @@ func AblationPartialIO(memoryMB int, pages int32, seed int64) (*Table, error) {
 		&workload.Gold{Messages: msgs, WordsPerMessage: 24, VocabWords: 3000,
 			Queries: msgs / 2, Phase: workload.GoldCold, Seed: seed},
 	}
+	modes := []bool{false, true}
+	var jobs []job
 	for _, w := range loads {
-		var base time.Duration
-		for _, partial := range []bool{false, true} {
+		for _, partial := range modes {
 			cfg := machine.Default(int64(memoryMB) << 20).WithCC()
 			cfg.FS.AllowPartialIO = partial
-			st, err := workload.Measure(cfg, w)
-			if err != nil {
-				return nil, err
-			}
+			jobs = append(jobs, job{cfg, w})
+		}
+	}
+	runs, err := measureAll(workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for wi, w := range loads {
+		base := runs[2*wi].Time // whole-block row comes first
+		for mi, partial := range modes {
+			st := runs[2*wi+mi]
 			name := "whole 4-KByte blocks (paper)"
 			if partial {
 				name = "exact-size transfers (ideal)"
-			} else {
-				base = st.Time
 			}
 			t.AddRow(w.Name(), name, fmtDur(st.Time), fmt.Sprint(st.Disk.Reads),
 				fmt.Sprintf("%.1fMB", float64(st.Disk.BytesRead)/(1<<20)),
@@ -57,20 +66,26 @@ func AblationPartialIO(memoryMB int, pages int32, seed int64) (*Table, error) {
 // cross file-block boundaries waste no fragments but can require two-block
 // reads; pages that may not "increase fragmentation and the effective
 // bandwidth for writes to the backing store correspondingly decreases".
-func AblationSpanning(memoryMB int, pages int32, seed int64) (*Table, error) {
+func AblationSpanning(memoryMB int, pages int32, seed int64, workers int) (*Table, error) {
 	t := &Table{
 		Title:  "Ablation: compressed pages spanning file-block boundaries",
 		Header: []string{"spanning", "time", "bytes written", "bytes read", "swap frags live/free"},
 	}
-	for _, span := range []bool{false, true} {
+	modes := []bool{false, true}
+	var jobs []job
+	for _, span := range modes {
 		cfg := machine.Default(int64(memoryMB) << 20).WithCC()
 		cfg.Swap.SpanBlocks = span
 		// Pages compressing to ~3 fragments so packing decisions matter.
-		st, err := workload.Measure(cfg, &workload.Thrasher{Pages: pages, Write: true, Passes: 2,
-			CompressTarget: 0.55, Seed: seed})
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs, job{cfg, &workload.Thrasher{Pages: pages, Write: true, Passes: 2,
+			CompressTarget: 0.55, Seed: seed}})
+	}
+	runs, err := measureAll(workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, span := range modes {
+		st := runs[i]
 		t.AddRow(fmt.Sprint(span), fmtDur(st.Time),
 			fmt.Sprintf("%.1fMB", float64(st.Disk.BytesWritten)/(1<<20)),
 			fmt.Sprintf("%.1fMB", float64(st.Disk.BytesRead)/(1<<20)),
@@ -84,7 +99,7 @@ func AblationSpanning(memoryMB int, pages int32, seed int64) (*Table, error) {
 // A favourable bias (small scale) lets the cache grow during paging; an
 // unfavourable one degenerates it into "a buffer for compressing and
 // decompressing pages between memory and the backing store".
-func AblationBias(memoryMB int, pages int32, seed int64) (*Table, error) {
+func AblationBias(memoryMB int, pages int32, seed int64, workers int) (*Table, error) {
 	t := &Table{
 		Title:  "Ablation: compression-cache age bias (retention preference)",
 		Header: []string{"cc age scale", "thrasher time", "thrasher hits", "gold_warm time", "gold_warm hits"},
@@ -93,21 +108,25 @@ func AblationBias(memoryMB int, pages int32, seed int64) (*Table, error) {
 	}
 	// Size the index at about 1.5x memory so the warm queries page.
 	msgs := memoryMB << 20 / 128
-	for _, scale := range []float64{0.1, 0.25, 0.5, 1.0, 2.0, 4.0} {
+	scales := []float64{0.1, 0.25, 0.5, 1.0, 2.0, 4.0}
+	var jobs []job
+	for _, scale := range scales {
 		cfg := machine.Default(int64(memoryMB) << 20).WithCC()
 		cfg.Biases = policy.DefaultBiases()
 		b := cfg.Biases["cc"]
 		b.Scale = scale
 		cfg.Biases["cc"] = b
-		thr, err := workload.Measure(cfg, &workload.Thrasher{Pages: pages, Write: true, Passes: 2, Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		gld, err := workload.Measure(cfg, &workload.Gold{Messages: msgs, WordsPerMessage: 24,
-			VocabWords: 3000, Queries: msgs / 3, Phase: workload.GoldWarm, Seed: seed})
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs,
+			job{cfg, &workload.Thrasher{Pages: pages, Write: true, Passes: 2, Seed: seed}},
+			job{cfg, &workload.Gold{Messages: msgs, WordsPerMessage: 24,
+				VocabWords: 3000, Queries: msgs / 3, Phase: workload.GoldWarm, Seed: seed}})
+	}
+	runs, err := measureAll(workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for si, scale := range scales {
+		thr, gld := runs[2*si], runs[2*si+1]
 		t.AddRow(fmt.Sprintf("%.2f", scale),
 			fmtDur(thr.Time), fmt.Sprintf("%.2f", thr.CC.HitRate()),
 			fmtDur(gld.Time), fmt.Sprintf("%.2f", gld.CC.HitRate()))
@@ -118,12 +137,12 @@ func AblationBias(memoryMB int, pages int32, seed int64) (*Table, error) {
 // AblationThreshold sweeps the 4:3 retention threshold on the paper's worst
 // compressor, sort_random (§5.2: ~98% of pages miss the threshold, so the
 // threshold's job is damage control).
-func AblationThreshold(memoryMB int, seed int64) (*Table, error) {
+func AblationThreshold(memoryMB int, seed int64, workers int) (*Table, error) {
 	t := &Table{
 		Title:  "Ablation: compression retention threshold (paper: keep only better than 4:3)",
 		Header: []string{"keep if comp <=", "sort_random time", "uncomp%", "cc inserts"},
 	}
-	for _, th := range []struct {
+	thresholds := []struct {
 		num, den int
 		label    string
 	}{
@@ -131,14 +150,20 @@ func AblationThreshold(memoryMB int, seed int64) (*Table, error) {
 		{3, 4, "3/4 page (4:3, paper)"},
 		{9, 10, "9/10 page"},
 		{1, 1, "always keep"},
-	} {
+	}
+	var jobs []job
+	for _, th := range thresholds {
 		cfg := machine.Default(int64(memoryMB) << 20).WithCC()
 		cfg.CC.KeepNum, cfg.CC.KeepDen = th.num, th.den
-		st, err := workload.Measure(cfg, &workload.Sort{
-			Bytes: int64(memoryMB) << 20 * 3 / 2, Mode: workload.SortRandom, VocabWords: 4000, Seed: seed})
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs, job{cfg, &workload.Sort{
+			Bytes: int64(memoryMB) << 20 * 3 / 2, Mode: workload.SortRandom, VocabWords: 4000, Seed: seed}})
+	}
+	runs, err := measureAll(workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, th := range thresholds {
+		st := runs[i]
 		t.AddRow(th.label, fmtDur(st.Time),
 			fmt.Sprintf("%.1f", 100*st.Comp.UncompressibleFrac()),
 			fmt.Sprint(st.CC.Inserts))
@@ -149,18 +174,24 @@ func AblationThreshold(memoryMB int, seed int64) (*Table, error) {
 // AblationCodec compares compression algorithms (§3: the design "should
 // allow different compression algorithms to be used for different types of
 // data").
-func AblationCodec(memoryMB int, pages int32, seed int64) (*Table, error) {
+func AblationCodec(memoryMB int, pages int32, seed int64, workers int) (*Table, error) {
 	t := &Table{
 		Title:  "Ablation: codec choice",
 		Header: []string{"codec", "time", "ratio", "uncomp%", "cc hit rate"},
 	}
-	for _, codec := range []string{"lzrw1", "lzss", "rle", "null"} {
+	codecs := []string{"lzrw1", "lzss", "rle", "null"}
+	var jobs []job
+	for _, codec := range codecs {
 		cfg := machine.Default(int64(memoryMB) << 20).WithCC()
 		cfg.CC.Codec = codec
-		st, err := workload.Measure(cfg, &workload.Thrasher{Pages: pages, Write: true, Passes: 2, Seed: seed})
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs, job{cfg, &workload.Thrasher{Pages: pages, Write: true, Passes: 2, Seed: seed}})
+	}
+	runs, err := measureAll(workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, codec := range codecs {
+		st := runs[i]
 		t.AddRow(codec, fmtDur(st.Time),
 			fmt.Sprintf("%.2f", st.Comp.Ratio()),
 			fmt.Sprintf("%.1f", 100*st.Comp.UncompressibleFrac()),
@@ -177,7 +208,7 @@ func AblationCodec(memoryMB int, pages int32, seed int64) (*Table, error) {
 // not fit into the 4 Mbytes available." The fixed rows pre-grow the cache to
 // a set size that never changes (the original design, kept in the core for
 // this study); the adaptive row is the paper's final design.
-func AblationFixedSize(memoryMB int, seed int64) (*Table, error) {
+func AblationFixedSize(memoryMB int, seed int64, workers int) (*Table, error) {
 	t := &Table{
 		Title:  "Ablation: fixed-size compression cache vs adaptive sizing (§4.2)",
 		Header: []string{"cache sizing", "small ws time", "large ws time"},
@@ -187,34 +218,28 @@ func AblationFixedSize(memoryMB int, seed int64) (*Table, error) {
 	frames := int(memBytes / 4096)
 	smallWS := int32(frames * 3 / 4)
 	largeWS := int32(frames * 3)
-	run := func(maxFrames int) (small, large time.Duration, err error) {
-		for _, ws := range []int32{smallWS, largeWS} {
-			cfg := machine.Default(memBytes).WithCC()
-			cfg.CC.FixedFrames = maxFrames
-			st, err := workload.Measure(cfg, &workload.Thrasher{Pages: ws, Write: true, Passes: 2, Seed: seed})
-			if err != nil {
-				return 0, 0, err
-			}
-			if ws == smallWS {
-				small = st.Time
-			} else {
-				large = st.Time
-			}
-		}
-		return small, large, nil
-	}
-	for _, v := range []struct {
+	variants := []struct {
 		label     string
 		maxFrames int
 	}{
 		{"fixed 1/2 of memory", frames / 2},
 		{"fixed 1/8 of memory", frames / 8},
 		{"adaptive (paper)", 0},
-	} {
-		small, large, err := run(v.maxFrames)
-		if err != nil {
-			return nil, err
+	}
+	var jobs []job
+	for _, v := range variants {
+		for _, ws := range []int32{smallWS, largeWS} {
+			cfg := machine.Default(memBytes).WithCC()
+			cfg.CC.FixedFrames = v.maxFrames
+			jobs = append(jobs, job{cfg, &workload.Thrasher{Pages: ws, Write: true, Passes: 2, Seed: seed}})
 		}
+	}
+	runs, err := measureAll(workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for vi, v := range variants {
+		small, large := runs[2*vi].Time, runs[2*vi+1].Time
 		t.AddRow(v.label, fmtDur(small), fmtDur(large))
 	}
 	return t, nil

@@ -148,7 +148,7 @@ func TestAblationsSmallScale(t *testing.T) {
 	pages := int32(3 * 256) // 3 MB working set vs 1 MB memory
 
 	t.Run("partialIO", func(t *testing.T) {
-		tab, err := AblationPartialIO(memMB, pages, 1)
+		tab, err := AblationPartialIO(memMB, pages, 1, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -157,7 +157,7 @@ func TestAblationsSmallScale(t *testing.T) {
 		}
 	})
 	t.Run("spanning", func(t *testing.T) {
-		tab, err := AblationSpanning(memMB, pages, 1)
+		tab, err := AblationSpanning(memMB, pages, 1, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -166,7 +166,7 @@ func TestAblationsSmallScale(t *testing.T) {
 		}
 	})
 	t.Run("bias", func(t *testing.T) {
-		tab, err := AblationBias(memMB, pages, 1)
+		tab, err := AblationBias(memMB, pages, 1, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -175,7 +175,7 @@ func TestAblationsSmallScale(t *testing.T) {
 		}
 	})
 	t.Run("threshold", func(t *testing.T) {
-		tab, err := AblationThreshold(memMB, 1)
+		tab, err := AblationThreshold(memMB, 1, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -184,7 +184,7 @@ func TestAblationsSmallScale(t *testing.T) {
 		}
 	})
 	t.Run("codec", func(t *testing.T) {
-		tab, err := AblationCodec(memMB, pages, 1)
+		tab, err := AblationCodec(memMB, pages, 1, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -193,7 +193,7 @@ func TestAblationsSmallScale(t *testing.T) {
 		}
 	})
 	t.Run("fixedsize", func(t *testing.T) {
-		tab, err := AblationFixedSize(memMB, 1)
+		tab, err := AblationFixedSize(memMB, 1, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -225,7 +225,7 @@ func TestDefaultOptionsWorkloadOrderMatchesPaper(t *testing.T) {
 
 func TestExtensionSweeps(t *testing.T) {
 	t.Run("backing", func(t *testing.T) {
-		tab, err := BackingStoreSweep(1, 768, 1)
+		tab, err := BackingStoreSweep(1, 768, 1, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -244,7 +244,7 @@ func TestExtensionSweeps(t *testing.T) {
 		}
 	})
 	t.Run("compressionSpeed", func(t *testing.T) {
-		tab, err := CompressionSpeedSweep(1, 768, 1)
+		tab, err := CompressionSpeedSweep(1, 768, 1, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -265,7 +265,7 @@ func TestExtensionSweeps(t *testing.T) {
 		}
 	})
 	t.Run("mobile", func(t *testing.T) {
-		tab, err := MobileScenario(1, 1)
+		tab, err := MobileScenario(1, 1, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -277,7 +277,7 @@ func TestExtensionSweeps(t *testing.T) {
 
 func TestAdvisoryPinning(t *testing.T) {
 	// Working set = 2x memory, the §3 setup.
-	tab, err := AdvisoryPinning(1, 512, 1)
+	tab, err := AdvisoryPinning(1, 512, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +303,7 @@ func TestAdvisoryPinning(t *testing.T) {
 }
 
 func TestCompressedFileCacheExperiment(t *testing.T) {
-	tab, err := CompressedFileCache(1, 1)
+	tab, err := CompressedFileCache(1, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,7 +329,7 @@ func TestLFSComparison(t *testing.T) {
 	}
 	// Fits-compressed regime: the cache eliminates I/O entirely and must
 	// beat LFS, which still reads every fault from disk.
-	tab, err := LFSComparison(1, 512, 1)
+	tab, err := LFSComparison(1, 512, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -346,7 +346,7 @@ func TestLFSComparison(t *testing.T) {
 }
 
 func TestMultiprogramming(t *testing.T) {
-	tab, err := Multiprogramming(1, 1)
+	tab, err := Multiprogramming(1, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -383,7 +383,7 @@ func TestTableCSV(t *testing.T) {
 }
 
 func TestModelValidation(t *testing.T) {
-	tab, err := ModelValidation(1, 1)
+	tab, err := ModelValidation(1, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

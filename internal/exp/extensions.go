@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -8,6 +9,8 @@ import (
 	"compcache/internal/machine"
 	"compcache/internal/model"
 	"compcache/internal/netdev"
+	"compcache/internal/runner"
+	"compcache/internal/stats"
 	"compcache/internal/swap"
 	"compcache/internal/workload"
 )
@@ -16,13 +19,17 @@ import (
 // will matter more: "hardware compression, which would improve the
 // disparity between compression speeds and I/O rates; faster processors,
 // which would do the same thing for software compression; and slower
-// backing stores, such as wireless networks."
+// backing stores, such as wireless networks." Like the ablations, each
+// builds its grid of independent runs up front and fans them out across up
+// to workers concurrent machines (0 = one per core, 1 = serial), with rows
+// assembled in grid order so the output is byte-identical at any
+// parallelism.
 
 // BackingStoreSweep runs the same over-committed thrasher against four
 // backing stores, from a fast disk to the paper's mobile wireless scenario,
 // measuring how the compression cache's advantage grows as the backing
 // store slows.
-func BackingStoreSweep(memoryMB int, pages int32, seed int64) (*Table, error) {
+func BackingStoreSweep(memoryMB int, pages int32, seed int64, workers int) (*Table, error) {
 	t := &Table{
 		Title:  "Extension: speedup vs backing-store speed (§6 'slower backing stores, such as wireless networks')",
 		Header: []string{"backing store", "std time", "cc time", "speedup"},
@@ -55,21 +62,24 @@ func BackingStoreSweep(memoryMB int, pages int32, seed int64) (*Table, error) {
 			return c.WithNetwork(netdev.Wireless2())
 		}},
 	}
+	// Read-mostly thrasher whose working set fits once compressed: the
+	// cache converts every backing-store read into a decompression, so its
+	// advantage scales directly with how slow the backing store is (the §6
+	// claim). Write-heavy spilling workloads behave differently — see the
+	// note the table prints.
+	w := &workload.Thrasher{Pages: pages, Write: false, Passes: 3,
+		CompressTarget: 0.15, Seed: seed}
+	var jobs []job
 	for _, b := range cases {
-		// Read-mostly thrasher whose working set fits once compressed: the
-		// cache converts every backing-store read into a decompression, so
-		// its advantage scales directly with how slow the backing store is
-		// (the §6 claim). Write-heavy spilling workloads behave differently
-		// — see the note the table prints.
-		mk := func() workload.Workload {
-			return &workload.Thrasher{Pages: pages, Write: false, Passes: 3,
-				CompressTarget: 0.15, Seed: seed}
-		}
 		base := b.mk(machine.Default(int64(memoryMB) << 20))
-		cmp, err := workload.RunBoth(base, base.WithCC(), mk())
-		if err != nil {
-			return nil, fmt.Errorf("backing sweep %q: %w", b.name, err)
-		}
+		jobs = append(jobs, job{base, w}, job{base.WithCC(), w})
+	}
+	runs, err := measureAll(workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for bi, b := range cases {
+		cmp := workload.Comparison{Std: runs[2*bi], CC: runs[2*bi+1]}
 		t.AddRow(b.name, fmtDur(cmp.Std.Time), fmtDur(cmp.CC.Time),
 			fmt.Sprintf("%.2f", cmp.Speedup()))
 	}
@@ -79,28 +89,29 @@ func BackingStoreSweep(memoryMB int, pages int32, seed int64) (*Table, error) {
 // CompressionSpeedSweep varies the compression bandwidth from half the
 // paper's software speed up to hardware-class speeds, holding the disk
 // fixed — the other §6 axis. Decompression tracks at 2x as throughout.
-func CompressionSpeedSweep(memoryMB int, pages int32, seed int64) (*Table, error) {
+func CompressionSpeedSweep(memoryMB int, pages int32, seed int64, workers int) (*Table, error) {
 	t := &Table{
 		Title:  "Extension: speedup vs compression speed (§6 'hardware compression / faster processors')",
 		Header: []string{"compression speed", "std time", "cc time", "speedup"},
 		Note:   "The paper's DECstation compresses ~1 MB/s in software; 10-40 MB/s models a hardware engine.",
 	}
-	mk := func() workload.Workload {
-		return &workload.Thrasher{Pages: pages, Write: true, Passes: 2, Seed: seed}
-	}
+	w := &workload.Thrasher{Pages: pages, Write: true, Passes: 2, Seed: seed}
 	base := machine.Default(int64(memoryMB) << 20)
-	std, err := workload.Measure(base, mk())
-	if err != nil {
-		return nil, err
-	}
-	for _, bw := range []float64{0.5e6, 1e6, 4e6, 10e6, 40e6} {
+	bws := []float64{0.5e6, 1e6, 4e6, 10e6, 40e6}
+	jobs := []job{{base, w}} // the shared baseline runs as job 0
+	for _, bw := range bws {
 		cfg := base.WithCC()
 		cfg.Cost.CompressBW = bw
 		cfg.Cost.DecompressBW = 2 * bw
-		cc, err := workload.Measure(cfg, mk())
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs, job{cfg, w})
+	}
+	runs, err := measureAll(workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	std := runs[0]
+	for i, bw := range bws {
+		cc := runs[i+1]
 		label := fmt.Sprintf("%.1f MB/s software", bw/1e6)
 		if bw > 2e6 {
 			label = fmt.Sprintf("%.0f MB/s (hardware-class)", bw/1e6)
@@ -117,7 +128,7 @@ func CompressionSpeedSweep(memoryMB int, pages int32, seed int64) (*Table, error
 // MobileScenario is the paper's §1 pitch run end-to-end: a small-memory
 // mobile computer paging over wireless, running the application mix, with
 // and without the compression cache.
-func MobileScenario(memoryMB int, seed int64) (*Table, error) {
+func MobileScenario(memoryMB int, seed int64, workers int) (*Table, error) {
 	t := &Table{
 		Title:  "Extension: the §1 mobile scenario — small memory, wireless paging",
 		Header: []string{"workload", "std time", "cc time", "speedup"},
@@ -129,12 +140,17 @@ func MobileScenario(memoryMB int, seed int64) (*Table, error) {
 		&workload.Gold{Messages: msgs, WordsPerMessage: 24, VocabWords: 3000,
 			Queries: msgs / 3, Phase: workload.GoldWarm, Seed: seed},
 	}
+	var jobs []job
 	for _, w := range loads {
 		base := machine.Default(int64(memoryMB) << 20).WithNetwork(netdev.Wireless2())
-		cmp, err := workload.RunBoth(base, base.WithCC(), w)
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs, job{base, w}, job{base.WithCC(), w})
+	}
+	runs, err := measureAll(workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for wi, w := range loads {
+		cmp := workload.Comparison{Std: runs[2*wi], CC: runs[2*wi+1]}
 		t.AddRow(w.Name(), fmtDur(cmp.Std.Time), fmtDur(cmp.CC.Time),
 			fmt.Sprintf("%.2f", cmp.Speedup()))
 	}
@@ -147,13 +163,12 @@ func MobileScenario(memoryMB int, seed int64) (*Table, error) {
 // pinned in memory with faults occurring only on the other half"), but
 // "with fast compression, even reducing I/O by a factor of two will be
 // inferior to keeping all pages compressed in memory".
-func AdvisoryPinning(memoryMB int, pages int32, seed int64) (*Table, error) {
+func AdvisoryPinning(memoryMB int, pages int32, seed int64, workers int) (*Table, error) {
 	t := &Table{
 		Title:  "Extension: §3 advisory pinning vs the compression cache (cyclic read-only sweep, 2x memory)",
 		Header: []string{"system", "time", "faults", "speedup vs std"},
 	}
 	base := machine.Default(int64(memoryMB) << 20)
-	var stdTime time.Duration
 	cases := []struct {
 		name string
 		cfg  machine.Config
@@ -163,15 +178,18 @@ func AdvisoryPinning(memoryMB int, pages int32, seed int64) (*Table, error) {
 		{"unmodified + pin half the working set", base, 0.5},
 		{"compression cache", base.WithCC(), 0},
 	}
+	var jobs []job
 	for _, c := range cases {
-		st, err := workload.Measure(c.cfg, &workload.Thrasher{
-			Pages: pages, Write: false, Passes: 3, PinFraction: c.pin, Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		if stdTime == 0 {
-			stdTime = st.Time
-		}
+		jobs = append(jobs, job{c.cfg, &workload.Thrasher{
+			Pages: pages, Write: false, Passes: 3, PinFraction: c.pin, Seed: seed}})
+	}
+	runs, err := measureAll(workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	stdTime := runs[0].Time
+	for i, c := range cases {
+		st := runs[i]
 		t.AddRow(c.name, fmtDur(st.Time), fmt.Sprint(st.VM.Faults),
 			fmt.Sprintf("%.2f", float64(stdTime)/float64(st.Time)))
 	}
@@ -180,8 +198,10 @@ func AdvisoryPinning(memoryMB int, pages int32, seed int64) (*Table, error) {
 
 // CompressedFileCache measures §6's file-system extension: evicted buffer
 // cache blocks retained in compressed form, against the plain buffer cache,
-// on a cyclic file-scan working set larger than memory.
-func CompressedFileCache(memoryMB int, seed int64) (*Table, error) {
+// on a cyclic file-scan working set larger than memory. The two machines
+// need more than a stats block (the compressed-cache hit counter lives on
+// the file system), so this one drives the runner directly.
+func CompressedFileCache(memoryMB int, seed int64, workers int) (*Table, error) {
 	t := &Table{
 		Title:  "Extension: compressed file buffer cache (§6)",
 		Header: []string{"file cache", "time", "device reads", "compressed-cache hits"},
@@ -189,31 +209,43 @@ func CompressedFileCache(memoryMB int, seed int64) (*Table, error) {
 	// A file at 2x memory whose blocks compress ~8:1: compressed, the whole
 	// file fits in memory, which is precisely when §6 expects the win.
 	fileBytes := int64(memoryMB) << 20 * 2
-	for _, enabled := range []bool{false, true} {
-		cfg := machine.Default(int64(memoryMB) << 20).WithCC()
-		cfg.CC.FileCache = enabled
-		// File blocks are re-read in place rather than dirtied, so LRU-like
-		// entry aging (rather than the paper's FIFO) is what keeps the
-		// compressed copies alive between scans.
-		cfg.CC.RefreshOnFault = enabled
-		m, err := machine.New(cfg)
-		if err != nil {
-			return nil, err
-		}
-		w := &workload.FileScan{FileBytes: fileBytes, Passes: 3, CompressTarget: 0.12, Seed: seed}
-		if err := w.Run(m); err != nil {
-			return nil, err
-		}
-		if err := m.CheckInvariants(); err != nil {
-			return nil, err
-		}
-		st := m.Stats()
+	type fcRun struct {
+		st   stats.Run
+		hits uint64
+	}
+	modes := []bool{false, true}
+	runs, err := runner.Map(context.Background(), runner.Parallelism(workers), len(modes),
+		func(_ context.Context, i int) (fcRun, error) {
+			enabled := modes[i]
+			cfg := machine.Default(int64(memoryMB) << 20).WithCC()
+			cfg.CC.FileCache = enabled
+			// File blocks are re-read in place rather than dirtied, so
+			// LRU-like entry aging (rather than the paper's FIFO) is what
+			// keeps the compressed copies alive between scans.
+			cfg.CC.RefreshOnFault = enabled
+			m, err := machine.New(cfg)
+			if err != nil {
+				return fcRun{}, err
+			}
+			w := &workload.FileScan{FileBytes: fileBytes, Passes: 3, CompressTarget: 0.12, Seed: seed}
+			if err := w.Run(m); err != nil {
+				return fcRun{}, err
+			}
+			if err := m.CheckInvariants(); err != nil {
+				return fcRun{}, err
+			}
+			return fcRun{m.Stats(), m.FS.CompressedCacheHits()}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, enabled := range modes {
 		name := "uncompressed only (baseline)"
 		if enabled {
 			name = "with compressed block cache"
 		}
-		t.AddRow(name, fmtDur(st.Time), fmt.Sprint(st.Disk.Reads),
-			fmt.Sprint(m.FS.CompressedCacheHits()))
+		t.AddRow(name, fmtDur(runs[i].st.Time), fmt.Sprint(runs[i].st.Disk.Reads),
+			fmt.Sprint(runs[i].hits))
 	}
 	return t, nil
 }
@@ -225,7 +257,7 @@ func CompressedFileCache(memoryMB int, seed int64) (*Table, error) {
 // it must copy more live blocks". Three machines run the same over-committed
 // read/write thrasher: the unmodified baseline, the baseline paging into a
 // log-structured store, and the compression cache.
-func LFSComparison(memoryMB int, pages int32, seed int64) (*Table, error) {
+func LFSComparison(memoryMB int, pages int32, seed int64, workers int) (*Table, error) {
 	t := &Table{
 		Title:  "Extension: paging into a log-structured backing store vs the compression cache (§5.1)",
 		Header: []string{"system", "time", "disk writes", "cleaner passes", "speedup vs std"},
@@ -239,15 +271,17 @@ func LFSComparison(memoryMB int, pages int32, seed int64) (*Table, error) {
 		{"log-structured swap", base.WithLFS(swap.LFSConfig{SegmentBytes: 64 * 4096})},
 		{"compression cache", base.WithCC()},
 	}
-	var stdTime time.Duration
+	var jobs []job
 	for _, c := range cases {
-		st, err := workload.Measure(c.cfg, &workload.Thrasher{Pages: pages, Write: true, Passes: 2, Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		if stdTime == 0 {
-			stdTime = st.Time
-		}
+		jobs = append(jobs, job{c.cfg, &workload.Thrasher{Pages: pages, Write: true, Passes: 2, Seed: seed}})
+	}
+	runs, err := measureAll(workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	stdTime := runs[0].Time
+	for i, c := range cases {
+		st := runs[i]
 		t.AddRow(c.name, fmtDur(st.Time), fmt.Sprint(st.Disk.Writes), fmt.Sprint(st.Swap.GCs),
 			fmt.Sprintf("%.2f", float64(stdTime)/float64(st.Time)))
 	}
@@ -259,7 +293,7 @@ func LFSComparison(memoryMB int, pages int32, seed int64) (*Table, error) {
 // designed for ("the collective working set of active processes"). Two
 // mixes run on both machines: a pair of compressible processes, and a
 // compressible process sharing the machine with an incompressible one.
-func Multiprogramming(memoryMB int, seed int64) (*Table, error) {
+func Multiprogramming(memoryMB int, seed int64, workers int) (*Table, error) {
 	t := &Table{
 		Title:  "Extension: multiprogrammed workload mixes (round-robin, shared memory)",
 		Header: []string{"mix", "std time", "cc time", "speedup"},
@@ -271,28 +305,30 @@ func Multiprogramming(memoryMB int, seed int64) (*Table, error) {
 	const quantum = 64
 	mixes := []struct {
 		name string
-		mk   func() workload.Workload
+		w    workload.Workload
 	}{
-		{"two compressible thrashers", func() workload.Workload {
-			return &workload.Multi{QuantumRefs: quantum, Workloads: []workload.Workload{
-				&workload.Thrasher{Pages: pages, Write: true, Passes: 2, Seed: seed},
-				&workload.Thrasher{Pages: pages, Write: true, Passes: 2, Seed: seed + 1},
-			}}
-		}},
-		{"compressible + incompressible", func() workload.Workload {
-			return &workload.Multi{QuantumRefs: quantum, Workloads: []workload.Workload{
-				&workload.Thrasher{Pages: pages, Write: true, Passes: 2, Seed: seed},
-				&workload.Thrasher{Pages: pages, Write: true, Passes: 2,
-					CompressTarget: 0.95, Seed: seed + 1},
-			}}
-		}},
+		{"two compressible thrashers", &workload.Multi{QuantumRefs: quantum, Workloads: []workload.Workload{
+			&workload.Thrasher{Pages: pages, Write: true, Passes: 2, Seed: seed},
+			&workload.Thrasher{Pages: pages, Write: true, Passes: 2, Seed: seed + 1},
+		}}},
+		{"compressible + incompressible", &workload.Multi{QuantumRefs: quantum, Workloads: []workload.Workload{
+			&workload.Thrasher{Pages: pages, Write: true, Passes: 2, Seed: seed},
+			&workload.Thrasher{Pages: pages, Write: true, Passes: 2,
+				CompressTarget: 0.95, Seed: seed + 1},
+		}}},
 	}
+	var jobs []job
 	for _, mix := range mixes {
-		cmp, err := workload.RunBoth(machine.Default(int64(memoryMB)<<20),
-			machine.Default(int64(memoryMB)<<20).WithCC(), mix.mk())
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs,
+			job{machine.Default(int64(memoryMB) << 20), mix.w},
+			job{machine.Default(int64(memoryMB) << 20).WithCC(), mix.w})
+	}
+	runs, err := measureAll(workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for mi, mix := range mixes {
+		cmp := workload.Comparison{Std: runs[2*mi], CC: runs[2*mi+1]}
 		t.AddRow(mix.name, fmtDur(cmp.Std.Time), fmtDur(cmp.CC.Time),
 			fmt.Sprintf("%.2f", cmp.Speedup()))
 	}
@@ -305,7 +341,7 @@ func Multiprogramming(memoryMB int, seed int64) (*Table, error) {
 // relative to I/O" is derived from the machine model the same way the paper
 // derives it — one page compression versus one page transfer including
 // positioning.
-func ModelValidation(memoryMB int, seed int64) (*Table, error) {
+func ModelValidation(memoryMB int, seed int64, workers int) (*Table, error) {
 	t := &Table{
 		Title:  "Validation: Figure 1(b) analytic model vs the full simulator (W = 2M, ratio ~0.25)",
 		Header: []string{"case", "model speedup", "simulated speedup", "ratio"},
@@ -332,14 +368,18 @@ func ModelValidation(memoryMB int, seed int64) (*Table, error) {
 
 	params := model.Default()
 	pages := int32(memoryMB) * 256 * 2 // W = 2M
-	for _, write := range []bool{true, false} {
-		mk := func() workload.Workload {
-			return &workload.Thrasher{Pages: pages, Write: write, Passes: 3, Seed: seed}
-		}
-		cmp, err := workload.RunBoth(base, base.WithCC(), mk())
-		if err != nil {
-			return nil, err
-		}
+	writes := []bool{true, false}
+	var jobs []job
+	for _, write := range writes {
+		w := &workload.Thrasher{Pages: pages, Write: write, Passes: 3, Seed: seed}
+		jobs = append(jobs, job{base, w}, job{base.WithCC(), w})
+	}
+	runs, err := measureAll(workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for wi, write := range writes {
+		cmp := workload.Comparison{Std: runs[2*wi], CC: runs[2*wi+1]}
 		ratio := cmp.CC.Comp.Ratio()
 		var predicted float64
 		name := "read-only"

@@ -1,10 +1,13 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"compcache/internal/machine"
+	"compcache/internal/runner"
+	"compcache/internal/stats"
 	"compcache/internal/workload"
 )
 
@@ -39,6 +42,10 @@ type Fig3Options struct {
 	Passes int
 	// Seed makes runs reproducible.
 	Seed int64
+	// Parallelism caps how many machines run concurrently: 0 means one per
+	// core, 1 forces serial execution; the output is byte-identical either
+	// way.
+	Parallelism int
 }
 
 // DefaultFig3Options returns the sweep for the given scale.
@@ -61,34 +68,61 @@ func DefaultFig3Options(s Scale) Fig3Options {
 
 // Fig3 runs the §5.1 thrasher sweep: average page access time and speedup
 // versus address-space size, read-only and read-write, with and without the
-// compression cache.
+// compression cache. Each size contributes four independent machines
+// ({read-write, read-only} x {baseline, cc}); the whole grid fans out
+// across opts.Parallelism workers and the points assemble in size order.
 func Fig3(opts Fig3Options) (*Fig3Result, error) {
-	res := &Fig3Result{MemoryMB: opts.MemoryMB}
 	memBytes := int64(opts.MemoryMB) << 20
+	// Four measurements per size, in a fixed sub-order: rw/std, rw/cc,
+	// ro/std, ro/cc.
+	type spec struct {
+		sizeMB int
+		write  bool
+		cc     bool
+	}
+	specs := make([]spec, 0, 4*len(opts.SizesMB))
 	for _, sizeMB := range opts.SizesMB {
-		pt := Fig3Point{SizeMB: sizeMB}
-		pages := int32(sizeMB << 20 / 4096)
 		for _, write := range []bool{true, false} {
-			mk := func() *workload.Thrasher {
-				return &workload.Thrasher{Pages: pages, Write: write, Passes: opts.Passes, Seed: opts.Seed}
+			for _, cc := range []bool{false, true} {
+				specs = append(specs, spec{sizeMB, write, cc})
 			}
-			cmp, err := workload.RunBoth(machine.Default(memBytes), machine.Default(memBytes).WithCC(), mk())
+		}
+	}
+	runs, err := runner.Map(context.Background(), runner.Parallelism(opts.Parallelism), len(specs),
+		func(_ context.Context, i int) (stats.Run, error) {
+			s := specs[i]
+			cfg := machine.Default(memBytes)
+			if s.cc {
+				cfg = cfg.WithCC()
+			}
+			st, err := workload.Measure(cfg, &workload.Thrasher{
+				Pages: int32(s.sizeMB << 20 / 4096), Write: s.write, Passes: opts.Passes, Seed: opts.Seed})
 			if err != nil {
-				return nil, fmt.Errorf("fig3 %dMB write=%v: %w", sizeMB, write, err)
+				return stats.Run{}, fmt.Errorf("fig3 %dMB write=%v: %w", s.sizeMB, s.write, err)
 			}
-			touches := time.Duration(mk().TimedSweeps()) * time.Duration(pages)
-			if write {
-				pt.StdRW = cmp.Std.Time / touches
-				pt.CCRW = cmp.CC.Time / touches
-				pt.SpeedRW = cmp.Speedup()
-				pt.CCHitRW = cmp.CC.CC.HitRate()
-				pt.CompRatio = cmp.CC.Comp.Ratio()
-			} else {
-				pt.StdRO = cmp.Std.Time / touches
-				pt.CCRO = cmp.CC.Time / touches
-				pt.SpeedRO = cmp.Speedup()
-				pt.CCHitRO = cmp.CC.CC.HitRate()
-			}
+			return st, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig3Result{MemoryMB: opts.MemoryMB}
+	sweeps := (&workload.Thrasher{Passes: opts.Passes}).TimedSweeps()
+	for si, sizeMB := range opts.SizesMB {
+		pages := int32(sizeMB << 20 / 4096)
+		touches := time.Duration(sweeps) * time.Duration(pages)
+		rwStd, rwCC, roStd, roCC := runs[4*si], runs[4*si+1], runs[4*si+2], runs[4*si+3]
+		pt := Fig3Point{
+			SizeMB:    sizeMB,
+			StdRW:     rwStd.Time / touches,
+			CCRW:      rwCC.Time / touches,
+			StdRO:     roStd.Time / touches,
+			CCRO:      roCC.Time / touches,
+			SpeedRW:   workload.Comparison{Std: rwStd, CC: rwCC}.Speedup(),
+			SpeedRO:   workload.Comparison{Std: roStd, CC: roCC}.Speedup(),
+			CCHitRW:   rwCC.CC.HitRate(),
+			CCHitRO:   roCC.CC.HitRate(),
+			CompRatio: rwCC.Comp.Ratio(),
 		}
 		res.Points = append(res.Points, pt)
 	}

@@ -51,6 +51,11 @@ type Table1Result struct {
 type Table1Options struct {
 	MemoryMB int
 	Seed     int64
+	// Parallelism caps how many machines run concurrently: 0 means one per
+	// core, 1 forces serial execution. The table is byte-identical either
+	// way — runs are independent and results are ordered by row, not by
+	// completion.
+	Parallelism int
 	// Workloads overrides the default workload set (tests use subsets).
 	Workloads []workload.Workload
 }
@@ -100,16 +105,24 @@ func DefaultTable1Options(s Scale) Table1Options {
 }
 
 // Table1 runs every §5.2 application on the baseline and compression-cache
-// machines.
+// machines. The 2 x len(Workloads) runs are independent, so they fan out
+// across opts.Parallelism workers; rows come back in workload order.
 func Table1(opts Table1Options) (*Table1Result, error) {
-	res := &Table1Result{MemoryMB: opts.MemoryMB}
 	memBytes := int64(opts.MemoryMB) << 20
+	jobs := make([]job, 0, 2*len(opts.Workloads))
 	for _, w := range opts.Workloads {
-		cmp, err := workload.RunBoth(machine.Default(memBytes), machine.Default(memBytes).WithCC(), w)
-		if err != nil {
-			return nil, err
-		}
-		row := Table1Row{Name: w.Name(), Cmp: cmp}
+		jobs = append(jobs,
+			job{machine.Default(memBytes), w},
+			job{machine.Default(memBytes).WithCC(), w})
+	}
+	runs, err := measureAll(opts.Parallelism, jobs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table1Result{MemoryMB: opts.MemoryMB}
+	for i, w := range opts.Workloads {
+		row := Table1Row{Name: w.Name(), Cmp: workload.Comparison{
+			Workload: w.Name(), Std: runs[2*i], CC: runs[2*i+1]}}
 		row.Paper, _ = PaperTable1(w.Name())
 		res.Rows = append(res.Rows, row)
 	}

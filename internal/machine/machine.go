@@ -537,6 +537,12 @@ func (m *Machine) decompressInto(data, cdata []byte, key swap.PageKey) {
 	if len(out) != len(data) {
 		panic(fmt.Sprintf("machine: page %v decompressed to %d bytes, want %d", key, len(out), len(data)))
 	}
+	// Decompress appends to data[:0]; a codec that transiently grows past
+	// cap(data) leaves the result in a new backing array, and without this
+	// copy the page would silently keep its stale contents.
+	if len(out) > 0 && &out[0] != &data[0] {
+		copy(data, out)
+	}
 }
 
 // CheckInvariants validates cross-subsystem invariants; tests call it after

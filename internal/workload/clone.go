@@ -1,0 +1,55 @@
+package workload
+
+import "reflect"
+
+// Cloner is implemented by workloads whose Run mutates state that a shallow
+// copy of the receiver would share (nested slices, member workloads).
+type Cloner interface {
+	// CloneWorkload returns an independent copy safe to Run concurrently
+	// with the receiver.
+	CloneWorkload() Workload
+}
+
+// Clone returns a copy of w that can Run concurrently with the original.
+// Workloads are pointers to parameter structs, and Run is allowed to write
+// defaulted parameters and result fields back through the receiver, so
+// sharing one value between concurrently running machines would be a data
+// race even though the runs are logically independent. Clone gives every
+// run its own receiver: workloads implementing Cloner choose their own deep
+// copy; any other pointer-to-struct workload is copied shallowly (their Run
+// writes only scalar fields of the struct itself). Because a clone carries
+// the exact same parameters, a cloned run produces identical results to
+// running the original.
+func Clone(w Workload) Workload {
+	if c, ok := w.(Cloner); ok {
+		return c.CloneWorkload()
+	}
+	v := reflect.ValueOf(w)
+	if v.Kind() != reflect.Pointer || v.IsNil() || v.Elem().Kind() != reflect.Struct {
+		return w
+	}
+	cp := reflect.New(v.Elem().Type())
+	cp.Elem().Set(v.Elem())
+	return cp.Interface().(Workload)
+}
+
+// CloneWorkload implements Cloner: member workloads are cloned too, so two
+// machines running the same mix never share member state.
+func (mw *Multi) CloneWorkload() Workload {
+	cp := &Multi{QuantumRefs: mw.QuantumRefs, Workloads: make([]Workload, len(mw.Workloads))}
+	for i, w := range mw.Workloads {
+		cp.Workloads[i] = Clone(w)
+	}
+	return cp
+}
+
+// CloneWorkload implements Cloner: the recorded miss rates are results, not
+// parameters, so the clone starts with its own slice rather than appending
+// into a backing array shared with the original; the block-size list is
+// copied because Run defaults it in place.
+func (c *CacheSim) CloneWorkload() Workload {
+	cp := *c
+	cp.missRates = nil
+	cp.BlockWordsList = append([]int(nil), c.BlockWordsList...)
+	return &cp
+}

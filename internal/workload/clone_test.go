@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"testing"
+
+	"compcache/internal/machine"
+)
+
+func TestCloneGivesIndependentReceivers(t *testing.T) {
+	orig := &Sort{Bytes: 1 << 20, Mode: SortPartial, VocabWords: 4000, Seed: 7}
+	cp := Clone(orig)
+	if cp == Workload(orig) {
+		t.Fatal("Clone returned the same pointer")
+	}
+	s, ok := cp.(*Sort)
+	if !ok {
+		t.Fatalf("Clone changed the type: %T", cp)
+	}
+	if *s != *orig {
+		t.Fatalf("Clone changed parameters: %+v vs %+v", *s, *orig)
+	}
+}
+
+func TestCloneCacheSimDoesNotShareMissRates(t *testing.T) {
+	orig := &CacheSim{CPUs: 2, Sets: 64, Ways: 2, AddrWords: 1 << 12,
+		BlockWordsList: []int{4, 16}, Refs: 1 << 10, Seed: 3}
+	m, err := machine.New(machine.Default(1 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.Run(m); err != nil {
+		t.Fatal(err)
+	}
+	rates := append([]float64(nil), orig.MissRates()...)
+	if len(rates) == 0 {
+		t.Fatal("no miss rates recorded")
+	}
+
+	cp := Clone(orig).(*CacheSim)
+	m2, err := machine.New(machine.Default(1 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Run(m2); err != nil {
+		t.Fatal(err)
+	}
+	// The clone must have recorded into its own slice...
+	for i, r := range orig.MissRates() {
+		if r != rates[i] {
+			t.Fatalf("clone run overwrote the original's miss rates at %d", i)
+		}
+	}
+	// ...and, with identical parameters, reproduced identical results.
+	cpRates := cp.MissRates()
+	if len(cpRates) != len(rates) {
+		t.Fatalf("clone recorded %d rates, original %d", len(cpRates), len(rates))
+	}
+	for i := range rates {
+		if cpRates[i] != rates[i] {
+			t.Fatalf("clone diverged at rate %d: %v vs %v", i, cpRates[i], rates[i])
+		}
+	}
+}
+
+func TestCloneMultiIsDeep(t *testing.T) {
+	inner := &Thrasher{Pages: 64, Write: true, Passes: 1, Seed: 1}
+	orig := &Multi{QuantumRefs: 10, Workloads: []Workload{inner, &Sort{Bytes: 1 << 16, Seed: 2}}}
+	cp := Clone(orig).(*Multi)
+	if len(cp.Workloads) != 2 {
+		t.Fatalf("member count %d", len(cp.Workloads))
+	}
+	for i := range cp.Workloads {
+		if cp.Workloads[i] == orig.Workloads[i] {
+			t.Fatalf("member %d shared between clone and original", i)
+		}
+	}
+}

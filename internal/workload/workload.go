@@ -18,9 +18,11 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 
 	"compcache/internal/machine"
+	"compcache/internal/runner"
 	"compcache/internal/stats"
 )
 
@@ -70,16 +72,26 @@ func (c Comparison) Speedup() float64 {
 // RunBoth runs w under both configurations. cc must have the compression
 // cache enabled; base must not.
 func RunBoth(base, cc machine.Config, w Workload) (Comparison, error) {
+	return RunBothN(context.Background(), base, cc, w, 1)
+}
+
+// RunBothN is RunBoth with the two measurements fanned out across up to
+// workers goroutines (0 means one per core): the baseline and
+// compression-cache runs are independent machines with their own virtual
+// clocks, so they can run concurrently. Each run gets its own Clone of w,
+// which keeps the runs race-free and makes the result identical to a serial
+// RunBoth.
+func RunBothN(ctx context.Context, base, cc machine.Config, w Workload, workers int) (Comparison, error) {
 	if base.CC.Enabled || !cc.CC.Enabled {
 		return Comparison{}, fmt.Errorf("workload: RunBoth needs a baseline and a CC configuration, in that order")
 	}
-	std, err := Measure(base, w)
+	cfgs := [2]machine.Config{base, cc}
+	runs, err := runner.Map(ctx, runner.Parallelism(workers), len(cfgs),
+		func(_ context.Context, i int) (stats.Run, error) {
+			return Measure(cfgs[i], Clone(w))
+		})
 	if err != nil {
 		return Comparison{}, err
 	}
-	ccRun, err := Measure(cc, w)
-	if err != nil {
-		return Comparison{}, err
-	}
-	return Comparison{Workload: w.Name(), Std: std, CC: ccRun}, nil
+	return Comparison{Workload: w.Name(), Std: runs[0], CC: runs[1]}, nil
 }
