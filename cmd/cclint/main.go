@@ -1,0 +1,79 @@
+// Command cclint runs the project's custom static-analysis suite: the
+// determinism and virtual-time invariants the reproduction depends on.
+//
+// Usage:
+//
+//	cclint [-json] [-list] [packages...]
+//
+// Packages default to ./... . Patterns follow the go tool's shape
+// ("./...", "./internal/...", or plain directories). Exit status is 0
+// when the tree is clean, 1 when there are findings, and 2 on usage or
+// load errors.
+//
+// Findings are suppressed one line at a time, with a mandatory reason:
+//
+//	start := time.Now() //cclint:ignore walltime -- host-time progress line
+//
+// See internal/lint for the analyzers and DESIGN.md ("Determinism and
+// virtual-time invariants") for why each rule exists.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"compcache/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cclint:", err)
+		os.Exit(2)
+	}
+	if len(pkgs) == 0 {
+		fmt.Fprintln(os.Stderr, "cclint: no Go packages matched")
+		os.Exit(2)
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "cclint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "cclint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 
 	"compcache/internal/machine"
 	"compcache/internal/trace"
@@ -110,8 +111,13 @@ func doInfo(path string) {
 	}
 	fmt.Printf("%s: %d references, %d segment(s), %.1f%% writes\n",
 		path, len(refs), len(segs), 100*float64(writes)/float64(max(len(refs), 1)))
-	for seg, pages := range segs {
-		fmt.Printf("  segment %d: %d pages (%.1f MB)\n", seg, pages, float64(pages)*4096/(1<<20))
+	ids := make([]int32, 0, len(segs))
+	for seg := range segs {
+		ids = append(ids, seg)
+	}
+	slices.Sort(ids)
+	for _, seg := range ids {
+		fmt.Printf("  segment %d: %d pages (%.1f MB)\n", seg, segs[seg], float64(segs[seg])*4096/(1<<20))
 	}
 }
 

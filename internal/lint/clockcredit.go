@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// ClockCredit guards the cost accounting of the simulated machine. It
+// runs only on internal/machine, the package that owns the boundary
+// between simulation logic and the charged subsystems: any exported
+// method that performs codec work (Compress/Decompress) or touches the
+// backing store through the machine's device fields must advance the
+// virtual clock somewhere on the way — uncharged simulated work would
+// silently skew Table 1 and Figure 3 while every test stays green.
+//
+// The analysis is intra-package: a method is credited if it calls
+// Advance/AdvanceTo directly or calls (transitively, by name) another
+// function in the package that does, so charging through a helper like
+// decompressInto counts.
+type ClockCredit struct{}
+
+// Name implements Analyzer.
+func (ClockCredit) Name() string { return "clockcredit" }
+
+// Doc implements Analyzer.
+func (ClockCredit) Doc() string {
+	return "exported internal/machine methods doing codec or disk work must advance the virtual clock"
+}
+
+// clockCreditScope is the package-path suffix the analyzer applies to.
+const clockCreditScope = "internal/machine"
+
+// codecOps are selector names that always denote chargeable codec work.
+var codecOps = map[string]bool{"Compress": true, "Decompress": true}
+
+// storeOps are selector names that denote backing-store work when invoked
+// through one of the machine's device fields.
+var storeOps = map[string]bool{"Read": true, "Write": true, "WriteCluster": true, "ReadCluster": true}
+
+// deviceFields are the machine fields that reach the simulated device.
+var deviceFields = map[string]bool{"direct": true, "clustered": true, "Device": true, "Disk": true}
+
+// advanceOps are the virtual-clock charging calls.
+var advanceOps = map[string]bool{"Advance": true, "AdvanceTo": true}
+
+// funcFacts records what one function body does directly.
+type funcFacts struct {
+	decl     *ast.FuncDecl
+	advances bool
+	ops      []ast.Node // chargeable op call sites
+	calls    []string   // names of same-package functions it calls
+}
+
+// Check implements Analyzer.
+func (c ClockCredit) Check(pkg *Package) []Diagnostic {
+	if !strings.HasSuffix(pkg.Path, clockCreditScope) {
+		return nil
+	}
+
+	// Pass 1: direct facts for every function in the package.
+	facts := map[string]*funcFacts{}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ff := &funcFacts{decl: fd}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := call.Fun.(type) {
+				case *ast.SelectorExpr:
+					name := fun.Sel.Name
+					switch {
+					case advanceOps[name]:
+						ff.advances = true
+					case codecOps[name]:
+						ff.ops = append(ff.ops, call)
+					case storeOps[name] && throughDeviceField(fun.X):
+						ff.ops = append(ff.ops, call)
+					default:
+						// m.helper(...) — a candidate same-package call.
+						ff.calls = append(ff.calls, name)
+					}
+				case *ast.Ident:
+					ff.calls = append(ff.calls, fun.Name)
+				}
+				return true
+			})
+			// Methods and functions are keyed by bare name; a collision
+			// between a method and a function only makes the analysis more
+			// conservative (credit propagates more freely).
+			facts[fd.Name.Name] = ff
+		}
+	}
+
+	// Pass 2: propagate clock credit through same-package calls to a
+	// fixed point.
+	for changed := true; changed; {
+		changed = false
+		for _, ff := range facts {
+			if ff.advances {
+				continue
+			}
+			for _, callee := range ff.calls {
+				if cf, ok := facts[callee]; ok && cf.advances {
+					ff.advances = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Pass 3: flag exported functions that do chargeable work without
+	// credit, directly or via an uncredited same-package callee. Names are
+	// visited in sorted order so the analyzer's own output never depends
+	// on map iteration order — cclint practices what it preaches.
+	names := make([]string, 0, len(facts))
+	for name := range facts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []Diagnostic
+	for _, name := range names {
+		ff := facts[name]
+		if !ast.IsExported(name) || ff.advances {
+			continue
+		}
+		for _, op := range ff.ops {
+			out = append(out, diag(pkg, c.Name(), op,
+				"%s performs codec/disk work but never advances the virtual clock; the cost of this op is uncharged", name))
+		}
+		flagged := map[string]bool{}
+		for _, callee := range ff.calls {
+			if flagged[callee] {
+				continue
+			}
+			if cf, ok := facts[callee]; ok && !cf.advances && len(cf.ops) > 0 {
+				flagged[callee] = true
+				out = append(out, diag(pkg, c.Name(), ff.decl.Name,
+					"%s reaches codec/disk work via %s without ever advancing the virtual clock", name, callee))
+			}
+		}
+	}
+	return out
+}
+
+// throughDeviceField reports whether a receiver expression reaches one of
+// the machine's device fields (m.direct, m.clustered, s.m.Device, ...).
+func throughDeviceField(e ast.Expr) bool {
+	for {
+		switch v := e.(type) {
+		case *ast.SelectorExpr:
+			if deviceFields[v.Sel.Name] {
+				return true
+			}
+			e = v.X
+		case *ast.Ident:
+			return deviceFields[v.Name]
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.CallExpr:
+			return false
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package lint is the project's custom static-analysis framework (cclint).
+//
+// The reproduction rests on two invariants that ordinary tooling does not
+// enforce:
+//
+//  1. Virtual-time purity — simulated costs come only from the virtual
+//     clock in internal/sim. A single stray time.Now() turns the paper's
+//     Table 1 / Figure 3 numbers into artifacts of the host machine.
+//  2. Determinism — every experiment is byte-identical at any -j. One
+//     unseeded rand call or one map iteration feeding an output stream
+//     silently breaks the guarantee.
+//
+// cclint turns those tribal rules into CI-enforced law. The framework is
+// deliberately stdlib-only (go/ast, go/parser, go/token): the build
+// environment has no network, so golang.org/x/tools is off the table, and
+// the analyses are all syntactic, so nothing heavier is needed.
+//
+// Findings can be suppressed, one line at a time, with a written reason:
+//
+//	start := time.Now() //cclint:ignore walltime -- host-time progress report
+//
+// or, as a standalone comment, on the line directly below it. The reason
+// after "--" is mandatory; a directive without one is itself a finding, as
+// is a directive that no longer suppresses anything.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// Package is one parsed Go package as the analyzers see it: syntax only,
+// no type information, with the import path preserved so analyzers can
+// scope themselves (e.g. clockcredit runs only on internal/machine).
+type Package struct {
+	// Path is the slash-separated import path, e.g.
+	// "compcache/internal/machine".
+	Path string
+	// Dir is the directory the files were read from.
+	Dir string
+	// Fset positions all Files.
+	Fset *token.FileSet
+	// Files holds the parsed non-test sources, sorted by file name.
+	Files []*ast.File
+	// Lines holds each file's raw source split into lines, keyed the same
+	// way Fset positions name files. The ignore machinery uses it to tell
+	// trailing directives from standalone ones.
+	Lines map[string][]string
+}
+
+// Diagnostic is one finding, positioned at file:line:col.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+}
+
+// String renders the conventional compiler-style form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.File, d.Line, d.Col, d.Message, d.Analyzer)
+}
+
+// Analyzer is one named check over a single package.
+type Analyzer interface {
+	// Name is the identifier used in output and in ignore directives.
+	Name() string
+	// Doc is a one-line description of what the analyzer enforces.
+	Doc() string
+	// Check reports all findings in pkg.
+	Check(pkg *Package) []Diagnostic
+}
+
+// All returns the full cclint analyzer suite, in stable order.
+func All() []Analyzer {
+	return []Analyzer{
+		Walltime{},
+		GlobalRand{},
+		MapRange{},
+		ClockCredit{},
+	}
+}
+
+// diag builds a Diagnostic at a node's position.
+func diag(pkg *Package, name string, n ast.Node, format string, args ...any) Diagnostic {
+	pos := pkg.Fset.Position(n.Pos())
+	return Diagnostic{
+		Analyzer: name,
+		Pos:      pos,
+		File:     pos.Filename,
+		Line:     pos.Line,
+		Col:      pos.Column,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// Run applies every analyzer to every package, filters the findings
+// through the //cclint:ignore directives, appends directive-hygiene
+// findings (missing reason, unknown analyzer, unused directive), and
+// returns the surviving diagnostics sorted by position.
+func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name()] = true
+	}
+
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		dirs := collectIgnores(pkg, known)
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			raw = append(raw, a.Check(pkg)...)
+		}
+		for _, d := range raw {
+			if dirs.suppress(d) {
+				continue
+			}
+			out = append(out, d)
+		}
+		out = append(out, dirs.hygiene()...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}

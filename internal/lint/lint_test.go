@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden tests are a hand-rolled, stdlib-only analysistest: each
+// fixture directory under testdata/src is loaded, the full analyzer suite
+// (plus ignore-directive processing) runs over it, and every diagnostic
+// must match a trailing
+//
+//	// want `regexp` [`regexp` ...]
+//
+// comment on its line — with unmatched wants and unexpected diagnostics
+// both failing the test. Running the whole suite (not one analyzer per
+// fixture) also locks in that analyzers do not fire on each other's clean
+// examples.
+
+// wantRE extracts the backquoted patterns after a "// want" marker.
+var wantRE = regexp.MustCompile("`([^`]*)`")
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// parseWants scans a package's raw source lines for want comments.
+func parseWants(t *testing.T, pkg *Package) map[string]map[int][]*want {
+	t.Helper()
+	wants := map[string]map[int][]*want{}
+	for file, lines := range pkg.Lines {
+		for i, line := range lines {
+			_, rest, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			for _, m := range wantRE.FindAllStringSubmatch(rest, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", file, i+1, m[1], err)
+				}
+				if wants[file] == nil {
+					wants[file] = map[int][]*want{}
+				}
+				wants[file][i+1] = append(wants[file][i+1], &want{re: re})
+			}
+		}
+	}
+	return wants
+}
+
+func runGolden(t *testing.T, dir string) {
+	t.Helper()
+	pkgs, err := Load(".", []string{dir})
+	if err != nil {
+		t.Fatalf("Load(%s): %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load(%s): got %d packages, want 1", dir, len(pkgs))
+	}
+	pkg := pkgs[0]
+	wants := parseWants(t, pkg)
+
+	diags := Run(pkgs, All())
+	for _, d := range diags {
+		found := false
+		for _, w := range wants[d.File][d.Line] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %v", d)
+		}
+	}
+	for file, byLine := range wants {
+		for line, ws := range byLine {
+			for _, w := range ws {
+				if !w.matched {
+					t.Errorf("%s:%d: no diagnostic matched want `%s`", file, line, w.re)
+				}
+			}
+		}
+	}
+}
+
+func TestWalltimeGolden(t *testing.T)   { runGolden(t, "testdata/src/walltime") }
+func TestGlobalRandGolden(t *testing.T) { runGolden(t, "testdata/src/globalrand") }
+func TestMapRangeGolden(t *testing.T)   { runGolden(t, "testdata/src/maprange") }
+func TestIgnoreGolden(t *testing.T)     { runGolden(t, "testdata/src/ignore") }
+func TestMachineFixture(t *testing.T)   { runGolden(t, "testdata/src/internal/machine") }
+
+// TestMachineFixtureScope pins the two properties the acceptance criteria
+// name: the fixture directory resolves to an import path ending in
+// internal/machine (so walltime provably rejects a time.Now() injected
+// there, and clockcredit is in scope), and the suite reports findings —
+// which is exactly what makes `cclint <fixture-dir>` exit 1.
+func TestMachineFixtureScope(t *testing.T) {
+	pkgs, err := Load(".", []string{"testdata/src/internal/machine"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := pkgs[0]
+	if !strings.HasSuffix(pkg.Path, "internal/machine") {
+		t.Fatalf("fixture import path %q does not end in internal/machine", pkg.Path)
+	}
+	diags := Run(pkgs, All())
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no findings; cclint would exit 0 on it")
+	}
+	var haveWalltime, haveCredit bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "walltime":
+			haveWalltime = true
+		case "clockcredit":
+			haveCredit = true
+		}
+	}
+	if !haveWalltime {
+		t.Error("no walltime finding for time.Now() injected into internal/machine")
+	}
+	if !haveCredit {
+		t.Error("no clockcredit finding in the machine fixture")
+	}
+}
+
+// TestLoadSkipsTestdataAndTests: pattern expansion must skip testdata (so
+// `cclint ./...` never trips over fixtures) and must not load _test.go
+// files (whose golden host-time fixtures are out of scope).
+func TestLoadSkipsTestdataAndTests(t *testing.T) {
+	pkgs, err := Load(".", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		if strings.Contains(pkg.Path, "testdata") {
+			t.Errorf("pattern expansion loaded fixture package %s", pkg.Path)
+		}
+		for file := range pkg.Lines {
+			if strings.HasSuffix(file, "_test.go") {
+				t.Errorf("loaded test file %s", file)
+			}
+		}
+	}
+	if len(pkgs) != 1 || !strings.HasSuffix(pkgs[0].Path, "internal/lint") {
+		t.Fatalf("Load(./...) from internal/lint: got %d packages, want just compcache/internal/lint", len(pkgs))
+	}
+}
+
+// TestRunOutputSorted: diagnostics come back ordered by position so
+// cclint's own output is deterministic.
+func TestRunOutputSorted(t *testing.T) {
+	pkgs, err := Load(".", []string{"testdata/src/walltime", "testdata/src/internal/machine"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, All())
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a.File > b.File || (a.File == b.File && a.Line > b.Line) {
+			t.Fatalf("diagnostics out of order: %v before %v", a, b)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Load parses the packages matched by the given patterns, rooted at the
+// module containing dir. Patterns follow the go tool's shape: "./..."
+// loads the whole module, "./internal/..." a subtree, and a plain
+// directory path loads that one directory. Test files (_test.go) are not
+// loaded — the invariants cclint enforces are about simulation code, and
+// tests routinely hold golden host-time or shuffled fixtures — and
+// "testdata", "vendor" and hidden directories are skipped during pattern
+// expansion (naming a testdata directory explicitly still works, which is
+// how the golden tests and the fixture demos load).
+func Load(dir string, patterns []string) ([]*Package, error) {
+	root, module, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		rec := false
+		if strings.HasSuffix(pat, "/...") {
+			rec = true
+			pat = strings.TrimSuffix(pat, "/...")
+		} else if pat == "..." {
+			rec, pat = true, "."
+		}
+		base := pat
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(dir, base)
+		}
+		if !rec {
+			dirs[filepath.Clean(base)] = true
+			continue
+		}
+		err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != base && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			dirs[filepath.Clean(p)] = true
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var order []string
+	for d := range dirs {
+		order = append(order, d)
+	}
+	sort.Strings(order)
+
+	var pkgs []*Package
+	for _, d := range order {
+		pkg, err := parsePackage(d, root, module)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, module string, err error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// parsePackage parses the non-test Go files of one directory. It returns
+// (nil, nil) for directories with no Go files.
+func parsePackage(dir, root, module string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+
+	pkg := &Package{
+		Path:  importPath(dir, root, module),
+		Dir:   dir,
+		Fset:  token.NewFileSet(),
+		Lines: make(map[string][]string),
+	}
+	for _, n := range names {
+		path := filepath.Join(dir, n)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(pkg.Fset, path, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.Lines[path] = strings.Split(string(src), "\n")
+	}
+	return pkg, nil
+}
+
+// importPath maps a directory inside the module to its import path.
+func importPath(dir, root, module string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return module
+	}
+	rel, err := filepath.Rel(root, abs)
+	if err != nil || rel == "." {
+		return module
+	}
+	return module + "/" + filepath.ToSlash(rel)
+}
+
+// ParseSource builds a single-file Package directly from source text; the
+// golden tests use it to position fixtures at arbitrary import paths
+// (e.g. pretending a file lives in compcache/internal/machine).
+func ParseSource(path, fakeImportPath string, src []byte) (*Package, error) {
+	pkg := &Package{
+		Path:  fakeImportPath,
+		Dir:   filepath.Dir(path),
+		Fset:  token.NewFileSet(),
+		Lines: make(map[string][]string),
+	}
+	f, err := parser.ParseFile(pkg.Fset, path, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Files = []*ast.File{f}
+	pkg.Lines[path] = strings.Split(string(src), "\n")
+	return pkg, nil
+}

@@ -1,0 +1,67 @@
+package machine
+
+// Miniature shadows of the real machine's collaborators, enough for the
+// clockcredit analyzer's syntactic view.
+
+type clock struct{}
+
+func (clock) Advance(d int64) {}
+
+type codec struct{}
+
+func (codec) Compress(dst, src []byte) []byte { return src }
+
+func (codec) Decompress(dst, src []byte) ([]byte, error) { return src, nil }
+
+type store struct{}
+
+func (store) Write(key int, data []byte) {}
+
+func (store) Read(key int, buf []byte) bool { return false }
+
+// Machine mirrors the real struct's device fields.
+type Machine struct {
+	Clock  *clock
+	codec  codec
+	direct store
+}
+
+// BadCompress does codec work without charging the clock.
+func (m *Machine) BadCompress(data []byte) []byte {
+	return m.codec.Compress(nil, data) // want `BadCompress performs codec/disk work but never advances the virtual clock`
+}
+
+// BadWrite touches the backing store uncharged.
+func (m *Machine) BadWrite(data []byte) {
+	m.direct.Write(0, data) // want `BadWrite performs codec/disk work but never advances the virtual clock`
+}
+
+// BadViaHelper reaches uncharged work through an unexported helper; the
+// exported entry point is what gets flagged, at its declaration line.
+func (m *Machine) BadViaHelper(data []byte) { // want `BadViaHelper reaches codec/disk work via unchargedWrite`
+	m.unchargedWrite(data)
+}
+
+func (m *Machine) unchargedWrite(data []byte) {
+	m.direct.Write(0, data)
+}
+
+// GoodCompress charges the clock in the same body.
+func (m *Machine) GoodCompress(data []byte) []byte {
+	m.Clock.Advance(int64(len(data)))
+	return m.codec.Compress(nil, data)
+}
+
+// GoodViaHelper charges through a same-package helper; credit propagates
+// transitively.
+func (m *Machine) GoodViaHelper(data []byte) {
+	m.chargedWrite(data)
+}
+
+func (m *Machine) chargedWrite(data []byte) {
+	m.Clock.Advance(1)
+	m.direct.Write(0, data)
+}
+
+// GoodNoOps does no chargeable work at all; nothing to flag.
+func (m *Machine) GoodNoOps() int { return 0 }

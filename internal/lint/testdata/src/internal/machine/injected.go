@@ -1,0 +1,15 @@
+// Package machine is a golden fixture that stands in for
+// compcache/internal/machine (the loader maps this directory to an import
+// path ending in internal/machine, which is the clockcredit scope). It
+// proves the two headline regressions are caught without editing the real
+// machine package: a wall-clock read injected into the simulation core,
+// and simulated work whose cost never reaches the virtual clock.
+package machine
+
+import "time"
+
+// Injected is the canonical virtual-time-purity regression: host time
+// leaking into the machine package.
+func Injected() int64 {
+	return time.Now().UnixNano() // want `wall-clock call time\.Now`
+}

@@ -1,0 +1,96 @@
+// Package mr is a golden fixture for the maprange analyzer.
+package mr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+type runStats struct{ Extra map[string]float64 }
+
+// badAppend collects map keys without ever sorting them.
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append inside map iteration`
+	}
+	return out
+}
+
+// badPrint writes directly from map iteration, the cctrace shape.
+func badPrint() {
+	segs := map[int]int{}
+	for seg, pages := range segs {
+		fmt.Printf("%d: %d\n", seg, pages) // want `fmt\.Printf inside map iteration`
+	}
+}
+
+// badBuilder builds a string through a field-typed map.
+func badBuilder(s runStats) string {
+	var b strings.Builder
+	for k := range s.Extra {
+		b.WriteString(k) // want `WriteString inside map iteration`
+	}
+	return b.String()
+}
+
+// badConcat accumulates a string with +=.
+func badConcat(m map[string]string) string {
+	out := ""
+	for _, v := range m {
+		out += v + "\n" // want `string built inside map iteration`
+	}
+	return out
+}
+
+// goodCollectSort is the canonical deterministic idiom: collect, sort,
+// then use.
+func goodCollectSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// goodSortSlice collects values and orders them with a comparator, the
+// fs.Sync shape.
+func goodSortSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// goodCount does commutative accumulation; order cannot matter.
+func goodCount(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// goodMapToMap writes into another map; the result is order-independent.
+func goodMapToMap(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = 2 * v
+	}
+	return out
+}
+
+// goodSliceRange ranges a slice: never a finding, appends and prints are
+// fine in deterministic order.
+func goodSliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+		fmt.Println(x)
+	}
+	return out
+}
