@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	ccbench [-scale small|paper] [-exp fig1a|fig1b|fig3|table1|ablations|all] [-j N]
+//	ccbench [-scale small|paper] [-exp fig1a|fig1b|fig3|table1|ablations|all] [-faults [-fault-rate R]] [-j N]
 //
 // Each experiment prints the same rows or series the paper reports; the
 // paper's published values are included alongside where applicable (Table 1)
@@ -28,10 +28,18 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "small", "experiment scale: small or paper")
-	expFlag := flag.String("exp", "all", "experiment: fig1a, fig1b, fig3, table1, ablations, extensions, all")
+	expFlag := flag.String("exp", "all", "experiment: fig1a, fig1b, fig3, table1, ablations, extensions, faults, all")
 	format := flag.String("format", "text", "output format for tables: text or csv")
 	jobs := flag.Int("j", 0, "max concurrent simulated machines (0 = one per core, 1 = serial); output is identical at any value")
+	faultsFlag := flag.Bool("faults", false, "run the fault-injection sweep (overhead and survival vs fault rate); shorthand for -exp faults")
+	faultRate := flag.Float64("fault-rate", -1, "restrict the fault sweep to a single rate (plus the fault-free baseline); default sweeps the built-in rates")
 	flag.Parse()
+	if *faultRate >= 0 && *expFlag == "all" && !*faultsFlag {
+		*faultsFlag = true
+	}
+	if *faultsFlag && *expFlag == "all" {
+		*expFlag = "faults"
+	}
 	if *format != "text" && *format != "csv" {
 		fmt.Fprintf(os.Stderr, "ccbench: unknown format %q\n", *format)
 		os.Exit(2)
@@ -135,6 +143,21 @@ func main() {
 			fatal(err)
 			emit(tab)
 		}
+		ran++
+	}
+	if run("faults") || *faultsFlag {
+		opts := exp.DefaultFaultsOptions(scale)
+		opts.Parallelism = *jobs
+		if *faultRate >= 0 {
+			// Keep the rate-0 baseline: overhead is relative to it.
+			opts.Rates = []float64{0}
+			if *faultRate > 0 {
+				opts.Rates = append(opts.Rates, *faultRate)
+			}
+		}
+		res, err := exp.FaultSweep(opts)
+		fatal(err)
+		emit(res.Table())
 		ran++
 	}
 	if ran == 0 {

@@ -34,12 +34,20 @@ package core
 
 import (
 	"fmt"
+	"hash/crc32"
 
 	"compcache/internal/mem"
 	"compcache/internal/sim"
 	"compcache/internal/stats"
 	"compcache/internal/swap"
 )
+
+// Checksum computes the integrity checksum stored with every compressed
+// fragment (CRC-32/IEEE). It is computed once when data enters the cache and
+// travels with the bytes through the backing store, so verification at
+// decompress time catches corruption anywhere along the path — not just in
+// the cache ring.
+func Checksum(data []byte) uint32 { return crc32.ChecksumIEEE(data) }
 
 // Params configures a Cache.
 type Params struct {
@@ -89,6 +97,7 @@ type Entry struct {
 	Key    swap.PageKey
 	Data   []byte
 	Dirty  bool
+	Sum    uint32 // Checksum of Data, computed at insertion
 	dead   bool
 	insert sim.Time
 	frames []*ccFrame
@@ -117,8 +126,8 @@ func (f *ccFrame) reclaimable() bool {
 // FlushFunc persists a batch of dirty entries to the backing store (the
 // machine implements it with a clustered asynchronous write and updates the
 // affected pages' bookkeeping). It is called before the entries are marked
-// clean.
-type FlushFunc func(items []swap.Item)
+// clean; on error the entries stay dirty.
+type FlushFunc func(items []swap.Item) error
 
 // DropFunc is called when a live clean entry is discarded during frame
 // reclamation, so the owner can account that the page now lives only on the
@@ -148,12 +157,15 @@ type Cache struct {
 // New creates a compression cache drawing frames from pool.
 func New(params Params, clock *sim.Clock, pool *mem.Pool) *Cache {
 	if params.FrameHeaderBytes < 0 || params.EntryHeaderBytes < 0 {
+		// Invariant: construction-time configuration error, not a runtime
+		// fault; machine.Config validation rejects it before reaching here.
 		panic("core: negative header size")
 	}
 	if params.CleanBatchBytes <= 0 {
 		params.CleanBatchBytes = 32 * 1024
 	}
 	if params.FrameHeaderBytes >= pool.PageSize() {
+		// Invariant: construction-time configuration error (see above).
 		panic("core: frame header exceeds the page size")
 	}
 	return &Cache{
@@ -201,9 +213,12 @@ func (c *Cache) frameCap() int { return c.pool.PageSize() - c.params.FrameHeader
 // established before any destructive work, so a failed insert reclaims no
 // frames, drops no entries, fires no hooks, flushes nothing, and changes no
 // counters. Data is retained by the cache (callers must not reuse the
-// slice).
-func (c *Cache) Insert(key swap.PageKey, data []byte, dirty bool) bool {
+// slice). The error reports a flush failure during at-cap recycling; the
+// insert is abandoned with any newly acquired frames returned to the pool.
+func (c *Cache) Insert(key swap.PageKey, data []byte, dirty bool) (bool, error) {
 	if len(data) > c.pool.PageSize() {
+		// Invariant: the machine stores a page raw when compression does not
+		// shrink it, so an entry can never exceed the page size.
 		panic(fmt.Sprintf("core: entry for %v of %d bytes larger than a page", key, len(data)))
 	}
 	need := len(data) + c.params.EntryHeaderBytes
@@ -226,7 +241,7 @@ func (c *Cache) Insert(key swap.PageKey, data []byte, dirty bool) bool {
 		newFrames = (need - rem + c.frameCap() - 1) / c.frameCap()
 	}
 	if !c.canAcquire(newFrames, tailFrame != nil) {
-		return false
+		return false, nil
 	}
 	acquired := make([]mem.FrameID, 0, newFrames)
 	for i := 0; i < newFrames; i++ {
@@ -237,13 +252,23 @@ func (c *Cache) Insert(key swap.PageKey, data []byte, dirty bool) bool {
 			// frame this insert appends into is never recycled from under
 			// it.
 			for !c.reclaimFirstExcept(tailFrame) {
-				if c.Clean() == 0 {
+				n, err := c.Clean()
+				if err != nil {
+					for _, id := range acquired {
+						c.pool.Release(id)
+					}
+					return false, err
+				}
+				if n == 0 {
+					// Invariant: canAcquire proved recycling cannot run dry
+					// while dirty entries remain cleanable.
 					panic("core: insert feasibility check admitted an unrecyclable ring")
 				}
 			}
 		}
 		id, ok := c.pool.Alloc(mem.CC)
 		if !ok {
+			// Invariant: canAcquire counted the pool's free frames.
 			panic("core: insert feasibility check admitted an empty pool")
 		}
 		acquired = append(acquired, id)
@@ -255,7 +280,7 @@ func (c *Cache) Insert(key swap.PageKey, data []byte, dirty bool) bool {
 		c.kill(old)
 	}
 
-	e := &Entry{Key: key, Data: data, Dirty: dirty, insert: c.clock.Now()}
+	e := &Entry{Key: key, Data: data, Dirty: dirty, Sum: Checksum(data), insert: c.clock.Now()}
 	left := need
 	if rem > 0 {
 		tail := c.frames[len(c.frames)-1]
@@ -276,6 +301,7 @@ func (c *Cache) Insert(key swap.PageKey, data []byte, dirty bool) bool {
 		c.st.FrameGrows++
 	}
 	if left != 0 {
+		// Invariant: the frame-count arithmetic above exactly covers need.
 		panic("core: space accounting error during insert")
 	}
 	c.entries[key] = e
@@ -285,7 +311,7 @@ func (c *Cache) Insert(key swap.PageKey, data []byte, dirty bool) bool {
 		c.dirtyBytes += need
 	}
 	c.st.Inserts++
-	return true
+	return true, nil
 }
 
 // canAcquire reports whether Insert can obtain n new tail frames, without
@@ -343,16 +369,16 @@ func (c *Cache) canAcquire(n int, protectTail bool) bool {
 }
 
 // Fault returns the entry for key, satisfying a page fault from the cache.
-// The caller decompresses Data; dirty reports whether the backing store
-// lacks the contents. The entry is RETAINED: "the compressed copy in memory
-// can be freed at any time" (§4.1), and keeping it means a later eviction of
-// the still-unmodified page costs nothing — the owner must Drop the entry
-// when the page is modified.
-func (c *Cache) Fault(key swap.PageKey) (data []byte, dirty bool, ok bool) {
+// The caller decompresses Data after verifying it against sum; dirty reports
+// whether the backing store lacks the contents. The entry is RETAINED: "the
+// compressed copy in memory can be freed at any time" (§4.1), and keeping it
+// means a later eviction of the still-unmodified page costs nothing — the
+// owner must Drop the entry when the page is modified.
+func (c *Cache) Fault(key swap.PageKey) (data []byte, sum uint32, dirty bool, ok bool) {
 	e, found := c.entries[key]
 	if !found {
 		c.st.Misses++
-		return nil, false, false
+		return nil, 0, false, false
 	}
 	c.st.Hits++
 	if c.params.RefreshOnFault {
@@ -361,7 +387,7 @@ func (c *Cache) Fault(key swap.PageKey) (data []byte, dirty bool, ok bool) {
 		// the age the allocator compares against other consumers moves.
 		e.insert = c.clock.Now()
 	}
-	return e.Data, e.Dirty, true
+	return e.Data, e.Sum, e.Dirty, true
 }
 
 // Drop discards the entry for key if present (used when a stale copy must be
@@ -413,10 +439,10 @@ func (c *Cache) advanceHead() {
 // Clean writes the oldest dirty entries — about one clean batch's worth — to
 // the backing store through the flush hook and marks them clean. It returns
 // the number of entries cleaned (0 when nothing is dirty or no flush hook is
-// installed).
-func (c *Cache) Clean() int {
+// installed). On a flush error the batch stays dirty.
+func (c *Cache) Clean() (int, error) {
 	if c.flush == nil || c.dirtyBytes == 0 {
-		return 0
+		return 0, nil
 	}
 	// Skip (and periodically compact) the dead prefix once, instead of
 	// re-walking an arbitrarily long run of dropped entries on every pass.
@@ -430,19 +456,21 @@ func (c *Cache) Clean() int {
 			continue
 		}
 		batch = append(batch, e)
-		items = append(items, swap.Item{Key: e.Key, Data: e.Data, Compressed: true})
+		items = append(items, swap.Item{Key: e.Key, Data: e.Data, Compressed: true, Sum: e.Sum})
 		bytes += e.footprint(c.params)
 	}
 	if len(batch) == 0 {
-		return 0
+		return 0, nil
 	}
-	c.flush(items)
+	if err := c.flush(items); err != nil {
+		return 0, err
+	}
 	for _, e := range batch {
 		e.Dirty = false
 		c.dirtyBytes -= e.footprint(c.params)
 		c.st.CleanWrites++
 	}
-	return len(batch)
+	return len(batch), nil
 }
 
 // ReclaimableFrames reports how many frames could be released right now
@@ -465,6 +493,8 @@ func (c *Cache) Prefill(k int) {
 	for len(c.frames) < k {
 		id, ok := c.pool.Alloc(mem.CC)
 		if !ok {
+			// Invariant: Prefill runs at machine construction against a
+			// freshly sized pool; exhaustion is a configuration error.
 			panic("core: Prefill exceeds available memory")
 		}
 		c.frames = append(c.frames, &ccFrame{id: id, used: c.params.FrameHeaderBytes})
@@ -478,17 +508,21 @@ func (c *Cache) Prefill(k int) {
 // cleans the oldest dirty data first and retries. It reports false when the
 // cache holds no frames, is at its configured minimum size, or cleaning is
 // impossible.
-func (c *Cache) ReleaseOldest() bool {
+func (c *Cache) ReleaseOldest() (bool, error) {
 	if len(c.frames) == 0 || len(c.frames) <= c.params.MinFrames {
-		return false
+		return false, nil
 	}
 	if c.reclaimFirst() {
-		return true
+		return true, nil
 	}
-	if c.Clean() == 0 {
-		return false
+	n, err := c.Clean()
+	if err != nil {
+		return false, err
 	}
-	return c.reclaimFirst()
+	if n == 0 {
+		return false, nil
+	}
+	return c.reclaimFirst(), nil
 }
 
 // reclaimFirst releases the oldest reclaimable frame, searching from the

@@ -27,25 +27,61 @@ func blob(seed int64, n int) []byte {
 	return b
 }
 
+// insert is a test helper for the common no-flush-error case.
+func insert(t *testing.T, c *Cache, k swap.PageKey, data []byte, dirty bool) bool {
+	t.Helper()
+	ok, err := c.Insert(k, data, dirty)
+	if err != nil {
+		t.Fatalf("Insert(%v): %v", k, err)
+	}
+	return ok
+}
+
+// clean is a test helper asserting Clean itself does not fail.
+func clean(t *testing.T, c *Cache) int {
+	t.Helper()
+	n, err := c.Clean()
+	if err != nil {
+		t.Fatalf("Clean: %v", err)
+	}
+	return n
+}
+
+// releaseOldest is a test helper asserting ReleaseOldest does not fail.
+func releaseOldest(t *testing.T, c *Cache) bool {
+	t.Helper()
+	ok, err := c.ReleaseOldest()
+	if err != nil {
+		t.Fatalf("ReleaseOldest: %v", err)
+	}
+	return ok
+}
+
+// noFlush is a FlushFunc that accepts everything.
+func noFlush([]swap.Item) error { return nil }
+
 func TestInsertAndFault(t *testing.T) {
 	c, _, _ := newTestCache(t, 4, DefaultParams())
 	data := blob(1, 1000)
-	if !c.Insert(key(0), data, true) {
+	if !insert(t, c, key(0), data, true) {
 		t.Fatal("Insert failed with free pool")
 	}
 	if !c.Has(key(0)) || c.Len() != 1 {
 		t.Fatal("entry not indexed")
 	}
-	got, dirty, ok := c.Fault(key(0))
+	got, sum, dirty, ok := c.Fault(key(0))
 	if !ok || !dirty || !bytes.Equal(got, data) {
 		t.Fatalf("Fault ok=%v dirty=%v", ok, dirty)
+	}
+	if sum != Checksum(data) {
+		t.Fatalf("Fault sum = %#x, want %#x", sum, Checksum(data))
 	}
 	// Fault retains the entry (§4.1's retained compressed copies): a second
 	// fault hits again, and Drop removes it.
 	if !c.Has(key(0)) {
 		t.Fatal("entry removed by Fault")
 	}
-	if _, _, ok := c.Fault(key(0)); !ok {
+	if _, _, _, ok := c.Fault(key(0)); !ok {
 		t.Fatal("second Fault missed")
 	}
 	c.Drop(key(0))
@@ -63,7 +99,7 @@ func TestInsertAndFault(t *testing.T) {
 
 func TestFaultMiss(t *testing.T) {
 	c, _, _ := newTestCache(t, 2, DefaultParams())
-	if _, _, ok := c.Fault(key(9)); ok {
+	if _, _, _, ok := c.Fault(key(9)); ok {
 		t.Fatal("Fault hit on empty cache")
 	}
 	if c.Stats().Misses != 1 {
@@ -76,7 +112,7 @@ func TestEntriesSpanFrames(t *testing.T) {
 	// Three 3000-byte entries: 9108 bytes of footprint in 4072-byte usable
 	// frames must span and use 3 frames.
 	for i := int32(0); i < 3; i++ {
-		if !c.Insert(key(i), blob(int64(i), 3000), true) {
+		if !insert(t, c, key(i), blob(int64(i), 3000), true) {
 			t.Fatalf("insert %d failed", i)
 		}
 	}
@@ -84,7 +120,7 @@ func TestEntriesSpanFrames(t *testing.T) {
 		t.Fatalf("FrameCount = %d, want 3", c.FrameCount())
 	}
 	for i := int32(0); i < 3; i++ {
-		got, _, ok := c.Fault(key(i))
+		got, _, _, ok := c.Fault(key(i))
 		if !ok || !bytes.Equal(got, blob(int64(i), 3000)) {
 			t.Fatalf("entry %d corrupted", i)
 		}
@@ -100,12 +136,12 @@ func TestEntriesSpanFrames(t *testing.T) {
 
 func TestInsertFailsWhenPoolExhausted(t *testing.T) {
 	c, pool, _ := newTestCache(t, 1, DefaultParams())
-	if !c.Insert(key(0), blob(1, 3000), true) {
+	if !insert(t, c, key(0), blob(1, 3000), true) {
 		t.Fatal("first insert should succeed")
 	}
 	// Pool is now empty; an insert needing a new frame must fail without
 	// side effects.
-	if c.Insert(key(1), blob(2, 3000), true) {
+	if insert(t, c, key(1), blob(2, 3000), true) {
 		t.Fatal("insert succeeded with exhausted pool")
 	}
 	if c.Has(key(1)) {
@@ -125,7 +161,7 @@ func TestMaxFramesCap(t *testing.T) {
 	c, _, _ := newTestCache(t, 8, params)
 	var inserted int32
 	for i := int32(0); i < 8; i++ {
-		if !c.Insert(key(i), blob(int64(i), 3000), true) {
+		if !insert(t, c, key(i), blob(int64(i), 3000), true) {
 			break
 		}
 		inserted++
@@ -151,24 +187,29 @@ func TestOversizeEntryPanics(t *testing.T) {
 func TestCleanMarksEntriesAndFlushes(t *testing.T) {
 	c, _, _ := newTestCache(t, 8, DefaultParams())
 	var flushed []swap.Item
-	c.SetHooks(func(items []swap.Item) { flushed = append(flushed, items...) }, nil)
+	c.SetHooks(func(items []swap.Item) error { flushed = append(flushed, items...); return nil }, nil)
 	for i := int32(0); i < 4; i++ {
-		c.Insert(key(i), blob(int64(i), 1000), true)
+		insert(t, c, key(i), blob(int64(i), 1000), true)
 	}
 	if c.DirtyBytes() == 0 {
 		t.Fatal("no dirty bytes after dirty inserts")
 	}
-	n := c.Clean()
+	n := clean(t, c)
 	if n != 4 {
 		t.Fatalf("Clean cleaned %d entries, want 4", n)
 	}
 	if len(flushed) != 4 {
 		t.Fatalf("flush saw %d items", len(flushed))
 	}
+	for _, it := range flushed {
+		if it.Sum != Checksum(it.Data) {
+			t.Fatalf("flushed item %v carries wrong checksum", it.Key)
+		}
+	}
 	if c.DirtyBytes() != 0 {
 		t.Fatalf("dirty bytes = %d after Clean", c.DirtyBytes())
 	}
-	if c.Clean() != 0 {
+	if clean(t, c) != 0 {
 		t.Fatal("second Clean found work")
 	}
 	if err := c.CheckConsistency(); err != nil {
@@ -180,11 +221,11 @@ func TestCleanBatchBounded(t *testing.T) {
 	params := DefaultParams()
 	params.CleanBatchBytes = 4096
 	c, _, _ := newTestCache(t, 16, params)
-	c.SetHooks(func([]swap.Item) {}, nil)
+	c.SetHooks(noFlush, nil)
 	for i := int32(0); i < 10; i++ {
-		c.Insert(key(i), blob(int64(i), 2000), true)
+		insert(t, c, key(i), blob(int64(i), 2000), true)
 	}
-	n := c.Clean()
+	n := clean(t, c)
 	// 2036-byte footprints: the batch passes 4096 bytes after 3 entries.
 	if n < 2 || n > 3 {
 		t.Fatalf("Clean batch = %d entries, want 2-3", n)
@@ -193,8 +234,8 @@ func TestCleanBatchBounded(t *testing.T) {
 
 func TestCleanWithoutHook(t *testing.T) {
 	c, _, _ := newTestCache(t, 4, DefaultParams())
-	c.Insert(key(0), blob(1, 100), true)
-	if c.Clean() != 0 {
+	insert(t, c, key(0), blob(1, 100), true)
+	if clean(t, c) != 0 {
 		t.Fatal("Clean without a flush hook should do nothing")
 	}
 }
@@ -202,12 +243,12 @@ func TestCleanWithoutHook(t *testing.T) {
 func TestReleaseOldestDropsCleanEntries(t *testing.T) {
 	c, pool, _ := newTestCache(t, 8, DefaultParams())
 	var dropped []swap.PageKey
-	c.SetHooks(func([]swap.Item) {}, func(k swap.PageKey) { dropped = append(dropped, k) })
+	c.SetHooks(noFlush, func(k swap.PageKey) { dropped = append(dropped, k) })
 	for i := int32(0); i < 3; i++ {
-		c.Insert(key(i), blob(int64(i), 1200), false) // clean inserts
+		insert(t, c, key(i), blob(int64(i), 1200), false) // clean inserts
 	}
 	frames := c.FrameCount()
-	if !c.ReleaseOldest() {
+	if !releaseOldest(t, c) {
 		t.Fatal("ReleaseOldest failed with clean entries")
 	}
 	if c.FrameCount() != frames-1 {
@@ -232,9 +273,9 @@ func TestReleaseOldestDropsCleanEntries(t *testing.T) {
 func TestReleaseOldestCleansDirtyFirst(t *testing.T) {
 	c, _, _ := newTestCache(t, 8, DefaultParams())
 	flushes := 0
-	c.SetHooks(func(items []swap.Item) { flushes += len(items) }, nil)
-	c.Insert(key(0), blob(1, 1000), true)
-	if !c.ReleaseOldest() {
+	c.SetHooks(func(items []swap.Item) error { flushes += len(items); return nil }, nil)
+	insert(t, c, key(0), blob(1, 1000), true)
+	if !releaseOldest(t, c) {
 		t.Fatal("ReleaseOldest failed")
 	}
 	if flushes == 0 {
@@ -247,27 +288,27 @@ func TestReleaseOldestCleansDirtyFirst(t *testing.T) {
 
 func TestReleaseOldestNoFlushHookNoDirtyReclaim(t *testing.T) {
 	c, _, _ := newTestCache(t, 4, DefaultParams())
-	c.Insert(key(0), blob(1, 1000), true)
-	if c.ReleaseOldest() {
+	insert(t, c, key(0), blob(1, 1000), true)
+	if releaseOldest(t, c) {
 		t.Fatal("dirty frame reclaimed with no way to persist it")
 	}
 }
 
 func TestMidReclaim(t *testing.T) {
 	c, _, _ := newTestCache(t, 8, DefaultParams())
-	c.SetHooks(func([]swap.Item) {}, nil)
+	c.SetHooks(noFlush, nil)
 	// Frame 0 gets a dirty entry; frame 1 a clean one. Fill each frame
 	// exactly so entries do not span.
 	usable := 4096 - 24 - 36
-	c.Insert(key(0), blob(1, usable), true)  // fills frame 0, dirty
-	c.Insert(key(1), blob(2, usable), false) // fills frame 1, clean
+	insert(t, c, key(0), blob(1, usable), true)  // fills frame 0, dirty
+	insert(t, c, key(1), blob(2, usable), false) // fills frame 1, clean
 	if c.FrameCount() != 2 {
 		t.Fatalf("FrameCount = %d, want 2", c.FrameCount())
 	}
 	// Prevent cleaning from making frame 0 reclaimable by removing the
 	// flush hook.
 	c.SetHooks(nil, nil)
-	if !c.ReleaseOldest() {
+	if !releaseOldest(t, c) {
 		t.Fatal("ReleaseOldest failed")
 	}
 	if c.Stats().MidReclaims != 1 {
@@ -283,10 +324,10 @@ func TestOldestAge(t *testing.T) {
 	if _, ok := c.OldestAge(); ok {
 		t.Fatal("OldestAge on empty cache")
 	}
-	c.Insert(key(0), blob(1, 100), true)
+	insert(t, c, key(0), blob(1, 100), true)
 	t0 := clock.Now()
 	clock.Advance(1000)
-	c.Insert(key(1), blob(2, 100), true)
+	insert(t, c, key(1), blob(2, 100), true)
 	age, ok := c.OldestAge()
 	if !ok || age != t0 {
 		t.Fatalf("OldestAge = %v ok=%v, want %v", age, ok, t0)
@@ -301,14 +342,17 @@ func TestOldestAge(t *testing.T) {
 
 func TestReplaceExistingEntry(t *testing.T) {
 	c, _, _ := newTestCache(t, 8, DefaultParams())
-	c.Insert(key(0), blob(1, 500), false)
-	c.Insert(key(0), blob(2, 500), true)
+	insert(t, c, key(0), blob(1, 500), false)
+	insert(t, c, key(0), blob(2, 500), true)
 	if c.Len() != 1 {
 		t.Fatalf("Len = %d after replace", c.Len())
 	}
-	got, dirty, ok := c.Fault(key(0))
+	got, sum, dirty, ok := c.Fault(key(0))
 	if !ok || !dirty || !bytes.Equal(got, blob(2, 500)) {
 		t.Fatal("replace kept stale data")
+	}
+	if sum != Checksum(blob(2, 500)) {
+		t.Fatal("replace kept stale checksum")
 	}
 	if err := c.CheckConsistency(); err != nil {
 		t.Fatal(err)
@@ -317,7 +361,7 @@ func TestReplaceExistingEntry(t *testing.T) {
 
 func TestDrop(t *testing.T) {
 	c, _, _ := newTestCache(t, 8, DefaultParams())
-	c.Insert(key(0), blob(1, 500), true)
+	insert(t, c, key(0), blob(1, 500), true)
 	c.Drop(key(0))
 	if c.Has(key(0)) {
 		t.Fatal("entry live after Drop")
@@ -331,8 +375,8 @@ func TestDrop(t *testing.T) {
 func TestReclaimableFrames(t *testing.T) {
 	c, _, _ := newTestCache(t, 8, DefaultParams())
 	usable := 4096 - 24 - 36
-	c.Insert(key(0), blob(1, usable), false)
-	c.Insert(key(1), blob(2, usable), true)
+	insert(t, c, key(0), blob(1, usable), false)
+	insert(t, c, key(1), blob(2, usable), true)
 	if got := c.ReclaimableFrames(); got != 1 {
 		t.Fatalf("ReclaimableFrames = %d, want 1", got)
 	}
@@ -345,7 +389,7 @@ func TestCacheChurn(t *testing.T) {
 	shadow := make(map[swap.PageKey][]byte)
 	shadowDirty := make(map[swap.PageKey]bool)
 	c.SetHooks(
-		func(items []swap.Item) {},
+		noFlush,
 		func(k swap.PageKey) {
 			delete(shadow, k)
 			delete(shadowDirty, k)
@@ -358,12 +402,12 @@ func TestCacheChurn(t *testing.T) {
 		case 0, 1, 2, 3:
 			data := blob(rng.Int63(), rng.Intn(3000)+1)
 			dirty := rng.Intn(2) == 0
-			if c.Insert(k, data, dirty) {
+			if insert(t, c, k, data, dirty) {
 				shadow[k] = data
 				shadowDirty[k] = dirty
 			}
 		case 4, 5, 6:
-			got, dirty, ok := c.Fault(k)
+			got, sum, dirty, ok := c.Fault(k)
 			want, live := shadow[k]
 			if ok != live {
 				t.Fatalf("step %d: Fault(%v) ok=%v, want %v", step, k, ok, live)
@@ -371,6 +415,9 @@ func TestCacheChurn(t *testing.T) {
 			if ok {
 				if !bytes.Equal(got, want) {
 					t.Fatalf("step %d: Fault(%v) data mismatch", step, k)
+				}
+				if sum != Checksum(want) {
+					t.Fatalf("step %d: Fault(%v) checksum mismatch", step, k)
 				}
 				if dirty != shadowDirty[k] {
 					t.Fatalf("step %d: Fault(%v) dirty=%v, want %v", step, k, dirty, shadowDirty[k])
@@ -388,7 +435,7 @@ func TestCacheChurn(t *testing.T) {
 			delete(shadow, k)
 			delete(shadowDirty, k)
 		case 8:
-			n := c.Clean()
+			n := clean(t, c)
 			if n > 0 {
 				for sk := range shadowDirty {
 					if c.Has(sk) {
@@ -407,7 +454,7 @@ func TestCacheChurn(t *testing.T) {
 				}
 			}
 		case 9:
-			c.ReleaseOldest()
+			releaseOldest(t, c)
 		}
 		if step%100 == 0 {
 			if err := c.CheckConsistency(); err != nil {
@@ -423,7 +470,7 @@ func TestCacheChurn(t *testing.T) {
 		if !c.Has(k) {
 			continue // dropped by reclaim
 		}
-		got, _, ok := c.Fault(k)
+		got, _, _, ok := c.Fault(k)
 		if !ok || !bytes.Equal(got, want) {
 			t.Fatalf("final: entry %v corrupted", k)
 		}
@@ -435,11 +482,11 @@ func TestCacheChurn(t *testing.T) {
 
 func TestShrinkToZero(t *testing.T) {
 	c, pool, _ := newTestCache(t, 8, DefaultParams())
-	c.SetHooks(func([]swap.Item) {}, nil)
+	c.SetHooks(noFlush, nil)
 	for i := int32(0); i < 6; i++ {
-		c.Insert(key(i), blob(int64(i), 2000), true)
+		insert(t, c, key(i), blob(int64(i), 2000), true)
 	}
-	for c.ReleaseOldest() {
+	for releaseOldest(t, c) {
 	}
 	if c.FrameCount() != 0 || c.Len() != 0 {
 		t.Fatalf("cache not empty: %d frames, %d entries", c.FrameCount(), c.Len())
@@ -454,7 +501,7 @@ func TestPrefillAndMinFrames(t *testing.T) {
 	params.MaxFrames = 4
 	params.MinFrames = 4
 	c, pool, _ := newTestCache(t, 8, params)
-	c.SetHooks(func([]swap.Item) {}, nil)
+	c.SetHooks(noFlush, nil)
 	c.Prefill(4)
 	if c.FrameCount() != 4 {
 		t.Fatalf("FrameCount after Prefill = %d", c.FrameCount())
@@ -463,12 +510,12 @@ func TestPrefillAndMinFrames(t *testing.T) {
 		t.Fatalf("pool CC frames = %d", pool.OwnedBy(mem.CC))
 	}
 	// A fixed cache never shrinks...
-	if c.ReleaseOldest() {
+	if releaseOldest(t, c) {
 		t.Fatal("fixed cache released a frame")
 	}
 	// ...but keeps absorbing entries by recycling its own frames.
 	for i := int32(0); i < 40; i++ {
-		if !c.Insert(key(i), blob(int64(i), 2000), false) {
+		if !insert(t, c, key(i), blob(int64(i), 2000), false) {
 			t.Fatalf("insert %d failed in fixed cache", i)
 		}
 		if c.FrameCount() != 4 {
@@ -497,12 +544,12 @@ func TestCapRecyclingCleansDirty(t *testing.T) {
 	params := DefaultParams()
 	params.MaxFrames = 2
 	c, _, _ := newTestCache(t, 8, params)
-	c.SetHooks(func([]swap.Item) {}, nil)
+	c.SetHooks(noFlush, nil)
 	// Fill the capped cache with dirty entries, then keep inserting: the
 	// recycler must clean the oldest dirty frame and rotate.
 	usable := 4096 - 24 - 36
 	for i := int32(0); i < 10; i++ {
-		if !c.Insert(key(i), blob(int64(i), usable), true) {
+		if !insert(t, c, key(i), blob(int64(i), usable), true) {
 			t.Fatalf("insert %d failed", i)
 		}
 	}
@@ -514,17 +561,73 @@ func TestCapRecyclingCleansDirty(t *testing.T) {
 	}
 }
 
+// A flush hook that fails must leave the batch dirty, make the insert that
+// needed the room fail cleanly, and conserve frames.
+func TestInsertFlushFailureLeavesStateConsistent(t *testing.T) {
+	params := DefaultParams()
+	params.MaxFrames = 2
+	c, pool, _ := newTestCache(t, 8, params)
+	flushErr := &failingFlush{}
+	c.SetHooks(flushErr.flush, nil)
+	usable := 4096 - 24 - 36
+	insert(t, c, key(0), blob(1, usable), true)
+	insert(t, c, key(1), blob(2, usable), true)
+	dirtyBefore := c.DirtyBytes()
+	flushErr.fail = true
+	ok, err := c.Insert(key(2), blob(3, usable), true)
+	if ok || err == nil {
+		t.Fatalf("Insert with failing flush: ok=%v err=%v", ok, err)
+	}
+	if c.DirtyBytes() != dirtyBefore {
+		t.Fatalf("dirty bytes changed across failed flush: %d -> %d", dirtyBefore, c.DirtyBytes())
+	}
+	if c.Has(key(2)) {
+		t.Fatal("failed insert left an entry")
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	// Once the device heals, the same batch flushes and the insert goes
+	// through.
+	flushErr.fail = false
+	ok, err = c.Insert(key(2), blob(3, usable), true)
+	if !ok || err != nil {
+		t.Fatalf("Insert after heal: ok=%v err=%v", ok, err)
+	}
+}
+
+type failingFlush struct{ fail bool }
+
+func (f *failingFlush) flush([]swap.Item) error {
+	if f.fail {
+		return errTestFlush
+	}
+	return nil
+}
+
+var errTestFlush = &testFlushError{}
+
+type testFlushError struct{}
+
+func (*testFlushError) Error() string { return "test: flush device error" }
+
 // Property: for any sequence of sized inserts, byte accounting and frame
 // occupancy stay consistent and no insert both fails and mutates.
 func TestInsertAccountingProperty(t *testing.T) {
 	f := func(sizes []uint16, dirt []bool) bool {
 		c, pool, _ := newTestCacheQuick()
-		c.SetHooks(func([]swap.Item) {}, nil)
+		c.SetHooks(noFlush, nil)
 		for i, sz := range sizes {
 			n := int(sz)%3000 + 1
 			dirty := i < len(dirt) && dirt[i]
 			before := c.Len()
-			ok := c.Insert(key(int32(i)), blob(int64(i), n), dirty)
+			ok, err := c.Insert(key(int32(i)), blob(int64(i), n), dirty)
+			if err != nil {
+				return false
+			}
 			if !ok && c.Len() != before {
 				return false
 			}

@@ -27,10 +27,10 @@ func TestFailedInsertAtCapHasNoSideEffects(t *testing.T) {
 
 	// Frame 0: one clean (reclaimable) entry. Frame 1: one dirty entry that
 	// cannot be cleaned (no flush hook). Pool is now empty.
-	if !c.Insert(key(0), blob(1, fullFrameData), false) {
+	if !insert(t, c, key(0), blob(1, fullFrameData), false) {
 		t.Fatal("setup insert 0 failed")
 	}
-	if !c.Insert(key(1), blob(2, fullFrameData), true) {
+	if !insert(t, c, key(1), blob(2, fullFrameData), true) {
 		t.Fatal("setup insert 1 failed")
 	}
 	if pool.FreeCount() != 0 {
@@ -41,7 +41,7 @@ func TestFailedInsertAtCapHasNoSideEffects(t *testing.T) {
 	// Needs two frames; only one is reclaimable, so the insert must fail.
 	// The buggy path reclaimed frame 0 (dropping the live clean entry and
 	// firing onDrop) before discovering the shortfall.
-	if c.Insert(key(2), blob(3, 4090), true) {
+	if insert(t, c, key(2), blob(3, 4090), true) {
 		t.Fatal("insert succeeded with an unrecyclable ring")
 	}
 
@@ -73,14 +73,14 @@ func TestFailedInsertDoesNotFlush(t *testing.T) {
 	params.MaxFrames = 2
 	c, pool, _ := newTestCache(t, 2, params)
 	flushes, drops := 0, 0
-	c.SetHooks(func(items []swap.Item) { flushes++ }, func(swap.PageKey) { drops++ })
+	c.SetHooks(func(items []swap.Item) error { flushes++; return nil }, func(swap.PageKey) { drops++ })
 
 	// Frame 0: full and dirty. Frame 1 (tail): a clean entry leaving 36
 	// spare bytes. Pool empty.
-	if !c.Insert(key(0), blob(1, fullFrameData), true) {
+	if !insert(t, c, key(0), blob(1, fullFrameData), true) {
 		t.Fatal("setup insert 0 failed")
 	}
-	if !c.Insert(key(1), blob(2, fullFrameData-36), false) {
+	if !insert(t, c, key(1), blob(2, fullFrameData-36), false) {
 		t.Fatal("setup insert 1 failed")
 	}
 	if pool.FreeCount() != 0 {
@@ -93,7 +93,7 @@ func TestFailedInsertDoesNotFlush(t *testing.T) {
 	// entry) and one recycle is not enough — even though cleaning could
 	// eventually make both reclaimable. The insert must fail before
 	// flushing anything.
-	if c.Insert(key(2), blob(3, 4090), true) {
+	if insert(t, c, key(2), blob(3, 4090), true) {
 		t.Fatal("insert succeeded needing more recycles than non-tail frames")
 	}
 	if flushes != 0 {
@@ -122,10 +122,10 @@ func TestCapRecyclingNeverRecyclesTheTailFrame(t *testing.T) {
 
 	// Frame 0: full and dirty (not reclaimable, no flush hook). Frame 1
 	// (tail): clean entry with room to spare — reclaimable, but protected.
-	if !c.Insert(key(0), blob(1, fullFrameData), true) {
+	if !insert(t, c, key(0), blob(1, fullFrameData), true) {
 		t.Fatal("setup insert 0 failed")
 	}
-	if !c.Insert(key(1), blob(2, 1000), false) {
+	if !insert(t, c, key(1), blob(2, 1000), false) {
 		t.Fatal("setup insert 1 failed")
 	}
 	before := c.Stats()
@@ -133,7 +133,7 @@ func TestCapRecyclingNeverRecyclesTheTailFrame(t *testing.T) {
 	// the tail, frame 0 is dirty, so this must fail cleanly. (The buggy
 	// path reclaimed the tail frame and then appended into whatever frame
 	// came last, corrupting the space accounting.)
-	if c.Insert(key(2), blob(3, 4000), true) {
+	if insert(t, c, key(2), blob(3, 4000), true) {
 		t.Fatal("insert succeeded by recycling its own tail frame")
 	}
 	if !c.Has(key(1)) {
@@ -155,18 +155,18 @@ func TestCleanSkipsDeadPrefix(t *testing.T) {
 	// insertion order on every pass: Clean advances (and compacts) the head
 	// first, so the scan is O(live), not O(history).
 	c, _, _ := newTestCache(t, 64, DefaultParams())
-	c.SetHooks(func(items []swap.Item) {}, nil)
+	c.SetHooks(noFlush, nil)
 
 	const total, dropped = 1500, 1400
 	for i := int32(0); i < total; i++ {
-		if !c.Insert(key(i), blob(int64(i), 64), true) {
+		if !insert(t, c, key(i), blob(int64(i), 64), true) {
 			t.Fatalf("insert %d failed", i)
 		}
 	}
 	for i := int32(0); i < dropped; i++ {
 		c.Drop(key(i))
 	}
-	if c.Clean() == 0 {
+	if clean(t, c) == 0 {
 		t.Fatal("nothing cleaned with dirty entries outstanding")
 	}
 	// The dead prefix is long enough to trigger compaction: the order deque

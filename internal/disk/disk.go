@@ -13,8 +13,10 @@ package disk
 
 import (
 	"fmt"
+	"math"
 	"time"
 
+	"compcache/internal/fault"
 	"compcache/internal/sim"
 	"compcache/internal/stats"
 )
@@ -54,11 +56,16 @@ func RZ57() Params {
 
 // Validate reports whether the parameters describe a usable disk.
 func (p Params) Validate() error {
-	if p.BytesPerSec <= 0 {
-		return fmt.Errorf("disk: BytesPerSec must be positive, got %g", p.BytesPerSec)
+	if math.IsNaN(p.BytesPerSec) || math.IsInf(p.BytesPerSec, 0) || p.BytesPerSec <= 0 {
+		return fmt.Errorf("disk: BytesPerSec must be positive and finite, got %g", p.BytesPerSec)
 	}
 	if p.SectorSize <= 0 {
 		return fmt.Errorf("disk: SectorSize must be positive, got %d", p.SectorSize)
+	}
+	// Cap the sector size well below the overflow point of TransferTime's
+	// round-up arithmetic (n + SectorSize - 1).
+	if p.SectorSize > 1<<30 {
+		return fmt.Errorf("disk: SectorSize %d is unreasonably large", p.SectorSize)
 	}
 	if p.SeekAvg < 0 || p.RotLatency < 0 || p.PerOp < 0 {
 		return fmt.Errorf("disk: negative latency parameter")
@@ -88,6 +95,7 @@ type Disk struct {
 	busyAt sim.Time // device is busy until this instant
 	next   int64    // byte address one past the previous access
 	stats  stats.Disk
+	faults *fault.Injector // nil injects nothing
 }
 
 // New creates a disk on the given clock.
@@ -100,6 +108,10 @@ func New(p Params, clock *sim.Clock) (*Disk, error) {
 
 // Params reports the disk's parameters.
 func (d *Disk) Params() Params { return d.params }
+
+// SetFaultInjector attaches a fault injector; nil (the default) disables
+// injection. The injector must live on the same clock as the disk.
+func (d *Disk) SetFaultInjector(in *fault.Injector) { d.faults = in }
 
 // Granularity reports the sector size (the fs.Device interface).
 func (d *Disk) Granularity() int { return d.params.SectorSize }
@@ -141,37 +153,46 @@ func (d *Disk) start() sim.Time {
 
 // Read performs a synchronous read of n bytes at byte address addr. The
 // caller's virtual clock is advanced to the completion instant (queueing
-// behind any pending asynchronous writes, as a real request would).
-func (d *Disk) Read(addr int64, n int) {
+// behind any pending asynchronous writes, as a real request would). An
+// injected failure surfaces only after the operation has been charged its
+// full service time — a failed transfer is not a free one.
+func (d *Disk) Read(addr int64, n int) error {
 	svc, seek := d.opTime(addr, n)
+	svc += d.faults.Latency()
 	done := d.start().Add(svc)
 	d.finish(addr, n, done, svc, seek)
 	d.stats.Reads++
 	d.stats.BytesRead += uint64(n)
 	d.clock.AdvanceTo(done)
+	return d.faults.DiskRead()
 }
 
 // Write performs a synchronous write of n bytes at byte address addr.
-func (d *Disk) Write(addr int64, n int) {
+func (d *Disk) Write(addr int64, n int) error {
 	svc, seek := d.opTime(addr, n)
+	svc += d.faults.Latency()
 	done := d.start().Add(svc)
 	d.finish(addr, n, done, svc, seek)
 	d.stats.Writes++
 	d.stats.BytesWritten += uint64(n)
 	d.clock.AdvanceTo(done)
+	return d.faults.DiskWrite()
 }
 
 // WriteAsync queues a write without blocking the caller: the device busy
 // timeline is extended but the clock is not advanced. This models the
 // cleaner thread writing out dirty compressed pages in the background. The
-// returned instant is when the write completes.
-func (d *Disk) WriteAsync(addr int64, n int) sim.Time {
+// returned instant is when the write completes. A failure of the queued
+// write is reported immediately (the model has no completion interrupt),
+// with the busy timeline still charged.
+func (d *Disk) WriteAsync(addr int64, n int) (sim.Time, error) {
 	svc, seek := d.opTime(addr, n)
+	svc += d.faults.Latency()
 	done := d.start().Add(svc)
 	d.finish(addr, n, done, svc, seek)
 	d.stats.Writes++
 	d.stats.BytesWritten += uint64(n)
-	return done
+	return done, d.faults.DiskWrite()
 }
 
 // Drain advances the clock until all queued operations complete. Tests and

@@ -1,6 +1,7 @@
 package disk
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 	"time"
@@ -19,17 +20,31 @@ func newTestDisk(t *testing.T) (*Disk, *sim.Clock) {
 }
 
 func TestValidate(t *testing.T) {
-	if err := RZ57().Validate(); err != nil {
-		t.Fatalf("RZ57 params invalid: %v", err)
+	cases := []struct {
+		name string
+		p    Params
+		ok   bool
+	}{
+		{"RZ57 preset", RZ57(), true},
+		{"minimal valid", Params{BytesPerSec: 1, SectorSize: 1}, true},
+		{"zero everything", Params{}, false},
+		{"zero bandwidth", Params{BytesPerSec: 0, SectorSize: 512}, false},
+		{"negative bandwidth", Params{BytesPerSec: -1e6, SectorSize: 512}, false},
+		{"NaN bandwidth", Params{BytesPerSec: math.NaN(), SectorSize: 512}, false},
+		{"Inf bandwidth", Params{BytesPerSec: math.Inf(1), SectorSize: 512}, false},
+		{"zero sector", Params{BytesPerSec: 1e6, SectorSize: 0}, false},
+		{"negative sector", Params{BytesPerSec: 1e6, SectorSize: -512}, false},
+		{"sector at cap", Params{BytesPerSec: 1e6, SectorSize: 1 << 30}, true},
+		{"sector past cap", Params{BytesPerSec: 1e6, SectorSize: 1<<30 + 1}, false},
+		{"sector overflow-adjacent", Params{BytesPerSec: 1e6, SectorSize: math.MaxInt}, false},
+		{"negative seek", Params{BytesPerSec: 1e6, SectorSize: 512, SeekAvg: -time.Millisecond}, false},
+		{"negative rotation", Params{BytesPerSec: 1e6, SectorSize: 512, RotLatency: -time.Nanosecond}, false},
+		{"negative per-op", Params{BytesPerSec: 1e6, SectorSize: 512, PerOp: -time.Hour}, false},
+		{"zero latencies valid", Params{BytesPerSec: 1e6, SectorSize: 512}, true},
 	}
-	bad := []Params{
-		{BytesPerSec: 0, SectorSize: 512},
-		{BytesPerSec: 1e6, SectorSize: 0},
-		{BytesPerSec: 1e6, SectorSize: 512, SeekAvg: -time.Millisecond},
-	}
-	for i, p := range bad {
-		if err := p.Validate(); err == nil {
-			t.Errorf("case %d: Validate accepted bad params %+v", i, p)
+	for _, c := range cases {
+		if err := c.p.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
 		}
 	}
 	if _, err := New(Params{}, &sim.Clock{}); err == nil {
@@ -89,7 +104,10 @@ func TestNonSequentialPaysSeek(t *testing.T) {
 
 func TestWriteAsyncDoesNotBlock(t *testing.T) {
 	d, clock := newTestDisk(t)
-	done := d.WriteAsync(0, 32*1024)
+	done, err := d.WriteAsync(0, 32*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if clock.Now() != 0 {
 		t.Fatalf("async write advanced the clock to %v", clock.Now())
 	}
@@ -107,7 +125,7 @@ func TestWriteAsyncDoesNotBlock(t *testing.T) {
 
 func TestSyncReadQueuesBehindAsyncWrite(t *testing.T) {
 	d, clock := newTestDisk(t)
-	wDone := d.WriteAsync(0, 1<<20) // a long write
+	wDone, _ := d.WriteAsync(0, 1<<20) // a long write
 	d.Read(1<<24, 4096)
 	if clock.Now() <= wDone {
 		t.Fatalf("read completed at %v, should be after the pending write at %v", clock.Now(), wDone)

@@ -1,0 +1,221 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"compcache/internal/fault"
+	"compcache/internal/machine"
+	"compcache/internal/runner"
+	"compcache/internal/stats"
+	"compcache/internal/workload"
+)
+
+// FaultPoint is one fault rate of the robustness sweep: several independent
+// trials of the same workload under injected device errors, latency spikes
+// and fragment corruption.
+type FaultPoint struct {
+	Rate     float64 // per-opportunity probability for every fault class
+	Trials   int
+	Survived int           // trials that completed despite the faults
+	MeanTime time.Duration // mean elapsed virtual time among survivors
+	Overhead float64       // survivor mean / fault-free mean (1.0 at rate 0)
+	Fault    stats.Faults  // fault activity summed over surviving trials
+}
+
+// SurvivalPct reports the fraction of trials that completed, in percent.
+func (p FaultPoint) SurvivalPct() float64 {
+	if p.Trials == 0 {
+		return 0
+	}
+	return 100 * float64(p.Survived) / float64(p.Trials)
+}
+
+// FaultsResult is the full sweep.
+type FaultsResult struct {
+	MemoryMB int
+	BaseTime time.Duration // fault-free mean elapsed time (the rate-0 row)
+	Points   []FaultPoint
+}
+
+// FaultsOptions sizes the robustness experiment.
+type FaultsOptions struct {
+	// MemoryMB is user-available memory for the thrashing workload.
+	MemoryMB int
+	// Pages is the workload's working-set size in pages.
+	Pages int32
+	// Rates are the per-opportunity fault probabilities to sweep. A rate is
+	// applied uniformly to device read errors, device write errors and both
+	// corruption classes; latency spikes — transient by nature, so far more
+	// common than hard faults in practice — fire at 50x the rate (capped at
+	// 1) to make their overhead visible at rates where the machine still
+	// survives. Must include 0 (or the overhead column has no baseline).
+	Rates []float64
+	// Trials is how many independent trials run per rate; each trial keeps
+	// the workload fixed and varies only the injector seed.
+	Trials int
+	// Seed derives every trial's injector seed.
+	Seed int64
+	// Parallelism caps concurrent machines (0 = one per core, 1 = serial);
+	// the output is byte-identical at any value.
+	Parallelism int
+}
+
+// DefaultFaultsOptions returns the sweep for the given scale.
+func DefaultFaultsOptions(s Scale) FaultsOptions {
+	if s == Paper {
+		return FaultsOptions{MemoryMB: 6, Pages: 4096, Rates: []float64{0, 1e-4, 1e-3, 1e-2}, Trials: 8, Seed: 1}
+	}
+	return FaultsOptions{MemoryMB: 1, Pages: 640, Rates: []float64{0, 1e-4, 1e-3, 1e-2}, Trials: 4, Seed: 1}
+}
+
+// faultTrial is one trial's outcome. Dying to injected faults is an expected
+// result at high rates, so it is data, not an error: returning it as a value
+// keeps runner.Map dispatching the remaining trials. Died trials still carry
+// their stats (the faults injected up to the point of death).
+type faultTrial struct {
+	run  stats.Run
+	died bool
+}
+
+// measureTrial is workload.Measure with one difference: an unrecoverable
+// paging failure returns the machine's stats as of the death instead of
+// discarding them, so the sweep can report fault activity for died trials.
+func measureTrial(cfg machine.Config, w workload.Workload) (faultTrial, error) {
+	m, err := machine.New(cfg)
+	if err != nil {
+		return faultTrial{}, err
+	}
+	err = w.Run(m)
+	if err == nil {
+		err = m.Err()
+	}
+	if fault.IsUnrecoverable(err) {
+		return faultTrial{run: m.Stats(), died: true}, nil
+	}
+	if err != nil {
+		return faultTrial{}, err
+	}
+	if err := m.CheckInvariants(); err != nil {
+		return faultTrial{}, fmt.Errorf("post-run invariant violation: %w", err)
+	}
+	return faultTrial{run: m.Stats()}, nil
+}
+
+// FaultSweep measures overhead and survival versus fault rate: the same
+// thrashing workload runs Trials times per rate on a compression-cache
+// machine whose injector fails device transfers, stalls the device and flips
+// bits in compressed fragments. A trial survives when every lost fragment
+// could be re-fetched from a lower level; it dies (typed, never a panic)
+// when the only copy of a page is gone. Only injector seeds vary between
+// trials, so the sweep is deterministic at any parallelism.
+func FaultSweep(opts FaultsOptions) (*FaultsResult, error) {
+	if opts.Trials <= 0 || len(opts.Rates) == 0 {
+		return nil, fmt.Errorf("faults: need at least one rate and one trial")
+	}
+	memBytes := int64(opts.MemoryMB) << 20
+	type spec struct {
+		rate float64
+		seed int64
+	}
+	specs := make([]spec, 0, len(opts.Rates)*opts.Trials)
+	for ri, rate := range opts.Rates {
+		for tr := 0; tr < opts.Trials; tr++ {
+			specs = append(specs, spec{rate, opts.Seed + int64(ri)*1_000_003 + int64(tr)})
+		}
+	}
+	trials, err := runner.Map(context.Background(), runner.Parallelism(opts.Parallelism), len(specs),
+		func(_ context.Context, i int) (faultTrial, error) {
+			s := specs[i]
+			cfg := machine.Default(memBytes).WithCC()
+			if s.rate > 0 {
+				cfg = cfg.WithFaults(fault.Config{
+					Seed:                s.seed,
+					ReadErrorRate:       s.rate,
+					WriteErrorRate:      s.rate,
+					CacheCorruptionRate: s.rate,
+					SwapCorruptionRate:  s.rate,
+					LatencySpikeRate:    math.Min(1, 50*s.rate),
+					LatencySpike:        2 * time.Millisecond,
+				})
+			}
+			trial, err := measureTrial(cfg, &workload.Thrasher{Pages: opts.Pages, Write: true, Passes: 1, Seed: opts.Seed})
+			if err != nil {
+				return faultTrial{}, fmt.Errorf("faults rate=%g trial seed=%d: %w", s.rate, s.seed, err)
+			}
+			return trial, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &FaultsResult{MemoryMB: opts.MemoryMB}
+	for ri, rate := range opts.Rates {
+		pt := FaultPoint{Rate: rate, Trials: opts.Trials}
+		var total time.Duration
+		for tr := 0; tr < opts.Trials; tr++ {
+			t := trials[ri*opts.Trials+tr]
+			// Fault activity counts for every trial — a died trial's
+			// injections up to the death are part of the picture.
+			f := t.run.Fault
+			pt.Fault.InjectedReadErrors += f.InjectedReadErrors
+			pt.Fault.InjectedWriteErrors += f.InjectedWriteErrors
+			pt.Fault.InjectedCorruptions += f.InjectedCorruptions
+			pt.Fault.InjectedSpikes += f.InjectedSpikes
+			pt.Fault.CorruptionsDetected += f.CorruptionsDetected
+			pt.Fault.Recoveries += f.Recoveries
+			if t.died {
+				continue
+			}
+			pt.Survived++
+			total += t.run.Time
+		}
+		if pt.Survived > 0 {
+			pt.MeanTime = total / time.Duration(pt.Survived)
+		}
+		if rate == 0 {
+			res.BaseTime = pt.MeanTime
+		}
+		res.Points = append(res.Points, pt)
+	}
+	for i := range res.Points {
+		if res.BaseTime > 0 && res.Points[i].MeanTime > 0 {
+			res.Points[i].Overhead = float64(res.Points[i].MeanTime) / float64(res.BaseTime)
+		}
+	}
+	return res, nil
+}
+
+// Table renders the sweep: survival and overhead versus fault rate.
+func (r *FaultsResult) Table() *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Fault injection: overhead and survival vs fault rate (user memory %d MB)", r.MemoryMB),
+		Header: []string{"rate", "trials", "survived", "survival%", "mean_time", "overhead", "inj_err", "inj_spike", "inj_corrupt", "detected", "recovered"},
+		Note: "rate applies per device op and per fragment; overhead is survivor mean time over the fault-free mean.\n" +
+			"detected = checksum/codec verification failures, recovered = corrupt fragments re-fetched from a clean copy.",
+	}
+	for _, p := range r.Points {
+		mean := "-"
+		if p.Survived > 0 {
+			mean = fmt.Sprint(p.MeanTime.Round(time.Millisecond))
+		}
+		overhead := "-"
+		if p.Overhead > 0 {
+			overhead = fmt.Sprintf("%.2f", p.Overhead)
+		}
+		t.AddRow(fmt.Sprintf("%g", p.Rate),
+			fmt.Sprint(p.Trials),
+			fmt.Sprint(p.Survived),
+			fmt.Sprintf("%.0f", p.SurvivalPct()),
+			mean,
+			overhead,
+			fmt.Sprint(p.Fault.InjectedReadErrors+p.Fault.InjectedWriteErrors),
+			fmt.Sprint(p.Fault.InjectedSpikes),
+			fmt.Sprint(p.Fault.InjectedCorruptions),
+			fmt.Sprint(p.Fault.CorruptionsDetected),
+			fmt.Sprint(p.Fault.Recoveries))
+	}
+	return t
+}

@@ -1,0 +1,274 @@
+// Package fault is a deterministic fault injector for the simulated paging
+// stack, plus the typed errors the stack reports when a layer misbehaves.
+//
+// Real memory-compression deployments treat backing-store failures and
+// compressed-data integrity as first-class concerns: a transfer can fail, a
+// latency spike can stall the device, and a bit flip in a compressed
+// fragment corrupts a whole page's worth of data. The injector models all
+// three so experiments can measure overhead and survival as a function of
+// fault rate.
+//
+// Determinism contract: every decision the injector makes is derived from an
+// explicit seed and the machine's virtual clock — never from the host clock
+// or the global math/rand source — and the simulation is single-threaded per
+// machine, so the stream of decisions is a pure function of (seed, config,
+// workload). Two runs with identical seeds and fault configs are
+// byte-identical at any parallelism, faults included.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"compcache/internal/sim"
+	"compcache/internal/stats"
+)
+
+// Config describes what to inject and how often. Rates are per-opportunity
+// probabilities in [0, 1]: each device read, device write, and fragment
+// decompression draws once against its rate. The zero Config injects
+// nothing.
+type Config struct {
+	// Seed drives all injection decisions. Two injectors with the same seed
+	// and config make identical decisions at identical points in a run.
+	Seed int64
+
+	// ReadErrorRate is the probability a device read fails after being
+	// charged its full service time.
+	ReadErrorRate float64
+
+	// WriteErrorRate is the probability a device write (synchronous or
+	// queued) fails.
+	WriteErrorRate float64
+
+	// CacheCorruptionRate is the probability a compressed fragment fetched
+	// from the compression cache has one bit flipped before decompression —
+	// an in-memory corruption. The checksum catches it and the machine
+	// re-fetches the page from the backing store when a clean copy exists.
+	CacheCorruptionRate float64
+
+	// SwapCorruptionRate is the probability a compressed fragment read from
+	// the backing store has one bit flipped — an on-media corruption. There
+	// is no lower level to fall back to, so a hit here is unrecoverable.
+	SwapCorruptionRate float64
+
+	// LatencySpikeRate is the probability a device operation pays
+	// LatencySpike of extra service time (a stalled bus, a remapped sector,
+	// a congested link).
+	LatencySpikeRate float64
+
+	// LatencySpike is the extra service time a spike adds. Must be positive
+	// when LatencySpikeRate is.
+	LatencySpike time.Duration
+
+	// ActiveAfter delays injection until this much virtual time has passed,
+	// so a workload's setup phase can run clean. Zero starts immediately.
+	ActiveAfter time.Duration
+
+	// ActiveFor bounds the injection window; zero means faults stay active
+	// until the run ends.
+	ActiveFor time.Duration
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	rates := []struct {
+		name string
+		v    float64
+	}{
+		{"ReadErrorRate", c.ReadErrorRate},
+		{"WriteErrorRate", c.WriteErrorRate},
+		{"CacheCorruptionRate", c.CacheCorruptionRate},
+		{"SwapCorruptionRate", c.SwapCorruptionRate},
+		{"LatencySpikeRate", c.LatencySpikeRate},
+	}
+	for _, r := range rates {
+		if math.IsNaN(r.v) || r.v < 0 || r.v > 1 {
+			return fmt.Errorf("fault: %s %g outside [0,1]", r.name, r.v)
+		}
+	}
+	if c.LatencySpike < 0 {
+		return fmt.Errorf("fault: negative LatencySpike %v", c.LatencySpike)
+	}
+	if c.LatencySpikeRate > 0 && c.LatencySpike == 0 {
+		return fmt.Errorf("fault: LatencySpikeRate %g needs a positive LatencySpike", c.LatencySpikeRate)
+	}
+	if c.ActiveAfter < 0 || c.ActiveFor < 0 {
+		return fmt.Errorf("fault: negative activity window (after %v, for %v)", c.ActiveAfter, c.ActiveFor)
+	}
+	return nil
+}
+
+// Injector makes the injection decisions for one machine. A nil *Injector is
+// valid and injects nothing, so fault-free hot paths need no branch beyond
+// the nil-receiver method call.
+//
+// Injector is not safe for concurrent use; like the clock it belongs to
+// exactly one single-threaded simulated machine.
+type Injector struct {
+	cfg   Config
+	clock *sim.Clock
+	rng   *rand.Rand
+	st    stats.Faults
+}
+
+// New creates an injector on the given clock.
+func New(cfg Config, clock *sim.Clock) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{cfg: cfg, clock: clock, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Stats returns the injected-fault counters. The detection and recovery
+// counters of stats.Faults are owned by the machine, not the injector.
+func (in *Injector) Stats() stats.Faults {
+	if in == nil {
+		return stats.Faults{}
+	}
+	return in.st
+}
+
+// active reports whether the virtual clock is inside the injection window.
+func (in *Injector) active() bool {
+	now := time.Duration(in.clock.Now())
+	if now < in.cfg.ActiveAfter {
+		return false
+	}
+	return in.cfg.ActiveFor == 0 || now <= in.cfg.ActiveAfter+in.cfg.ActiveFor
+}
+
+// draw makes one rate decision. It consumes randomness only when the rate
+// can fire, so enabling one fault class does not perturb the others.
+func (in *Injector) draw(rate float64) bool {
+	if in == nil || rate <= 0 || !in.active() {
+		return false
+	}
+	return in.rng.Float64() < rate
+}
+
+// DiskRead decides whether the device read that just completed fails. It
+// returns a *DeviceError or nil.
+func (in *Injector) DiskRead() error {
+	if in == nil || !in.draw(in.cfg.ReadErrorRate) {
+		return nil
+	}
+	in.st.InjectedReadErrors++
+	return &DeviceError{Op: "read", At: in.clock.Now()}
+}
+
+// DiskWrite decides whether the device write that just completed fails.
+func (in *Injector) DiskWrite() error {
+	if in == nil || !in.draw(in.cfg.WriteErrorRate) {
+		return nil
+	}
+	in.st.InjectedWriteErrors++
+	return &DeviceError{Op: "write", At: in.clock.Now()}
+}
+
+// Latency reports the extra service time the current device operation pays
+// (zero in the common case).
+func (in *Injector) Latency() time.Duration {
+	if in == nil || !in.draw(in.cfg.LatencySpikeRate) {
+		return 0
+	}
+	in.st.InjectedSpikes++
+	return in.cfg.LatencySpike
+}
+
+// CorruptCache flips one deterministically chosen bit of a compressed
+// fragment about to be decompressed out of the compression cache, reporting
+// whether it did. The caller's checksum verification is expected to catch
+// the flip.
+func (in *Injector) CorruptCache(frag []byte) bool {
+	if in == nil {
+		return false
+	}
+	return in.corrupt(in.cfg.CacheCorruptionRate, frag)
+}
+
+// CorruptSwap flips one bit of a compressed fragment just read from the
+// backing store.
+func (in *Injector) CorruptSwap(frag []byte) bool {
+	if in == nil {
+		return false
+	}
+	return in.corrupt(in.cfg.SwapCorruptionRate, frag)
+}
+
+func (in *Injector) corrupt(rate float64, frag []byte) bool {
+	if len(frag) == 0 || !in.draw(rate) {
+		return false
+	}
+	bit := in.rng.Intn(len(frag) * 8)
+	frag[bit>>3] ^= 1 << (bit & 7)
+	in.st.InjectedCorruptions++
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Typed errors. Layers report these instead of panicking, so a single bad
+// page or transfer degrades one run instead of crashing the whole sweep.
+
+// DeviceError is an injected backing-store transfer failure.
+type DeviceError struct {
+	Op string   // "read" or "write"
+	At sim.Time // virtual instant the failure surfaced
+}
+
+// Error implements error.
+func (e *DeviceError) Error() string {
+	return fmt.Sprintf("fault: injected device %s error at %v", e.Op, e.At)
+}
+
+// CorruptionError is a compressed fragment that failed integrity
+// verification: its checksum did not match, the codec rejected it, or it
+// decompressed to the wrong length.
+type CorruptionError struct {
+	Page   string // the page key, already formatted
+	Reason string // what the verification found
+	Err    error  // underlying codec error, when there is one
+}
+
+// Error implements error.
+func (e *CorruptionError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("fault: corrupt fragment for page %s: %s: %v", e.Page, e.Reason, e.Err)
+	}
+	return fmt.Sprintf("fault: corrupt fragment for page %s: %s", e.Page, e.Reason)
+}
+
+// Unwrap exposes the codec error for errors.Is/As.
+func (e *CorruptionError) Unwrap() error { return e.Err }
+
+// UnrecoverableError means the paging stack could not reconstruct a page's
+// contents from any level of the hierarchy: the data is gone and the run
+// (the simulated process) cannot continue. It is the typed replacement for
+// what used to be a panic.
+type UnrecoverableError struct {
+	Page   string // the page key, already formatted
+	Reason string // why no fallback existed
+	Err    error  // the failure that triggered the loss, when there is one
+}
+
+// Error implements error.
+func (e *UnrecoverableError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("fault: page %s unrecoverable (%s): %v", e.Page, e.Reason, e.Err)
+	}
+	return fmt.Sprintf("fault: page %s unrecoverable (%s)", e.Page, e.Reason)
+}
+
+// Unwrap exposes the triggering failure for errors.Is/As.
+func (e *UnrecoverableError) Unwrap() error { return e.Err }
+
+// IsUnrecoverable reports whether err contains an UnrecoverableError — the
+// "this run died, siblings may continue" signal experiment harnesses test
+// for.
+func IsUnrecoverable(err error) bool {
+	var ue *UnrecoverableError
+	return errors.As(err, &ue)
+}

@@ -1,0 +1,224 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+	"testing"
+	"time"
+
+	"compcache/internal/sim"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero config", Config{}, true},
+		{"all rates at one", Config{ReadErrorRate: 1, WriteErrorRate: 1, CacheCorruptionRate: 1, SwapCorruptionRate: 1, LatencySpikeRate: 1, LatencySpike: time.Millisecond}, true},
+		{"tiny rates", Config{ReadErrorRate: 1e-12, SwapCorruptionRate: math.SmallestNonzeroFloat64}, true},
+		{"negative read rate", Config{ReadErrorRate: -0.1}, false},
+		{"read rate above one", Config{ReadErrorRate: 1.0000001}, false},
+		{"NaN write rate", Config{WriteErrorRate: math.NaN()}, false},
+		{"Inf cache corruption rate", Config{CacheCorruptionRate: math.Inf(1)}, false},
+		{"negative swap corruption rate", Config{SwapCorruptionRate: -1}, false},
+		{"negative spike rate", Config{LatencySpikeRate: -0.5}, false},
+		{"spike rate without spike", Config{LatencySpikeRate: 0.5}, false},
+		{"negative spike", Config{LatencySpike: -time.Millisecond}, false},
+		{"spike without rate is fine", Config{LatencySpike: time.Millisecond}, true},
+		{"negative ActiveAfter", Config{ActiveAfter: -time.Second}, false},
+		{"negative ActiveFor", Config{ActiveFor: -time.Second}, false},
+		{"activity window", Config{ActiveAfter: time.Second, ActiveFor: time.Minute}, true},
+	}
+	for _, c := range cases {
+		if err := c.cfg.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+	if _, err := New(Config{ReadErrorRate: 2}, &sim.Clock{}); err == nil {
+		t.Error("New accepted an invalid config")
+	}
+}
+
+// decisions drives one injector through a fixed schedule of opportunities
+// and encodes every decision as a string.
+func decisions(t *testing.T, cfg Config) string {
+	t.Helper()
+	var clock sim.Clock
+	in, err := New(cfg, &clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ""
+	frag := make([]byte, 64)
+	for i := 0; i < 400; i++ {
+		clock.Advance(time.Millisecond)
+		switch i % 5 {
+		case 0:
+			out += fmt.Sprint(in.DiskRead() != nil)
+		case 1:
+			out += fmt.Sprint(in.DiskWrite() != nil)
+		case 2:
+			out += fmt.Sprint(in.Latency())
+		case 3:
+			out += fmt.Sprint(in.CorruptCache(frag))
+		case 4:
+			out += fmt.Sprint(in.CorruptSwap(frag))
+		}
+		out += ","
+	}
+	out += fmt.Sprintf("%+v", in.Stats())
+	return out
+}
+
+func TestDeterministicDecisionStream(t *testing.T) {
+	cfg := Config{
+		Seed:                42,
+		ReadErrorRate:       0.1,
+		WriteErrorRate:      0.1,
+		CacheCorruptionRate: 0.2,
+		SwapCorruptionRate:  0.05,
+		LatencySpikeRate:    0.3,
+		LatencySpike:        2 * time.Millisecond,
+	}
+	a, b := decisions(t, cfg), decisions(t, cfg)
+	if a != b {
+		t.Fatal("identical seed and config produced different decision streams")
+	}
+	cfg.Seed = 43
+	if decisions(t, cfg) == a {
+		t.Fatal("different seeds produced identical decision streams")
+	}
+}
+
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	var in *Injector
+	frag := []byte{1, 2, 3}
+	if err := in.DiskRead(); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.DiskWrite(); err != nil {
+		t.Fatal(err)
+	}
+	if in.Latency() != 0 {
+		t.Fatal("nil injector added latency")
+	}
+	if in.CorruptCache(frag) || in.CorruptSwap(frag) {
+		t.Fatal("nil injector corrupted data")
+	}
+	if in.Stats() != (in.Stats()) {
+		t.Fatal("nil injector stats not stable")
+	}
+}
+
+func TestCorruptFlipsExactlyOneBit(t *testing.T) {
+	var clock sim.Clock
+	in, err := New(Config{Seed: 7, CacheCorruptionRate: 1}, &clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := make([]byte, 128)
+	for i := range orig {
+		orig[i] = byte(i)
+	}
+	for round := 0; round < 50; round++ {
+		frag := append([]byte(nil), orig...)
+		if !in.CorruptCache(frag) {
+			t.Fatal("rate-1 corruption did not fire")
+		}
+		flipped := 0
+		for i := range frag {
+			flipped += bits.OnesCount8(frag[i] ^ orig[i])
+		}
+		if flipped != 1 {
+			t.Fatalf("round %d: %d bits flipped, want exactly 1", round, flipped)
+		}
+	}
+	if got := in.Stats().InjectedCorruptions; got != 50 {
+		t.Fatalf("InjectedCorruptions = %d, want 50", got)
+	}
+	if in.CorruptSwap(nil) {
+		t.Fatal("empty fragment reported corrupted")
+	}
+}
+
+func TestActivityWindow(t *testing.T) {
+	var clock sim.Clock
+	in, err := New(Config{
+		Seed:          1,
+		ReadErrorRate: 1,
+		ActiveAfter:   10 * time.Millisecond,
+		ActiveFor:     20 * time.Millisecond,
+	}, &clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.DiskRead() != nil {
+		t.Fatal("injected before ActiveAfter")
+	}
+	clock.Advance(15 * time.Millisecond) // inside the window
+	if in.DiskRead() == nil {
+		t.Fatal("did not inject inside the window")
+	}
+	clock.Advance(30 * time.Millisecond) // past ActiveAfter+ActiveFor
+	if in.DiskRead() != nil {
+		t.Fatal("injected after the window closed")
+	}
+}
+
+func TestTypedErrors(t *testing.T) {
+	dev := &DeviceError{Op: "read", At: sim.Time(0).Add(time.Second)}
+	corr := &CorruptionError{Page: "1/2", Reason: "checksum mismatch", Err: nil}
+	unrec := &UnrecoverableError{Page: "1/2", Reason: "no backing copy", Err: dev}
+
+	if IsUnrecoverable(dev) || IsUnrecoverable(corr) {
+		t.Fatal("recoverable errors classified as unrecoverable")
+	}
+	if !IsUnrecoverable(unrec) {
+		t.Fatal("UnrecoverableError not detected")
+	}
+	wrapped := fmt.Errorf("run 3: %w", unrec)
+	if !IsUnrecoverable(wrapped) {
+		t.Fatal("wrapped UnrecoverableError not detected")
+	}
+	var de *DeviceError
+	if !errors.As(unrec, &de) {
+		t.Fatal("UnrecoverableError does not unwrap to its cause")
+	}
+	for _, e := range []error{dev, corr, unrec, &CorruptionError{Page: "p", Reason: "r", Err: dev}} {
+		if e.Error() == "" {
+			t.Fatal("empty error string")
+		}
+	}
+}
+
+// TestZeroRateConsumesNoRandomness checks the draw-isolation property: a
+// fault class whose rate is zero consumes no randomness, so its
+// opportunities do not perturb the decisions of the classes that are
+// enabled.
+func TestZeroRateConsumesNoRandomness(t *testing.T) {
+	run := func(interleaveWrites bool) string {
+		var clock sim.Clock
+		in, err := New(Config{Seed: 9, ReadErrorRate: 0.2}, &clock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := ""
+		for i := 0; i < 200; i++ {
+			clock.Advance(time.Millisecond)
+			out += fmt.Sprint(in.DiskRead() != nil)
+			if interleaveWrites {
+				if err := in.DiskWrite(); err != nil {
+					t.Fatal("zero-rate write error fired")
+				}
+			}
+		}
+		return out
+	}
+	if run(false) != run(true) {
+		t.Fatal("zero-rate write opportunities perturbed the read-error decision stream")
+	}
+}

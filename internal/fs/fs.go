@@ -32,13 +32,14 @@ import (
 // mobile environment (paging over a network to a page server).
 type Device interface {
 	// Read performs a synchronous transfer from the device, advancing the
-	// caller's clock to completion.
-	Read(addr int64, n int)
+	// caller's clock to completion. The clock is charged even when the
+	// transfer fails.
+	Read(addr int64, n int) error
 	// Write performs a synchronous transfer to the device.
-	Write(addr int64, n int)
+	Write(addr int64, n int) error
 	// WriteAsync queues a write without blocking; it returns the completion
-	// instant.
-	WriteAsync(addr int64, n int) sim.Time
+	// instant. A failure of the queued write is reported immediately.
+	WriteAsync(addr int64, n int) (sim.Time, error)
 	// Drain advances the clock until queued operations complete.
 	Drain()
 	// Granularity is the device's addressing granularity in bytes (a disk
@@ -74,10 +75,13 @@ type Options struct {
 // machine package implements it on top of the compression cache.
 type CompressedBlockCache interface {
 	// Store offers an evicted block's (durable) contents; the cache may
-	// decline (incompressible, no memory).
-	Store(fileID int32, block int64, data []byte) bool
-	// Load fetches a cached block into data, reporting whether it hit.
-	Load(fileID int32, block int64, data []byte) bool
+	// decline (incompressible, no memory). The error reports a failure of
+	// work the store triggered (e.g. flushing entries to make room).
+	Store(fileID int32, block int64, data []byte) (bool, error)
+	// Load fetches a cached block into data, reporting whether it hit. A
+	// corrupt cached copy is reported as a miss, not an error: the block is
+	// durable on the device, so the caller falls back to a device read.
+	Load(fileID int32, block int64, data []byte) (bool, error)
 	// Invalidate drops any cached copy (the block was modified).
 	Invalidate(fileID int32, block int64)
 }
@@ -98,7 +102,7 @@ type FS struct {
 	// frameSource obtains a frame for the buffer cache, reclaiming one from
 	// some consumer if the pool is empty. The machine wires this to the
 	// replacement policy after construction.
-	frameSource func(mem.Owner) mem.FrameID
+	frameSource func(mem.Owner) (mem.FrameID, error)
 
 	cache     map[blockKey]*cacheBlock
 	lruHead   *cacheBlock // least recently used
@@ -150,18 +154,18 @@ func New(opts Options, d Device, clock *sim.Clock, pool *mem.Pool) (*FS, error) 
 		files: make(map[string]*File),
 		cache: make(map[blockKey]*cacheBlock),
 	}
-	f.frameSource = func(o mem.Owner) mem.FrameID {
+	f.frameSource = func(o mem.Owner) (mem.FrameID, error) {
 		id, ok := pool.Alloc(o)
 		if !ok {
-			panic("fs: no frame source wired and pool exhausted")
+			return 0, fmt.Errorf("fs: no frame source wired and pool exhausted")
 		}
-		return id
+		return id, nil
 	}
 	return f, nil
 }
 
 // SetFrameSource installs the policy-backed frame allocator.
-func (fs *FS) SetFrameSource(f func(mem.Owner) mem.FrameID) { fs.frameSource = f }
+func (fs *FS) SetFrameSource(f func(mem.Owner) (mem.FrameID, error)) { fs.frameSource = f }
 
 // SetCompressedBlockCache installs the §6 compressed block cache.
 func (fs *FS) SetCompressedBlockCache(c CompressedBlockCache) { fs.ccb = c }
@@ -228,8 +232,10 @@ func (f *File) Size() int64 { return f.size }
 // ReadAt reads len(p) bytes at offset off through the buffer cache. Reads
 // beyond the written extent return zero bytes, matching sparse-file
 // semantics.
-func (f *File) ReadAt(p []byte, off int64) {
+func (f *File) ReadAt(p []byte, off int64) error {
 	if off < 0 {
+		// Invariant: callers derive offsets from non-negative loop indices;
+		// a negative offset is a programming error, not a runtime fault.
 		panic("fs: negative offset")
 	}
 	bs := int64(f.fs.opts.BlockSize)
@@ -240,18 +246,24 @@ func (f *File) ReadAt(p []byte, off int64) {
 		if n > len(p) {
 			n = len(p)
 		}
-		cb := f.fs.getBlock(f, block, true)
+		cb, err := f.fs.getBlock(f, block, true)
+		if err != nil {
+			return err
+		}
 		copy(p[:n], f.fs.pool.Bytes(cb.frame)[inOff:inOff+n])
 		p = p[n:]
 		off += int64(n)
 	}
+	return nil
 }
 
 // WriteAt writes len(p) bytes at offset off through the buffer cache. A
 // write that only partially covers an uncached block pays the §4.3
 // read-modify-write: the whole block is read from disk first.
-func (f *File) WriteAt(p []byte, off int64) {
+func (f *File) WriteAt(p []byte, off int64) error {
 	if off < 0 {
+		// Invariant: callers derive offsets from non-negative loop indices;
+		// a negative offset is a programming error, not a runtime fault.
 		panic("fs: negative offset")
 	}
 	bs := int64(f.fs.opts.BlockSize)
@@ -263,7 +275,10 @@ func (f *File) WriteAt(p []byte, off int64) {
 			n = len(p)
 		}
 		full := inOff == 0 && n == int(bs)
-		cb := f.fs.getBlock(f, block, !full)
+		cb, err := f.fs.getBlock(f, block, !full)
+		if err != nil {
+			return err
+		}
 		copy(f.fs.pool.Bytes(cb.frame)[inOff:inOff+n], p[:n])
 		cb.dirty = true
 		if f.fs.ccb != nil {
@@ -278,11 +293,13 @@ func (f *File) WriteAt(p []byte, off int64) {
 		p = p[n:]
 		off += int64(n)
 	}
+	return nil
 }
 
 // Sync writes all dirty cached blocks of the file system to disk, in disk
-// address order (the cheapest schedule).
-func (fs *FS) Sync() {
+// address order (the cheapest schedule). On a device error the remaining
+// blocks stay dirty and the error is returned.
+func (fs *FS) Sync() error {
 	var dirty []*cacheBlock
 	for _, cb := range fs.cache {
 		if cb.dirty {
@@ -293,9 +310,12 @@ func (fs *FS) Sync() {
 		return dirty[i].key.file.addr(dirty[i].key.block) < dirty[j].key.file.addr(dirty[j].key.block)
 	})
 	for _, cb := range dirty {
-		fs.disk.Write(cb.key.file.addr(cb.key.block), fs.opts.BlockSize)
+		if err := fs.disk.Write(cb.key.file.addr(cb.key.block), fs.opts.BlockSize); err != nil {
+			return err
+		}
 		cb.dirty = false
 	}
+	return nil
 }
 
 // Name identifies the buffer cache in the replacement policy ("fs").
@@ -314,34 +334,47 @@ func (fs *FS) OldestAge() (sim.Time, bool) {
 // ReleaseOldest evicts the LRU cached block, writing it back first if dirty,
 // and returns its frame to the pool. It reports false when the cache is
 // empty.
-func (fs *FS) ReleaseOldest() bool {
+func (fs *FS) ReleaseOldest() (bool, error) {
 	cb := fs.lruHead
 	if cb == nil {
-		return false
+		return false, nil
 	}
-	fs.evict(cb)
-	return true
+	return true, fs.evict(cb)
 }
 
 // DropCaches evicts every cached block (writing back dirty ones); used by
 // benchmarks to start runs cold.
-func (fs *FS) DropCaches() {
-	fs.Sync()
-	for fs.lruHead != nil {
-		fs.evict(fs.lruHead)
+func (fs *FS) DropCaches() error {
+	if err := fs.Sync(); err != nil {
+		return err
 	}
+	for fs.lruHead != nil {
+		if err := fs.evict(fs.lruHead); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-func (fs *FS) evict(cb *cacheBlock) {
+func (fs *FS) evict(cb *cacheBlock) error {
 	if cb.dirty {
-		fs.disk.Write(cb.key.file.addr(cb.key.block), fs.opts.BlockSize)
+		// The platter already holds the authoritative contents, so a failed
+		// writeback loses no simulated data; the eviction completes and the
+		// device error propagates for the caller to account.
+		err := fs.disk.Write(cb.key.file.addr(cb.key.block), fs.opts.BlockSize)
 		cb.dirty = false
+		if err != nil {
+			fs.lruRemove(cb)
+			delete(fs.cache, cb.key)
+			fs.pool.Release(cb.frame)
+			return err
+		}
 	}
 	fs.lruRemove(cb)
 	delete(fs.cache, cb.key)
 	if fs.ccb == nil {
 		fs.pool.Release(cb.frame)
-		return
+		return nil
 	}
 	// The block is durable on the device now; keep a compressed copy in
 	// memory so a re-read can skip the device (§6). Release the frame first
@@ -352,7 +385,8 @@ func (fs *FS) evict(cb *cacheBlock) {
 	}
 	copy(fs.scratch, fs.pool.Bytes(cb.frame))
 	fs.pool.Release(cb.frame)
-	fs.ccb.Store(cb.key.file.id, cb.key.block, fs.scratch)
+	_, err := fs.ccb.Store(cb.key.file.id, cb.key.block, fs.scratch)
+	return err
 }
 
 func (fs *FS) dropFileBlocks(f *File) {
@@ -366,31 +400,49 @@ func (fs *FS) dropFileBlocks(f *File) {
 }
 
 // getBlock returns the cache entry for (f, block), faulting it in from disk
-// when fill is true (a full-block overwrite skips the disk read).
-func (fs *FS) getBlock(f *File, block int64, fill bool) *cacheBlock {
+// when fill is true (a full-block overwrite skips the disk read). On a
+// device error the frame is returned to the pool and no cache entry is left
+// behind.
+func (fs *FS) getBlock(f *File, block int64, fill bool) (*cacheBlock, error) {
 	key := blockKey{f, block}
 	if cb, ok := fs.cache[key]; ok {
 		fs.hits++
 		fs.lruTouch(cb)
-		return cb
+		return cb, nil
 	}
 	fs.misses++
 	if fs.opts.CacheCapacity > 0 && len(fs.cache) >= fs.opts.CacheCapacity {
-		fs.ReleaseOldest()
+		if _, err := fs.ReleaseOldest(); err != nil {
+			return nil, err
+		}
 	}
-	frame := fs.frameSource(mem.FS)
+	frame, err := fs.frameSource(mem.FS)
+	if err != nil {
+		return nil, err
+	}
 	cb := &cacheBlock{key: key, frame: frame}
 	if fill {
-		if fs.ccb != nil && fs.ccb.Load(f.id, block, fs.pool.Bytes(frame)) {
+		hit := false
+		if fs.ccb != nil {
+			hit, err = fs.ccb.Load(f.id, block, fs.pool.Bytes(frame))
+			if err != nil {
+				fs.pool.Release(frame)
+				return nil, err
+			}
+		}
+		if hit {
 			fs.ccHits++
 		} else {
-			fs.disk.Read(f.addr(block), fs.opts.BlockSize)
+			if err := fs.disk.Read(f.addr(block), fs.opts.BlockSize); err != nil {
+				fs.pool.Release(frame)
+				return nil, err
+			}
 			copy(fs.pool.Bytes(frame), f.platterBlock(block))
 		}
 	}
 	fs.cache[key] = cb
 	fs.lruAppend(cb)
-	return cb
+	return cb, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -403,33 +455,49 @@ func (fs *FS) checkRaw(off int64, n int) {
 		gran = int64(fs.disk.Granularity())
 	}
 	if off%gran != 0 || int64(n)%gran != 0 {
+		// Invariant: the swap layers size every raw transfer from BlockSize
+		// (or sector size under AllowPartialIO) at construction time, so a
+		// misaligned transfer is a programming error in a swap layer, not a
+		// condition that can arise from workload data or injected faults.
 		panic(fmt.Sprintf("fs: raw I/O of %d bytes at %d violates %d-byte transfer granularity",
 			n, off, gran))
 	}
 }
 
 // RawRead reads n bytes at off directly from disk into p (len(p) >= n),
-// bypassing the cache. Geometry must respect the transfer granularity.
-func (f *File) RawRead(p []byte, off int64, n int) {
+// bypassing the cache. Geometry must respect the transfer granularity. On a
+// device error p is left unfilled.
+func (f *File) RawRead(p []byte, off int64, n int) error {
 	f.fs.checkRaw(off, n)
-	f.fs.disk.Read(f.base+off, n)
+	if err := f.fs.disk.Read(f.base+off, n); err != nil {
+		return err
+	}
 	f.copyOut(p, off, n)
+	return nil
 }
 
 // RawWrite synchronously writes n bytes from p at off, bypassing the cache.
-func (f *File) RawWrite(p []byte, off int64, n int) {
+func (f *File) RawWrite(p []byte, off int64, n int) error {
 	f.fs.checkRaw(off, n)
+	if err := f.fs.disk.Write(f.base+off, n); err != nil {
+		return err
+	}
 	f.copyIn(p, off, n)
-	f.fs.disk.Write(f.base+off, n)
+	return nil
 }
 
 // RawWriteAsync queues a raw write on the device without blocking the
-// caller; it returns the completion instant. The platter is updated
-// immediately so simulated contents are never stale.
-func (f *File) RawWriteAsync(p []byte, off int64, n int) sim.Time {
+// caller; it returns the completion instant. The platter is updated only
+// when the queued write will complete, so a failed write leaves the old
+// contents — the caller must not assume the new data is durable.
+func (f *File) RawWriteAsync(p []byte, off int64, n int) (sim.Time, error) {
 	f.fs.checkRaw(off, n)
+	done, err := f.fs.disk.WriteAsync(f.base+off, n)
+	if err != nil {
+		return done, err
+	}
 	f.copyIn(p, off, n)
-	return f.fs.disk.WriteAsync(f.base+off, n)
+	return done, nil
 }
 
 // WriteStage stores bytes at off without charging any device cost: the data
@@ -450,7 +518,7 @@ func (f *File) ReadStaged(off int64, buf []byte) {
 // RawWriteStaged charges one asynchronous device write for a region whose
 // contents were previously placed with WriteStage. Geometry rules are those
 // of RawWrite.
-func (f *File) RawWriteStaged(off int64, n int) sim.Time {
+func (f *File) RawWriteStaged(off int64, n int) (sim.Time, error) {
 	f.fs.checkRaw(off, n)
 	return f.fs.disk.WriteAsync(f.base+off, n)
 }

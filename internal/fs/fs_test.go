@@ -144,8 +144,8 @@ func TestEvictionWritesBackDirty(t *testing.T) {
 	f := fsys.Create("evict")
 	f.WriteAt(make([]byte, 4096), 0)
 	w0 := d.Stats().Writes
-	if !fsys.ReleaseOldest() {
-		t.Fatal("ReleaseOldest failed")
+	if ok, err := fsys.ReleaseOldest(); err != nil || !ok {
+		t.Fatalf("ReleaseOldest: ok=%v err=%v", ok, err)
 	}
 	if d.Stats().Writes != w0+1 {
 		t.Fatal("dirty eviction did not write back")
@@ -157,8 +157,8 @@ func TestEvictionWritesBackDirty(t *testing.T) {
 
 func TestReleaseOldestEmptyCache(t *testing.T) {
 	fsys, _, _, _ := newTestFS(t, Options{})
-	if fsys.ReleaseOldest() {
-		t.Fatal("ReleaseOldest on empty cache reported true")
+	if ok, err := fsys.ReleaseOldest(); err != nil || ok {
+		t.Fatalf("ReleaseOldest on empty cache: ok=%v err=%v", ok, err)
 	}
 	if _, ok := fsys.OldestAge(); ok {
 		t.Fatal("OldestAge on empty cache reported ok")
@@ -240,7 +240,10 @@ func TestRawPartialIOAllowed(t *testing.T) {
 func TestRawWriteAsync(t *testing.T) {
 	fsys, _, clock, _ := newTestFS(t, Options{})
 	f := fsys.Create("async")
-	done := f.RawWriteAsync(make([]byte, 4096), 0, 4096)
+	done, err := f.RawWriteAsync(make([]byte, 4096), 0, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if clock.Now() != 0 {
 		t.Fatal("async write advanced the clock")
 	}

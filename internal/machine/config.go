@@ -12,6 +12,7 @@ import (
 
 	"compcache/internal/core"
 	"compcache/internal/disk"
+	"compcache/internal/fault"
 	"compcache/internal/fs"
 	"compcache/internal/netdev"
 	"compcache/internal/policy"
@@ -110,6 +111,12 @@ type Config struct {
 
 	// CC configures the compression cache.
 	CC CCConfig
+
+	// Faults, when non-nil, attaches a deterministic fault injector to the
+	// machine: device errors, latency spikes, and compressed-fragment
+	// corruption per the rates in the config. Nil injects nothing and adds
+	// no overhead.
+	Faults *fault.Config
 
 	// Biases configures the three-way memory trade; keys "vm", "fs", "cc".
 	// Defaults to policy.DefaultBiases.
@@ -215,7 +222,19 @@ func (c *Config) setDefaults() error {
 	if c.Biases == nil {
 		c.Biases = policy.DefaultBiases()
 	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// WithFaults returns a copy of the configuration with the fault injector
+// attached.
+func (c Config) WithFaults(f fault.Config) Config {
+	c.Faults = &f
+	return c
 }
 
 // keepThreshold is the largest compressed size retained, in bytes.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"compcache/internal/core"
 	"compcache/internal/swap"
 )
 
@@ -42,7 +43,9 @@ func TestDecompressIntoCopiesBackNonAliasedResult(t *testing.T) {
 	for i := range page {
 		page[i] = 0xEE
 	}
-	m.decompressInto(page, cdata, swap.PageKey{Seg: seg, Page: 3})
+	if err := m.decompressInto(page, cdata, core.Checksum(cdata), swap.PageKey{Seg: seg, Page: 3}); err != nil {
+		t.Fatal(err)
+	}
 	if !bytes.Equal(page, want) {
 		t.Fatal("page buffer kept stale contents after non-aliased decompression")
 	}
@@ -59,7 +62,9 @@ func TestDecompressIntoAliasedResultUnchanged(t *testing.T) {
 	codec := m.codecFor(0)
 	cdata := codec.Compress(nil, want)
 	page := make([]byte, m.Config().PageSize)
-	m.decompressInto(page, cdata, swap.PageKey{Seg: 0, Page: 0})
+	if err := m.decompressInto(page, cdata, core.Checksum(cdata), swap.PageKey{Seg: 0, Page: 0}); err != nil {
+		t.Fatal(err)
+	}
 	if !bytes.Equal(page, want) {
 		t.Fatal("round trip through decompressInto corrupted the page")
 	}

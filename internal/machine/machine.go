@@ -1,12 +1,14 @@
 package machine
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"compcache/internal/compress"
 	"compcache/internal/core"
 	"compcache/internal/disk"
+	"compcache/internal/fault"
 	"compcache/internal/fs"
 	"compcache/internal/mem"
 	"compcache/internal/netdev"
@@ -37,10 +39,13 @@ type Machine struct {
 	clustered *swap.Clustered // compressed backing store
 	alloc     *policy.Allocator
 	codec     compress.Codec
+	faults    *fault.Injector // nil when no fault config is given
 
 	segByID     map[int32]*vm.Segment
 	segCodec    map[int32]compress.Codec // per-segment override (§3)
 	comp        stats.Compression
+	fst         stats.Faults // machine-side detection/recovery counters
+	err         error        // first fatal error; see Err
 	start       sim.Time
 	startFrozen bool
 }
@@ -61,11 +66,25 @@ func New(cfg Config) (*Machine, error) {
 	m.Pool = mem.NewPool(frames, cfg.PageSize)
 
 	var err error
+	if cfg.Faults != nil {
+		m.faults, err = fault.New(*cfg.Faults, m.Clock)
+		if err != nil {
+			return nil, err
+		}
+	}
 	if cfg.Net != nil {
-		m.Device, err = netdev.New(*cfg.Net, m.Clock)
+		var net *netdev.Net
+		net, err = netdev.New(*cfg.Net, m.Clock)
+		if err == nil {
+			net.SetFaultInjector(m.faults)
+			m.Device = net
+		}
 	} else {
 		m.Disk, err = disk.New(cfg.Disk, m.Clock)
-		m.Device = m.Disk
+		if err == nil {
+			m.Disk.SetFaultInjector(m.faults)
+			m.Device = m.Disk
+		}
 	}
 	if err != nil {
 		return nil, err
@@ -135,8 +154,8 @@ func New(cfg Config) (*Machine, error) {
 // Sprite arrangement); *swap.LFS implements it for the §5.1 log-structured
 // alternative.
 type rawStore interface {
-	Write(key swap.PageKey, data []byte)
-	Read(key swap.PageKey, buf []byte) bool
+	Write(key swap.PageKey, data []byte) error
+	Read(key swap.PageKey, buf []byte) (bool, error)
 	Has(key swap.PageKey) bool
 	Invalidate(key swap.PageKey)
 	Stats() stats.Swap
@@ -150,6 +169,29 @@ func (ccConsumer) Name() string { return "cc" }
 
 // Config returns the machine's (defaulted) configuration.
 func (m *Machine) Config() Config { return m.cfg }
+
+// Err returns the first fatal error the machine hit while servicing the
+// workload (an unrecoverable page loss or a propagated device failure), or
+// nil. Once Err is non-nil the Space access methods become no-ops: the
+// simulated process is dead and the workload's remaining references are not
+// executed. Harnesses check Err after the workload returns.
+func (m *Machine) Err() error { return m.err }
+
+// fail records the machine's first fatal error.
+func (m *Machine) fail(err error) {
+	if m.err == nil && err != nil {
+		m.err = err
+	}
+}
+
+// Faults reports the machine-side fault counters (detections, recoveries)
+// merged with the injector's counters.
+func (m *Machine) Faults() stats.Faults {
+	f := m.faults.Stats()
+	f.CorruptionsDetected = m.fst.CorruptionsDetected
+	f.Recoveries = m.fst.Recoveries
+	return f
+}
 
 // Elapsed reports the virtual time since the machine was created or since
 // the last ResetClockBase call.
@@ -182,15 +224,32 @@ func (m *Machine) Drain() { m.Device.Drain() }
 // cache to the backing store, and drops the file cache. It models a freshly
 // (re)started process whose address space lives entirely on the backing
 // store — the setup for the gold "cold" benchmark.
-func (m *Machine) EvictAll() {
-	for m.VM.ReleaseOldest() {
-	}
-	if m.CC != nil {
-		for m.CC.ReleaseOldest() {
+func (m *Machine) EvictAll() error {
+	for {
+		more, err := m.VM.ReleaseOldest()
+		if err != nil {
+			return err
+		}
+		if !more {
+			break
 		}
 	}
-	m.FS.DropCaches()
+	if m.CC != nil {
+		for {
+			more, err := m.CC.ReleaseOldest()
+			if err != nil {
+				return err
+			}
+			if !more {
+				break
+			}
+		}
+	}
+	if err := m.FS.DropCaches(); err != nil {
+		return err
+	}
 	m.Drain()
+	return nil
 }
 
 // NewSegmentCodec creates a segment whose pages are compressed with a
@@ -220,6 +279,8 @@ func (m *Machine) codecFor(seg int32) compress.Codec {
 // returns an address space handle for it.
 func (m *Machine) NewSegment(name string, bytes int64) *Space {
 	if bytes <= 0 {
+		// Invariant: a workload asking for a non-positive segment is a
+		// programming error in the workload, not a runtime fault.
 		panic("machine: segment size must be positive")
 	}
 	npages := int32((bytes + int64(m.cfg.PageSize) - 1) / int64(m.cfg.PageSize))
@@ -236,6 +297,10 @@ func (m *Machine) reserveKernelBytes(bytes int) {
 	frames := (bytes + m.cfg.PageSize - 1) / m.cfg.PageSize
 	for i := 0; i < frames; i++ {
 		if _, ok := m.Pool.Alloc(mem.Kernel); !ok {
+			// Invariant: kernel metadata is charged at configuration time
+			// (machine/segment creation); a machine too small to hold its own
+			// page tables is an experiment sizing error, not a runtime fault
+			// to degrade from.
 			panic("machine: not enough memory for kernel metadata")
 		}
 	}
@@ -243,10 +308,13 @@ func (m *Machine) reserveKernelBytes(bytes int) {
 
 // allocFrame is the policy-arbitrated frame source shared by the VM fault
 // path and the file cache.
-func (m *Machine) allocFrame(owner mem.Owner) mem.FrameID {
-	id := m.alloc.AllocFrame(owner)
+func (m *Machine) allocFrame(owner mem.Owner) (mem.FrameID, error) {
+	id, err := m.alloc.AllocFrame(owner)
+	if err != nil {
+		return mem.NoFrame, err
+	}
 	m.maybeClean()
-	return id
+	return id, nil
 }
 
 // maybeClean runs the background cleaner: if the stock of immediately
@@ -261,7 +329,15 @@ func (m *Machine) maybeClean() {
 	}
 	guard := 8 // bound cleaning work per trigger
 	for m.Pool.FreeCount()+m.CC.ReclaimableFrames() < m.cfg.CC.CleanReserve && guard > 0 {
-		if m.CC.Clean() == 0 {
+		n, err := m.CC.Clean()
+		if err != nil {
+			// A failed cleaner flush is not fatal: the batch stays dirty in
+			// the cache (Clean marks nothing clean on error) and is retried
+			// on a later trigger, so no data is lost — the reserve just
+			// stays low for a while. Degrade instead of killing the run.
+			return
+		}
+		if n == 0 {
 			return
 		}
 		guard--
@@ -271,10 +347,11 @@ func (m *Machine) maybeClean() {
 // Stats assembles the full statistics block.
 func (m *Machine) Stats() stats.Run {
 	r := stats.Run{
-		VM:   m.VM.Stats(),
-		Comp: m.comp,
-		Disk: m.Device.Stats(),
-		Time: m.Elapsed(),
+		VM:    m.VM.Stats(),
+		Comp:  m.comp,
+		Disk:  m.Device.Stats(),
+		Fault: m.Faults(),
+		Time:  m.Elapsed(),
 	}
 	if m.CC != nil {
 		r.CC = m.CC.Stats()
@@ -290,18 +367,28 @@ func (m *Machine) Stats() stats.Run {
 // ---------------------------------------------------------------------------
 // vm.Pager implementation: the paging policy of §4.1.
 
-// PageOut handles a page leaving uncompressed memory.
-func (m *Machine) PageOut(p *vm.Page, data []byte) {
+// PageOut handles a page leaving uncompressed memory. Write failures that
+// leave a valid copy somewhere (a dirty cache entry, the old backing-store
+// extent) degrade silently and are retried later; a failure that loses the
+// only copy returns fault.UnrecoverableError.
+func (m *Machine) PageOut(p *vm.Page, data []byte) error {
 	if m.CC == nil {
 		// Baseline system: dirty pages go to the direct swap file; clean
 		// pages with a valid backing copy are simply discarded.
 		if p.Dirty {
-			m.direct.Write(p.Key, data)
+			if err := m.direct.Write(p.Key, data); err != nil {
+				// The frame is gone and the store refused the only copy.
+				return &fault.UnrecoverableError{
+					Page:   p.Key.String(),
+					Reason: "backing-store write failed for the only copy",
+					Err:    err,
+				}
+			}
 			p.Dirty = false
 			p.SwapValid = true
 		}
 		p.State = vm.Swapped
-		return
+		return nil
 	}
 
 	// Fast path: the page was faulted out of the cache and never modified,
@@ -310,7 +397,7 @@ func (m *Machine) PageOut(p *vm.Page, data []byte) {
 	// copies; this is what keeps read-mostly working sets cheap).
 	if !p.Dirty && m.CC.Has(p.Key) {
 		p.State = vm.Compressed
-		return
+		return nil
 	}
 
 	// Compression cache path: compress the page and decide its fate.
@@ -323,21 +410,34 @@ func (m *Machine) PageOut(p *vm.Page, data []byte) {
 	if len(cdata) <= m.cfg.keepThreshold() {
 		m.comp.CompressibleIn += uint64(len(data))
 		m.comp.CompressibleOut += uint64(len(cdata))
-		if m.CC.Insert(p.Key, cdata, p.Dirty) {
+		ok, insErr := m.CC.Insert(p.Key, cdata, p.Dirty)
+		if ok {
 			p.State = vm.Compressed
 			p.Dirty = false // dirtiness now tracked by the cache entry
 			m.maybeClean()
-			return
+			return nil
 		}
-		// The cache could not grow; send the compressed page to the backing
-		// store directly, still benefiting from the reduced transfer size.
+		// The cache could not take the page: no memory, or the flush that
+		// would have made room failed (insErr — the flushed batch stays
+		// dirty in the cache and is retried later, so insErr alone loses
+		// nothing). Send the compressed page to the backing store directly,
+		// still benefiting from the reduced transfer size.
 		if p.Dirty || !p.SwapValid {
-			m.clustered.WriteCluster([]swap.Item{{Key: p.Key, Data: cdata, Compressed: true}}, true)
+			err := m.clustered.WriteCluster([]swap.Item{{
+				Key: p.Key, Data: cdata, Compressed: true, Sum: core.Checksum(cdata),
+			}}, true)
+			if err != nil {
+				return &fault.UnrecoverableError{
+					Page:   p.Key.String(),
+					Reason: "backing-store write failed for the only copy",
+					Err:    errors.Join(insErr, err),
+				}
+			}
 			p.SwapValid = true
 		}
 		p.Dirty = false
 		p.State = vm.Swapped
-		return
+		return nil
 	}
 
 	// Below the 4:3 threshold: the compression effort was wasted (§5.2) and
@@ -345,46 +445,113 @@ func (m *Machine) PageOut(p *vm.Page, data []byte) {
 	m.comp.Incompressible++
 	if p.Dirty || !p.SwapValid {
 		raw := append([]byte(nil), data...)
-		m.clustered.WriteCluster([]swap.Item{{Key: p.Key, Data: raw, Compressed: false}}, true)
+		err := m.clustered.WriteCluster([]swap.Item{{
+			Key: p.Key, Data: raw, Compressed: false, Sum: core.Checksum(raw),
+		}}, true)
+		if err != nil {
+			return &fault.UnrecoverableError{
+				Page:   p.Key.String(),
+				Reason: "backing-store write failed for the only copy",
+				Err:    err,
+			}
+		}
 		p.SwapValid = true
 	}
 	p.Dirty = false
 	p.State = vm.Swapped
+	return nil
 }
 
 // PageIn services a fault for a page whose contents are compressed in
-// memory or on the backing store.
-func (m *Machine) PageIn(p *vm.Page, data []byte) vm.Source {
+// memory or on the backing store. A corrupt compression-cache fragment is
+// recovered from the backing store when a clean copy exists there (the
+// entry is dropped, the swap read proceeds at its usual virtual-time cost,
+// and the recovery is counted); a corrupt or unreadable fragment with no
+// lower-level copy returns fault.UnrecoverableError.
+func (m *Machine) PageIn(p *vm.Page, data []byte) (vm.Source, error) {
 	if m.CC != nil {
-		if cdata, entryDirty, ok := m.CC.Fault(p.Key); ok {
-			m.decompressInto(data, cdata, p.Key)
-			// The entry is retained and backs the resident copy, so the
-			// page itself is clean; SwapValid tracks whether the entry has
-			// been persisted. Modifying the page invalidates the entry (see
-			// Dirtied).
-			p.Dirty = false
-			p.SwapValid = !entryDirty
-			return vm.SrcCC
+		if cdata, sum, entryDirty, ok := m.CC.Fault(p.Key); ok {
+			m.faults.CorruptCache(cdata)
+			err := m.decompressInto(data, cdata, sum, p.Key)
+			if err == nil {
+				// The entry is retained and backs the resident copy, so the
+				// page itself is clean; SwapValid tracks whether the entry
+				// has been persisted. Modifying the page invalidates the
+				// entry (see Dirtied).
+				p.Dirty = false
+				p.SwapValid = !entryDirty
+				return vm.SrcCC, nil
+			}
+			// The in-memory fragment is corrupt. Drop the entry; if the
+			// backing store has a clean copy of the same contents, recover
+			// from it below at the usual swap-in cost.
+			m.CC.Drop(p.Key)
+			if entryDirty || !m.clustered.Has(p.Key) {
+				return 0, &fault.UnrecoverableError{
+					Page:   p.Key.String(),
+					Reason: "corrupt cache entry with no backing copy",
+					Err:    err,
+				}
+			}
+			m.fst.Recoveries++
+			// Fall through to the backing-store read.
 		}
 	}
 	if m.CC == nil {
-		if !m.direct.Read(p.Key, data) {
-			panic(fmt.Sprintf("machine: page %v in state %v has no backing copy", p.Key, p.State))
+		ok, err := m.direct.Read(p.Key, data)
+		if err != nil {
+			return 0, &fault.UnrecoverableError{
+				Page:   p.Key.String(),
+				Reason: "backing-store read failed",
+				Err:    err,
+			}
+		}
+		if !ok {
+			return 0, &fault.UnrecoverableError{
+				Page:   p.Key.String(),
+				Reason: fmt.Sprintf("page in state %v has no backing copy", p.State),
+			}
 		}
 		m.Clock.Advance(m.cfg.Cost.PageCopy)
 		p.Dirty = false
 		p.SwapValid = true
-		return vm.SrcSwap
+		return vm.SrcSwap, nil
 	}
 
-	payload, compressed, neighbors, ok := m.clustered.Read(p.Key)
+	payload, sum, compressed, neighbors, ok, err := m.clustered.Read(p.Key)
 	if !ok {
-		panic(fmt.Sprintf("machine: page %v in state %v has no backing copy", p.Key, p.State))
+		return 0, &fault.UnrecoverableError{
+			Page:   p.Key.String(),
+			Reason: fmt.Sprintf("page in state %v has no backing copy", p.State),
+		}
+	}
+	if err != nil {
+		return 0, &fault.UnrecoverableError{
+			Page:   p.Key.String(),
+			Reason: "backing-store read failed",
+			Err:    err,
+		}
 	}
 	if compressed {
-		m.decompressInto(data, payload, p.Key)
+		m.faults.CorruptSwap(payload)
+		if derr := m.decompressInto(data, payload, sum, p.Key); derr != nil {
+			// The backing store held the only remaining copy.
+			return 0, &fault.UnrecoverableError{
+				Page:   p.Key.String(),
+				Reason: "corrupt backing-store fragment",
+				Err:    derr,
+			}
+		}
 	} else {
 		m.Clock.Advance(m.cfg.Cost.PageCopy)
+		if core.Checksum(payload) != sum {
+			m.fst.CorruptionsDetected++
+			return 0, &fault.UnrecoverableError{
+				Page:   p.Key.String(),
+				Reason: "corrupt backing-store page",
+				Err:    &fault.CorruptionError{Page: p.Key.String(), Reason: "checksum mismatch on raw page"},
+			}
+		}
 		copy(data, payload)
 	}
 	p.Dirty = false
@@ -393,13 +560,15 @@ func (m *Machine) PageIn(p *vm.Page, data []byte) vm.Source {
 	if !m.cfg.CC.DisablePrefetch {
 		m.insertNeighbors(neighbors)
 	}
-	return vm.SrcSwap
+	return vm.SrcSwap, nil
 }
 
 // insertNeighbors caches pages that came along for free with a clustered
 // read ("multiple pages can be obtained with a single read from the backing
 // store", §5.1). Only compressed, currently swapped-out pages are inserted,
-// and only when the cache can take them without stealing memory.
+// and only when the cache can take them without stealing memory. A neighbor
+// whose checksum does not verify is skipped — the prefetch is an
+// opportunistic copy; the extent on the backing store stays authoritative.
 func (m *Machine) insertNeighbors(neighbors []swap.Neighbor) {
 	for _, n := range neighbors {
 		if !n.Compressed {
@@ -414,12 +583,25 @@ func (m *Machine) insertNeighbors(neighbors []swap.Neighbor) {
 			continue
 		}
 		cdata := append([]byte(nil), n.Data...)
+		m.faults.CorruptSwap(cdata)
+		if core.Checksum(cdata) != n.Sum {
+			m.fst.CorruptionsDetected++
+			continue
+		}
 		m.Clock.Advance(m.cfg.Cost.PageCopy / 4) // short memcpy of compressed bytes
-		if !m.CC.Insert(n.Key, cdata, false) {
+		ok, err := m.CC.Insert(n.Key, cdata, false)
+		if err != nil {
+			continue // flush failure: skip the opportunistic insert
+		}
+		if !ok {
 			// No free frame: this is how the paper's swap reads behave —
 			// they land in the compression cache, displacing the oldest
 			// memory by the usual age comparison. Make room and retry once.
-			if !m.alloc.FreeOne() || !m.CC.Insert(n.Key, cdata, false) {
+			freed, ferr := m.alloc.FreeOne()
+			if ferr != nil || !freed {
+				continue
+			}
+			if ok, err = m.CC.Insert(n.Key, cdata, false); err != nil || !ok {
 				continue
 			}
 		}
@@ -443,9 +625,10 @@ func (m *Machine) Dirtied(p *vm.Page) {
 }
 
 // flushEntries is the cleaner's flush hook: persist dirty cache entries with
-// one clustered asynchronous write.
-func (m *Machine) flushEntries(items []swap.Item) {
-	m.clustered.WriteCluster(items, true)
+// one clustered asynchronous write. On error the cache keeps the batch
+// dirty, so nothing is lost — the flush is retried by a later clean.
+func (m *Machine) flushEntries(items []swap.Item) error {
+	return m.clustered.WriteCluster(items, true)
 }
 
 // ---------------------------------------------------------------------------
@@ -464,11 +647,11 @@ func fsBlockKey(fileID int32, block int64) swap.PageKey {
 }
 
 // Store implements fs.CompressedBlockCache.
-func (f fsBlockCache) Store(fileID int32, block int64, data []byte) bool {
+func (f fsBlockCache) Store(fileID int32, block int64, data []byte) (bool, error) {
 	m := f.m
 	key := fsBlockKey(fileID, block)
 	if m.CC.Has(key) {
-		return true // still-valid compressed copy from an earlier eviction
+		return true, nil // still-valid compressed copy from an earlier eviction
 	}
 	m.Clock.Advance(m.cfg.Cost.CompressCost(len(data)))
 	m.comp.Compressions++
@@ -477,7 +660,7 @@ func (f fsBlockCache) Store(fileID int32, block int64, data []byte) bool {
 	m.comp.BytesOut += uint64(len(cdata))
 	if len(cdata) > m.cfg.keepThreshold() {
 		m.comp.Incompressible++
-		return false
+		return false, nil
 	}
 	m.comp.CompressibleIn += uint64(len(data))
 	m.comp.CompressibleOut += uint64(len(cdata))
@@ -486,15 +669,22 @@ func (f fsBlockCache) Store(fileID int32, block int64, data []byte) bool {
 	return m.CC.Insert(key, cdata, false)
 }
 
-// Load implements fs.CompressedBlockCache.
-func (f fsBlockCache) Load(fileID int32, block int64, data []byte) bool {
+// Load implements fs.CompressedBlockCache. A corrupt cached block is
+// dropped and reported as a miss, not an error: the block is durable on the
+// device, so the file system falls back to a device read.
+func (f fsBlockCache) Load(fileID int32, block int64, data []byte) (bool, error) {
 	m := f.m
-	cdata, _, ok := m.CC.Fault(fsBlockKey(fileID, block))
+	key := fsBlockKey(fileID, block)
+	cdata, sum, _, ok := m.CC.Fault(key)
 	if !ok {
-		return false
+		return false, nil
 	}
-	m.decompressInto(data, cdata, fsBlockKey(fileID, block))
-	return true
+	m.faults.CorruptCache(cdata)
+	if err := m.decompressInto(data, cdata, sum, key); err != nil {
+		m.CC.Drop(key)
+		return false, nil
+	}
+	return true, nil
 }
 
 // Invalidate implements fs.CompressedBlockCache.
@@ -524,18 +714,30 @@ func (m *Machine) entryDropped(key swap.PageKey) {
 	}
 }
 
-// decompressInto decompresses cdata into the page buffer data, charging the
-// cost model, and panics on corruption (which would be a simulator bug: the
-// cache stores only blocks it produced).
-func (m *Machine) decompressInto(data, cdata []byte, key swap.PageKey) {
+// decompressInto verifies and decompresses cdata into the page buffer data,
+// charging the cost model. sum is the fragment's checksum computed when the
+// data entered the cache; verification runs before the codec so a flipped
+// bit can never decompress to a silently wrong page. A checksum mismatch,
+// codec rejection, or length mismatch returns a *fault.CorruptionError;
+// callers decide whether a fallback copy exists.
+func (m *Machine) decompressInto(data, cdata []byte, sum uint32, key swap.PageKey) error {
 	m.Clock.Advance(m.cfg.Cost.DecompressCost(len(data)))
 	m.comp.Decompressions++
+	if core.Checksum(cdata) != sum {
+		m.fst.CorruptionsDetected++
+		return &fault.CorruptionError{Page: key.String(), Reason: "checksum mismatch"}
+	}
 	out, err := m.codecFor(key.Seg).Decompress(data[:0], cdata)
 	if err != nil {
-		panic(fmt.Sprintf("machine: corrupt compressed page %v: %v", key, err))
+		m.fst.CorruptionsDetected++
+		return &fault.CorruptionError{Page: key.String(), Reason: "codec rejected fragment", Err: err}
 	}
 	if len(out) != len(data) {
-		panic(fmt.Sprintf("machine: page %v decompressed to %d bytes, want %d", key, len(out), len(data)))
+		m.fst.CorruptionsDetected++
+		return &fault.CorruptionError{
+			Page:   key.String(),
+			Reason: fmt.Sprintf("decompressed to %d bytes, want %d", len(out), len(data)),
+		}
 	}
 	// Decompress appends to data[:0]; a codec that transiently grows past
 	// cap(data) leaves the result in a new backing array, and without this
@@ -543,6 +745,7 @@ func (m *Machine) decompressInto(data, cdata []byte, key swap.PageKey) {
 	if len(out) > 0 && &out[0] != &data[0] {
 		copy(data, out)
 	}
+	return nil
 }
 
 // CheckInvariants validates cross-subsystem invariants; tests call it after
@@ -595,6 +798,12 @@ func (m *Machine) CheckInvariants() error {
 // Space is a byte-addressable view of one segment. Workloads allocate their
 // data structures inside spaces so every access goes through the simulated
 // VM system.
+//
+// The access methods carry no error returns; instead the machine is sticky:
+// the first fatal paging error (see Machine.Err) kills the simulated
+// process, every later access is a no-op, and the harness reads the cause
+// from Err after the workload returns. This mirrors how a real machine
+// check behaves — the program does not get per-load error codes.
 type Space struct {
 	m   *Machine
 	seg *vm.Segment
@@ -611,23 +820,69 @@ func (s *Space) Pages() int32 { return s.seg.NPages }
 
 // Touch references one word on page n (reading or writing), the primitive
 // the thrasher workload uses.
-func (s *Space) Touch(page int32, write bool) { s.m.VM.Touch(s.seg, page, write) }
+func (s *Space) Touch(page int32, write bool) {
+	if s.m.err != nil {
+		return
+	}
+	if _, err := s.m.VM.Touch(s.seg, page, write); err != nil {
+		s.m.fail(err)
+	}
+}
 
 // Pin faults page n in (if needed) and exempts it from eviction — the §3
 // advisory for applications that know LRU will behave poorly.
-func (s *Space) Pin(page int32) { s.m.VM.Pin(s.seg, page) }
+func (s *Space) Pin(page int32) {
+	if s.m.err != nil {
+		return
+	}
+	if _, err := s.m.VM.Pin(s.seg, page); err != nil {
+		s.m.fail(err)
+	}
+}
 
 // Unpin makes page n evictable again.
 func (s *Space) Unpin(page int32) { s.m.VM.Unpin(s.seg, page) }
 
 // Read copies from the space into buf.
-func (s *Space) Read(off int64, buf []byte) { s.m.VM.Read(s.seg, off, buf) }
+func (s *Space) Read(off int64, buf []byte) {
+	if s.m.err != nil {
+		return
+	}
+	if err := s.m.VM.Read(s.seg, off, buf); err != nil {
+		s.m.fail(err)
+	}
+}
 
 // Write copies data into the space.
-func (s *Space) Write(off int64, data []byte) { s.m.VM.Write(s.seg, off, data) }
+func (s *Space) Write(off int64, data []byte) {
+	if s.m.err != nil {
+		return
+	}
+	if err := s.m.VM.Write(s.seg, off, data); err != nil {
+		s.m.fail(err)
+	}
+}
 
-// ReadWord reads the 8-byte word at off.
-func (s *Space) ReadWord(off int64) uint64 { return s.m.VM.ReadWord(s.seg, off) }
+// ReadWord reads the 8-byte word at off. After a fatal machine error it
+// returns 0 (the dead process observes nothing).
+func (s *Space) ReadWord(off int64) uint64 {
+	if s.m.err != nil {
+		return 0
+	}
+	v, err := s.m.VM.ReadWord(s.seg, off)
+	if err != nil {
+		s.m.fail(err)
+		return 0
+	}
+	return v
+}
 
 // WriteWord writes the 8-byte word at off.
-func (s *Space) WriteWord(off int64, val uint64) { s.m.VM.WriteWord(s.seg, off, val) }
+func (s *Space) WriteWord(off int64, val uint64) {
+	if s.m.err != nil {
+		return
+	}
+	if err := s.m.VM.WriteWord(s.seg, off, val); err != nil {
+		s.m.fail(err)
+	}
+}

@@ -61,6 +61,8 @@ type Pool struct {
 // NewPool creates a pool of n frames of pageSize bytes each.
 func NewPool(n, pageSize int) *Pool {
 	if n <= 0 || pageSize <= 0 {
+		// Invariant: construction-time configuration error; machine.Config
+		// validation rejects bad geometry before reaching here.
 		panic(fmt.Sprintf("mem: invalid pool geometry %d x %d", n, pageSize))
 	}
 	p := &Pool{
@@ -97,6 +99,8 @@ func (p *Pool) OwnedBy(o Owner) int { return p.counts[o] }
 // (fresh VM pages) must clear them.
 func (p *Pool) Alloc(o Owner) (FrameID, bool) {
 	if o == Free || o >= numOwners {
+		// Invariant: owners are compile-time constants; an invalid one is a
+		// programming error, not a condition injected faults can create.
 		panic(fmt.Sprintf("mem: Alloc for invalid owner %v", o))
 	}
 	if len(p.free) == 0 {
@@ -114,6 +118,9 @@ func (p *Pool) Alloc(o Owner) (FrameID, bool) {
 func (p *Pool) Release(id FrameID) {
 	o := p.ownerOf(id)
 	if o == Free {
+		// Invariant: frame ownership is tracked exactly (CheckConservation);
+		// a double release is accounting corruption, the simulated kernel's
+		// equivalent of a double free — fail loudly, never degrade.
 		panic(fmt.Sprintf("mem: double release of frame %d", id))
 	}
 	p.counts[o]--
@@ -127,10 +134,13 @@ func (p *Pool) Release(id FrameID) {
 // between the VM system and the compression cache in one step.
 func (p *Pool) Transfer(id FrameID, o Owner) {
 	if o == Free || o >= numOwners {
+		// Invariant: owners are compile-time constants (see Alloc).
 		panic(fmt.Sprintf("mem: Transfer to invalid owner %v", o))
 	}
 	cur := p.ownerOf(id)
 	if cur == Free {
+		// Invariant: transferring a free frame is accounting corruption,
+		// like a double release — fail loudly, never degrade.
 		panic(fmt.Sprintf("mem: Transfer of free frame %d", id))
 	}
 	p.counts[cur]--
@@ -174,6 +184,8 @@ func (p *Pool) CheckConservation() error {
 
 func (p *Pool) ownerOf(id FrameID) Owner {
 	if id < 0 || int(id) >= len(p.owner) {
+		// Invariant: frame ids only come from Alloc; an out-of-range id is
+		// the simulated equivalent of a wild kernel pointer.
 		panic(fmt.Sprintf("mem: bad frame id %d (pool has %d frames)", id, len(p.owner)))
 	}
 	return p.owner[id]

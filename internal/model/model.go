@@ -71,6 +71,8 @@ func (p Params) decompressTime(s float64) float64 {
 // compress, then transfer r of a page, versus transferring the whole page.
 func (p Params) BandwidthWriteSpeedup(r, s float64) float64 {
 	if err := p.check(r, s); err != nil {
+		// Invariant: the analytic model is pure math over caller-chosen
+		// parameters; an out-of-domain input is a programming error.
 		panic(err)
 	}
 	return (1 + p.Overhead) / (p.compressTime(s) + r + p.Overhead)
@@ -80,6 +82,8 @@ func (p Params) BandwidthWriteSpeedup(r, s float64) float64 {
 // transfer r of a page, then decompress.
 func (p Params) BandwidthReadSpeedup(r, s float64) float64 {
 	if err := p.check(r, s); err != nil {
+		// Invariant: the analytic model is pure math over caller-chosen
+		// parameters; an out-of-domain input is a programming error.
 		panic(err)
 	}
 	return (1 + p.Overhead) / (r + p.decompressTime(s) + p.Overhead)
@@ -89,6 +93,8 @@ func (p Params) BandwidthReadSpeedup(r, s float64) float64 {
 // pageout+pagein cycle.
 func (p Params) BandwidthSpeedup(r, s float64) float64 {
 	if err := p.check(r, s); err != nil {
+		// Invariant: the analytic model is pure math over caller-chosen
+		// parameters; an out-of-domain input is a programming error.
 		panic(err)
 	}
 	std := 2 * (1 + p.Overhead)
@@ -109,6 +115,8 @@ func (p Params) BandwidthSpeedup(r, s float64) float64 {
 // of a page to and from the backing store (compressed transfers).
 func (p Params) ReferenceSpeedup(r, s float64) float64 {
 	if err := p.check(r, s); err != nil {
+		// Invariant: the analytic model is pure math over caller-chosen
+		// parameters; an out-of-domain input is a programming error.
 		panic(err)
 	}
 	w := p.WorkingSetFactor
@@ -130,6 +138,8 @@ func (p Params) ReferenceSpeedup(r, s float64) float64 {
 // systems.
 func (p Params) ReadOnlyReferenceSpeedup(r, s float64) float64 {
 	if err := p.check(r, s); err != nil {
+		// Invariant: the analytic model is pure math over caller-chosen
+		// parameters; an out-of-domain input is a programming error.
 		panic(err)
 	}
 	w := p.WorkingSetFactor
@@ -191,6 +201,8 @@ func Linspace(lo, hi float64, n int) []float64 {
 // Logspace returns n log-spaced values in [lo, hi] (lo, hi > 0).
 func Logspace(lo, hi float64, n int) []float64 {
 	if lo <= 0 || hi <= 0 {
+		// Invariant: caller-chosen sweep bounds; a non-positive bound is a
+		// programming error in the experiment, not a runtime fault.
 		panic("model: Logspace needs positive bounds")
 	}
 	if n <= 1 {

@@ -14,8 +14,10 @@ package netdev
 
 import (
 	"fmt"
+	"math"
 	"time"
 
+	"compcache/internal/fault"
 	"compcache/internal/sim"
 	"compcache/internal/stats"
 )
@@ -34,6 +36,19 @@ type Params struct {
 	// PacketBytes is the transfer granularity (payload per packet);
 	// transfers round up to whole packets.
 	PacketBytes int
+
+	// Retries is how many times a failed transfer is reissued before the
+	// failure is reported to the caller. Networks drop packets where disks
+	// do not, so the page-server protocol retries; transfers only fail under
+	// fault injection, so the retry knobs change nothing in a fault-free run.
+	Retries int
+
+	// RetryBase is the backoff before the first retry; each subsequent
+	// retry doubles it, capped at RetryMax. Backoff elapses in virtual time.
+	RetryBase time.Duration
+
+	// RetryMax caps the exponential backoff. Zero means uncapped.
+	RetryMax time.Duration
 }
 
 // Ethernet10 returns parameters for the 10-Mbps Ethernet of the paper's §3
@@ -45,6 +60,9 @@ func Ethernet10() Params {
 		BytesPerSec: 1.25e6,
 		PerOp:       500 * time.Microsecond,
 		PacketBytes: 1024,
+		Retries:     3,
+		RetryBase:   2 * time.Millisecond,
+		RetryMax:    20 * time.Millisecond,
 	}
 }
 
@@ -56,19 +74,36 @@ func Wireless2() Params {
 		BytesPerSec: 0.25e6,
 		PerOp:       1 * time.Millisecond,
 		PacketBytes: 1024,
+		Retries:     4,
+		RetryBase:   10 * time.Millisecond,
+		RetryMax:    100 * time.Millisecond,
 	}
 }
 
 // Validate reports whether the parameters describe a usable link.
 func (p Params) Validate() error {
-	if p.BytesPerSec <= 0 {
-		return fmt.Errorf("netdev: BytesPerSec must be positive, got %g", p.BytesPerSec)
+	if math.IsNaN(p.BytesPerSec) || math.IsInf(p.BytesPerSec, 0) || p.BytesPerSec <= 0 {
+		return fmt.Errorf("netdev: BytesPerSec must be positive and finite, got %g", p.BytesPerSec)
 	}
 	if p.PacketBytes <= 0 {
 		return fmt.Errorf("netdev: PacketBytes must be positive, got %d", p.PacketBytes)
 	}
+	// Cap the packet size well below the overflow point of TransferTime's
+	// round-up arithmetic (n + PacketBytes - 1).
+	if p.PacketBytes > 1<<30 {
+		return fmt.Errorf("netdev: PacketBytes %d is unreasonably large", p.PacketBytes)
+	}
 	if p.RTT < 0 || p.PerOp < 0 {
 		return fmt.Errorf("netdev: negative latency parameter")
+	}
+	if p.Retries < 0 {
+		return fmt.Errorf("netdev: Retries must be non-negative, got %d", p.Retries)
+	}
+	if p.RetryBase < 0 || p.RetryMax < 0 {
+		return fmt.Errorf("netdev: negative retry backoff parameter")
+	}
+	if p.RetryMax > 0 && p.RetryBase > p.RetryMax {
+		return fmt.Errorf("netdev: RetryBase %v exceeds RetryMax %v", p.RetryBase, p.RetryMax)
 	}
 	return nil
 }
@@ -90,6 +125,7 @@ type Net struct {
 	clock  *sim.Clock
 	busyAt sim.Time
 	st     stats.Disk
+	faults *fault.Injector // nil injects nothing
 }
 
 // New creates a network device on the given clock.
@@ -102,6 +138,10 @@ func New(p Params, clock *sim.Clock) (*Net, error) {
 
 // Params reports the link parameters.
 func (n *Net) Params() Params { return n.params }
+
+// SetFaultInjector attaches a fault injector; nil (the default) disables
+// injection. The injector must live on the same clock as the device.
+func (n *Net) SetFaultInjector(in *fault.Injector) { n.faults = in }
 
 // Granularity reports the packet payload size (the fs.Device interface).
 func (n *Net) Granularity() int { return n.params.PacketBytes }
@@ -125,38 +165,84 @@ func (n *Net) start() sim.Time {
 	return now
 }
 
-// Read fetches n bytes from the page server, blocking the caller.
-func (n *Net) Read(addr int64, bytes int) {
-	svc := n.opTime(bytes)
-	done := n.start().Add(svc)
-	n.busyAt = done
-	n.st.Reads++
-	n.st.BytesRead += uint64(bytes)
-	n.st.BusyTime += svc
-	n.clock.AdvanceTo(done)
+// backoff reports the capped exponential delay before retry attempt number
+// attempt (1-based): RetryBase doubling per attempt, capped at RetryMax.
+func (p Params) backoff(attempt int) time.Duration {
+	d := p.RetryBase
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if p.RetryMax > 0 && d >= p.RetryMax {
+			return p.RetryMax
+		}
+	}
+	if p.RetryMax > 0 && d > p.RetryMax {
+		return p.RetryMax
+	}
+	return d
 }
 
-// Write sends n bytes to the page server, blocking the caller.
-func (n *Net) Write(addr int64, bytes int) {
-	svc := n.opTime(bytes)
+// attempt performs one transfer attempt: charge service time on the busy
+// timeline and draw the injected-failure decision.
+func (n *Net) attempt(bytes int, write bool, sync bool) error {
+	svc := n.opTime(bytes) + n.faults.Latency()
 	done := n.start().Add(svc)
 	n.busyAt = done
+	n.st.BusyTime += svc
+	if sync {
+		n.clock.AdvanceTo(done)
+	}
+	if write {
+		return n.faults.DiskWrite()
+	}
+	return n.faults.DiskRead()
+}
+
+// transfer runs the attempt/backoff loop: each failed attempt backs off in
+// virtual time (doubling, capped) and reissues the whole transfer. Failures
+// only occur under injection, so in a fault-free run exactly one attempt is
+// made and the cost model is unchanged.
+func (n *Net) transfer(bytes int, write bool, sync bool) error {
+	err := n.attempt(bytes, write, sync)
+	for retry := 1; err != nil && retry <= n.params.Retries; retry++ {
+		n.st.Retries++
+		wait := n.params.backoff(retry)
+		if sync {
+			n.clock.Advance(wait)
+		} else {
+			// Queued transfer: the backoff elapses on the device timeline,
+			// delaying everything queued behind it, not the caller.
+			n.busyAt = n.busyAt.Add(wait)
+		}
+		err = n.attempt(bytes, write, sync)
+	}
+	return err
+}
+
+// Read fetches n bytes from the page server, blocking the caller. A failed
+// transfer is retried with capped exponential backoff in virtual time; the
+// error is returned only once retries are exhausted.
+func (n *Net) Read(addr int64, bytes int) error {
+	n.st.Reads++
+	n.st.BytesRead += uint64(bytes)
+	return n.transfer(bytes, false, true)
+}
+
+// Write sends n bytes to the page server, blocking the caller, with the
+// same retry policy as Read.
+func (n *Net) Write(addr int64, bytes int) error {
 	n.st.Writes++
 	n.st.BytesWritten += uint64(bytes)
-	n.st.BusyTime += svc
-	n.clock.AdvanceTo(done)
+	return n.transfer(bytes, true, true)
 }
 
 // WriteAsync queues a send without blocking; subsequent synchronous
-// operations queue behind it.
-func (n *Net) WriteAsync(addr int64, bytes int) sim.Time {
-	svc := n.opTime(bytes)
-	done := n.start().Add(svc)
-	n.busyAt = done
+// operations queue behind it. Retries and their backoffs extend the send
+// queue's timeline rather than the caller's clock.
+func (n *Net) WriteAsync(addr int64, bytes int) (sim.Time, error) {
 	n.st.Writes++
 	n.st.BytesWritten += uint64(bytes)
-	n.st.BusyTime += svc
-	return done
+	err := n.transfer(bytes, true, false)
+	return n.busyAt, err
 }
 
 // Drain advances the clock until the send queue empties.

@@ -23,12 +23,18 @@
 package policy
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"compcache/internal/mem"
 	"compcache/internal/sim"
 )
+
+// ErrOutOfMemory reports that no registered consumer could free a frame — a
+// true out-of-memory, which in a correctly sized simulation indicates a
+// configuration or sizing bug rather than a runtime fault.
+var ErrOutOfMemory = errors.New("policy: out of memory")
 
 // Consumer is a subsystem holding page frames that the allocator can ask to
 // give one back.
@@ -45,8 +51,10 @@ type Consumer interface {
 	// one frame to the pool in the common case. It reports false when there
 	// was nothing to release. A release is allowed to free no frame (for
 	// example, a VM page may move into the compression cache, which absorbs
-	// the freed frame to grow); the allocator keeps iterating.
-	ReleaseOldest() bool
+	// the freed frame to grow); the allocator keeps iterating. The error
+	// reports a failure of work the release triggered (a writeback that hit
+	// a device error, a fragment that failed verification).
+	ReleaseOldest() (bool, error)
 }
 
 // Bias adjusts how stale one consumer's memory looks.
@@ -111,23 +119,29 @@ func (a *Allocator) Register(c Consumer, b Bias) {
 const noProgressLimit = 8
 
 // AllocFrame returns a frame for owner, reclaiming from the registered
-// consumers as needed. It panics when no consumer can release anything — a
-// true out-of-memory, which in a correctly sized simulation indicates a bug.
-func (a *Allocator) AllocFrame(owner mem.Owner) mem.FrameID {
+// consumers as needed. It returns an error wrapping ErrOutOfMemory when no
+// consumer can release anything, and propagates the first failure a
+// release's triggered work reports (writeback device error, fragment
+// verification failure).
+func (a *Allocator) AllocFrame(owner mem.Owner) (mem.FrameID, error) {
 	excluded := make([]bool, len(a.consumers))
 	noProgress := make([]int, len(a.consumers))
 	// Generous bound: 4x the pool is far beyond any legitimate reclaim chain.
 	maxTries := 4*a.pool.Total() + 16*(len(a.consumers)+1)
 	for try := 0; try < maxTries; try++ {
 		if id, ok := a.pool.Alloc(owner); ok {
-			return id
+			return id, nil
 		}
 		idx := a.pick(excluded)
 		if idx < 0 {
 			break
 		}
 		freeBefore := a.pool.FreeCount()
-		if !a.consumers[idx].ReleaseOldest() {
+		released, err := a.consumers[idx].ReleaseOldest()
+		if err != nil {
+			return 0, err
+		}
+		if !released {
 			excluded[idx] = true
 			continue
 		}
@@ -139,16 +153,16 @@ func (a *Allocator) AllocFrame(owner mem.Owner) mem.FrameID {
 			excluded[idx] = true
 		}
 	}
-	panic(fmt.Sprintf("policy: out of memory allocating for %v: pool %d frames, no consumer can free one",
-		owner, a.pool.Total()))
+	return 0, fmt.Errorf("%w allocating for %v: pool %d frames, no consumer can free one",
+		ErrOutOfMemory, owner, a.pool.Total())
 }
 
 // Rebalance releases frames until the pool holds at least the reserve,
 // giving the fault path headroom. The machine calls it after servicing each
 // fault.
-func (a *Allocator) Rebalance() {
+func (a *Allocator) Rebalance() error {
 	if a.Reserve <= 0 {
-		return
+		return nil
 	}
 	excluded := make([]bool, len(a.consumers))
 	noProgress := make([]int, len(a.consumers))
@@ -157,10 +171,14 @@ func (a *Allocator) Rebalance() {
 		guard--
 		idx := a.pick(excluded)
 		if idx < 0 {
-			return
+			return nil
 		}
 		freeBefore := a.pool.FreeCount()
-		if !a.consumers[idx].ReleaseOldest() {
+		released, err := a.consumers[idx].ReleaseOldest()
+		if err != nil {
+			return err
+		}
+		if !released {
 			excluded[idx] = true
 			continue
 		}
@@ -170,6 +188,7 @@ func (a *Allocator) Rebalance() {
 			excluded[idx] = true
 		}
 	}
+	return nil
 }
 
 // FreeOne performs a single policy-guided reclamation (the consumer with the
@@ -177,19 +196,23 @@ func (a *Allocator) Rebalance() {
 // anything was released. Callers that want to make room for opportunistic
 // insertions — e.g. pages prefetched by a clustered swap read — use it
 // instead of AllocFrame so failure is non-fatal.
-func (a *Allocator) FreeOne() bool {
+func (a *Allocator) FreeOne() (bool, error) {
 	excluded := make([]bool, len(a.consumers))
 	for range a.consumers {
 		idx := a.pick(excluded)
 		if idx < 0 {
-			return false
+			return false, nil
 		}
-		if a.consumers[idx].ReleaseOldest() {
-			return true
+		released, err := a.consumers[idx].ReleaseOldest()
+		if err != nil {
+			return false, err
+		}
+		if released {
+			return true, nil
 		}
 		excluded[idx] = true
 	}
-	return false
+	return false, nil
 }
 
 // pick returns the index of the non-excluded consumer with the greatest

@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -31,18 +32,18 @@ func (f *fakeConsumer) OldestAge() (sim.Time, bool) {
 	return f.oldest, true
 }
 
-func (f *fakeConsumer) ReleaseOldest() bool {
+func (f *fakeConsumer) ReleaseOldest() (bool, error) {
 	if len(f.frames) == 0 || f.refuse {
-		return false
+		return false, nil
 	}
 	f.releases++
 	if f.holdOnRelease {
-		return true
+		return true, nil
 	}
 	id := f.frames[len(f.frames)-1]
 	f.frames = f.frames[:len(f.frames)-1]
 	f.pool.Release(id)
-	return true
+	return true, nil
 }
 
 func (f *fakeConsumer) grab(t *testing.T, owner mem.Owner, n int) {
@@ -65,7 +66,10 @@ func setup(t *testing.T, frames int) (*Allocator, *mem.Pool, *sim.Clock) {
 
 func TestAllocFromFreePool(t *testing.T) {
 	a, pool, _ := setup(t, 2)
-	id := a.AllocFrame(mem.VM)
+	id, err := a.AllocFrame(mem.VM)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if pool.Owner(id) != mem.VM {
 		t.Fatalf("owner = %v", pool.Owner(id))
 	}
@@ -136,7 +140,10 @@ func TestIteratesWhenReleaseFreesNoFrame(t *testing.T) {
 	a.Register(fsc, Neutral)
 	clock.Advance(10 * time.Second)
 
-	id := a.AllocFrame(mem.VM)
+	id, err := a.AllocFrame(mem.VM)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if pool.Owner(id) != mem.VM {
 		t.Fatal("allocation failed")
 	}
@@ -161,17 +168,18 @@ func TestFallsBackWhenChosenConsumerRefuses(t *testing.T) {
 	}
 }
 
-func TestOOMPanics(t *testing.T) {
+func TestOOMReturnsTypedError(t *testing.T) {
 	a, pool, _ := setup(t, 1)
 	if _, ok := pool.Alloc(mem.Kernel); !ok {
 		t.Fatal("setup alloc failed")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("AllocFrame with no consumers did not panic")
-		}
-	}()
-	a.AllocFrame(mem.VM)
+	_, err := a.AllocFrame(mem.VM)
+	if err == nil {
+		t.Fatal("AllocFrame with no consumers succeeded")
+	}
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("error %v is not ErrOutOfMemory", err)
+	}
 }
 
 func TestRebalanceKeepsReserve(t *testing.T) {
@@ -235,8 +243,8 @@ func TestFreeOne(t *testing.T) {
 	a.Register(newer, Neutral)
 	clock.Advance(10 * time.Second)
 
-	if !a.FreeOne() {
-		t.Fatal("FreeOne failed with reclaimable consumers")
+	if ok, err := a.FreeOne(); err != nil || !ok {
+		t.Fatalf("FreeOne: ok=%v err=%v", ok, err)
 	}
 	if older.releases != 1 || newer.releases != 0 {
 		t.Fatalf("releases: older %d newer %d", older.releases, newer.releases)
@@ -255,8 +263,8 @@ func TestFreeOneSkipsRefusers(t *testing.T) {
 	a.Register(stuck, Neutral)
 	a.Register(ok, Neutral)
 	clock.Advance(10 * time.Second)
-	if !a.FreeOne() {
-		t.Fatal("FreeOne gave up despite a willing consumer")
+	if ok, err := a.FreeOne(); err != nil || !ok {
+		t.Fatalf("FreeOne: ok=%v err=%v", ok, err)
 	}
 	if ok.releases != 1 {
 		t.Fatalf("releases = %d", ok.releases)
@@ -265,7 +273,7 @@ func TestFreeOneSkipsRefusers(t *testing.T) {
 
 func TestFreeOneEmpty(t *testing.T) {
 	a, _, _ := setup(t, 2)
-	if a.FreeOne() {
-		t.Fatal("FreeOne with no consumers succeeded")
+	if ok, err := a.FreeOne(); err != nil || ok {
+		t.Fatalf("FreeOne with no consumers: ok=%v err=%v", ok, err)
 	}
 }

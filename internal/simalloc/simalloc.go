@@ -37,6 +37,8 @@ func (a *Arena) Remaining() int64 { return a.space.Size() - a.off }
 // size their segments up front, so exhaustion is a bug in the workload.
 func (a *Arena) Alloc(n, align int64) int64 {
 	if n < 0 || align <= 0 || align&(align-1) != 0 {
+		// Invariant: allocation sizes and alignments are workload constants;
+		// a bad one is a programming error, not a runtime fault.
 		panic(fmt.Sprintf("simalloc: bad allocation n=%d align=%d", n, align))
 	}
 	off := (a.off + align - 1) &^ (align - 1)

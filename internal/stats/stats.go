@@ -62,7 +62,23 @@ type Disk struct {
 	BytesWritten uint64
 	Seeks        uint64        // operations that paid a seek
 	BusyTime     time.Duration // total device busy time
+	Retries      uint64        // failed transfers retried (network page server)
 }
+
+// Faults aggregates injected faults and the paging stack's response to them.
+// The Injected* counters come from the fault injector; the detection and
+// recovery counters come from the machine's integrity checks.
+type Faults struct {
+	InjectedReadErrors  uint64 // device reads failed by the injector
+	InjectedWriteErrors uint64 // device writes failed by the injector
+	InjectedCorruptions uint64 // compressed fragments with a flipped bit
+	InjectedSpikes      uint64 // operations that paid an injected latency spike
+	CorruptionsDetected uint64 // fragment checksum/codec verification failures
+	Recoveries          uint64 // corrupt fragments recovered from a lower level
+}
+
+// Any reports whether any fault activity was recorded.
+func (f Faults) Any() bool { return f != Faults{} }
 
 // CC aggregates compression-cache events.
 type CC struct {
@@ -102,6 +118,7 @@ type Run struct {
 	Disk  Disk
 	CC    CC
 	Swap  Swap
+	Fault Faults
 	Time  time.Duration // virtual execution time of the workload
 	Extra map[string]float64
 }
@@ -141,6 +158,11 @@ func (r Run) String() string {
 		r.Disk.Reads, r.Disk.Writes, bytesStr(r.Disk.BytesRead), bytesStr(r.Disk.BytesWritten), r.Disk.BusyTime)
 	fmt.Fprintf(&b, "swap            %d pages out / %d pages in, %d GCs\n",
 		r.Swap.PagesOut, r.Swap.PagesIn, r.Swap.GCs)
+	if r.Fault.Any() {
+		fmt.Fprintf(&b, "faults-injected %d read-err %d write-err %d corrupt %d spikes (detected %d, recovered %d)\n",
+			r.Fault.InjectedReadErrors, r.Fault.InjectedWriteErrors, r.Fault.InjectedCorruptions,
+			r.Fault.InjectedSpikes, r.Fault.CorruptionsDetected, r.Fault.Recoveries)
+	}
 	if len(r.Extra) > 0 {
 		keys := make([]string, 0, len(r.Extra))
 		for k := range r.Extra {

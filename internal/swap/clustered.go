@@ -71,6 +71,7 @@ type extent struct {
 	nfrags     int32
 	length     int32 // exact byte length of the stored data
 	compressed bool
+	sum        uint32 // integrity checksum of the stored bytes
 }
 
 // Neighbor is a page incidentally read by a clustered read because it shares
@@ -79,6 +80,7 @@ type Neighbor struct {
 	Key        PageKey
 	Data       []byte
 	Compressed bool
+	Sum        uint32 // integrity checksum recorded when the page was stored
 }
 
 // Clustered is the compressed backing store of §4.3. Compressed pages are
@@ -177,9 +179,9 @@ type placement struct {
 //
 // Callers should batch items to about ClusterBytes; WriteCluster itself
 // accepts any batch and issues one device operation per call.
-func (c *Clustered) WriteCluster(items []Item, async bool) {
+func (c *Clustered) WriteCluster(items []Item, async bool) error {
 	if len(items) == 0 {
-		return
+		return nil
 	}
 	// Lay the items out relative to the cluster start. The cluster start is
 	// always block-aligned in whole-block mode, so relative block
@@ -189,6 +191,8 @@ func (c *Clustered) WriteCluster(items []Item, async bool) {
 	var cursor, liveFrags int32
 	for _, it := range items {
 		if !it.Compressed && len(it.Data) != c.cfg.PageSize {
+			// Invariant: the compression cache pads or rejects short data;
+			// an odd-sized raw item is a programming error, not a fault.
 			panic(fmt.Sprintf("swap: raw item for %v is %d bytes, want %d", it.Key, len(it.Data), c.cfg.PageSize))
 		}
 		nf := c.fragsFor(len(it.Data))
@@ -209,14 +213,38 @@ func (c *Clustered) WriteCluster(items []Item, async bool) {
 		}
 	}
 
-	c.maybeGC()
+	if err := c.maybeGC(); err != nil {
+		return err
+	}
 	start := c.alloc(total, wholeBlocks)
 
-	// Serialize the cluster and record the new locations, freeing any old
-	// copies.
+	// Serialize the cluster and issue the device write before touching the
+	// page map, so a failed write leaves the old copies authoritative.
 	buf := make([]byte, int(total)*c.cfg.FragSize)
 	for _, p := range placements {
 		copy(buf[int(p.rel)*c.cfg.FragSize:], p.item.Data)
+	}
+	off := int64(start) * int64(c.cfg.FragSize)
+	n := int(total) * c.cfg.FragSize
+	var err error
+	if async {
+		_, err = c.file.RawWriteAsync(buf, off, n)
+	} else {
+		err = c.file.RawWrite(buf, off, n)
+	}
+	if err != nil {
+		// Return the just-allocated run; nothing was relocated.
+		for i := start; i < start+total; i++ {
+			c.marked[i] = false
+		}
+		if int(start) < c.hint {
+			c.hint = int(start)
+		}
+		return err
+	}
+
+	// Record the new locations, freeing any old copies.
+	for _, p := range placements {
 		if old, ok := c.extents[p.item.Key]; ok {
 			c.freeExtent(p.item.Key, old)
 		}
@@ -225,23 +253,17 @@ func (c *Clustered) WriteCluster(items []Item, async bool) {
 			nfrags:     p.nfrags,
 			length:     int32(len(p.item.Data)),
 			compressed: p.item.Compressed,
+			sum:        p.item.Sum,
 		}
 		c.extents[p.item.Key] = e
 		c.byStart[e.start] = p.item.Key
 	}
 	c.liveFr += int(liveFrags)
 	c.padFr += int(total - liveFrags)
-
-	off := int64(start) * int64(c.cfg.FragSize)
-	n := int(total) * c.cfg.FragSize
-	if async {
-		c.file.RawWriteAsync(buf, off, n)
-	} else {
-		c.file.RawWrite(buf, off, n)
-	}
 	if !c.inGC {
 		c.st.PagesOut += uint64(len(items))
 	}
+	return nil
 }
 
 // alloc finds (first-fit) or creates a run of n free fragments, block-aligned
@@ -279,11 +301,13 @@ func (c *Clustered) alloc(n int32, blockAligned bool) int32 {
 // in whole-block mode the device reads every block the page's fragments
 // touch, and every other page wholly contained in those blocks is returned
 // as a neighbor (the caller typically inserts neighbors into the compression
-// cache as clean pages). It reports ok=false if the page is not stored.
-func (c *Clustered) Read(key PageKey) (data []byte, compressed bool, neighbors []Neighbor, ok bool) {
+// cache as clean pages). It reports ok=false if the page is not stored. The
+// returned sum is the integrity checksum recorded when the page was stored;
+// the caller verifies it after any decompression-side corruption checks.
+func (c *Clustered) Read(key PageKey) (data []byte, sum uint32, compressed bool, neighbors []Neighbor, ok bool, err error) {
 	e, found := c.extents[key]
 	if !found {
-		return nil, false, nil, false
+		return nil, 0, false, nil, false, nil
 	}
 	c.st.PagesIn++
 	fragOff := int64(e.start) * int64(c.cfg.FragSize)
@@ -291,8 +315,10 @@ func (c *Clustered) Read(key PageKey) (data []byte, compressed bool, neighbors [
 
 	if c.fsys.AllowPartialIO() {
 		buf := make([]byte, byteLen)
-		c.file.RawRead(buf, fragOff, byteLen)
-		return buf[:e.length], e.compressed, nil, true
+		if err := c.file.RawRead(buf, fragOff, byteLen); err != nil {
+			return nil, 0, false, nil, true, err
+		}
+		return buf[:e.length], e.sum, e.compressed, nil, true, nil
 	}
 
 	// Whole-block mode: read all covering blocks. A page that spans a block
@@ -301,7 +327,9 @@ func (c *Clustered) Read(key PageKey) (data []byte, compressed bool, neighbors [
 	b0 := fragOff / bs
 	b1 := (fragOff + int64(byteLen) + bs - 1) / bs
 	buf := make([]byte, (b1-b0)*bs)
-	c.file.RawRead(buf, b0*bs, len(buf))
+	if err := c.file.RawRead(buf, b0*bs, len(buf)); err != nil {
+		return nil, 0, false, nil, true, err
+	}
 	rel := fragOff - b0*bs
 	data = buf[rel : rel+int64(e.length)]
 
@@ -322,35 +350,39 @@ func (c *Clustered) Read(key PageKey) (data []byte, compressed bool, neighbors [
 			Key:        nk,
 			Data:       buf[nrel : nrel+int64(ne.length)],
 			Compressed: ne.compressed,
+			Sum:        ne.sum,
 		})
 	}
-	return data, e.compressed, neighbors, true
+	return data, e.sum, e.compressed, neighbors, true, nil
 }
 
 // maybeGC compacts the swap file when garbage (holes plus padding) exceeds
 // the configured fraction of the file's span.
-func (c *Clustered) maybeGC() {
+func (c *Clustered) maybeGC() error {
 	if c.inGC || len(c.marked) == 0 {
-		return
+		return nil
 	}
 	garbage := len(c.marked) - c.liveFr
 	minGarbage := c.cfg.ClusterBytes / c.cfg.FragSize
 	if garbage < minGarbage {
-		return
+		return nil
 	}
 	if float64(garbage)/float64(len(c.marked)) < c.cfg.GCTriggerFrac {
-		return
+		return nil
 	}
-	c.GC()
+	return c.GC()
 }
 
 // GC compacts the swap file: every live extent is read (block-granular) and
 // rewritten densely from the start of the file. The I/O is charged to the
 // device like any other transfer — garbage collection of the backing store
-// is not free, which is the cost §4.3 warns about.
-func (c *Clustered) GC() {
+// is not free, which is the cost §4.3 warns about. A device error during the
+// read sweep aborts the pass with the page map untouched; an error during
+// the rewrite propagates from WriteCluster with the already-rewritten
+// extents recorded.
+func (c *Clustered) GC() error {
 	if c.inGC {
-		return
+		return nil
 	}
 	c.inGC = true
 	defer func() { c.inGC = false }()
@@ -375,7 +407,9 @@ func (c *Clustered) GC() {
 		byteLen := int(e.nfrags) * c.cfg.FragSize
 		if c.fsys.AllowPartialIO() {
 			buf := make([]byte, byteLen)
-			c.file.RawRead(buf, fragOff, byteLen)
+			if err := c.file.RawRead(buf, fragOff, byteLen); err != nil {
+				return err
+			}
 			pages[i].data = buf[:e.length]
 			c.st.GCBytesCopied += uint64(byteLen)
 			continue
@@ -384,7 +418,9 @@ func (c *Clustered) GC() {
 		b0 := fragOff / bs
 		b1 := (fragOff + int64(byteLen) + bs - 1) / bs
 		buf := make([]byte, (b1-b0)*bs)
-		c.file.RawRead(buf, b0*bs, len(buf))
+		if err := c.file.RawRead(buf, b0*bs, len(buf)); err != nil {
+			return err
+		}
 		rel := fragOff - b0*bs
 		pages[i].data = buf[rel : rel+int64(e.length)]
 		c.st.GCBytesCopied += uint64(len(buf))
@@ -401,15 +437,17 @@ func (c *Clustered) GC() {
 	batch := make([]Item, 0, 32)
 	batchBytes := 0
 	for _, p := range pages {
-		batch = append(batch, Item{Key: p.key, Data: p.data, Compressed: p.e.compressed})
+		batch = append(batch, Item{Key: p.key, Data: p.data, Compressed: p.e.compressed, Sum: p.e.sum})
 		batchBytes += int(p.e.nfrags) * c.cfg.FragSize
 		if batchBytes >= c.cfg.ClusterBytes {
-			c.WriteCluster(batch, false)
+			if err := c.WriteCluster(batch, false); err != nil {
+				return err
+			}
 			batch = batch[:0]
 			batchBytes = 0
 		}
 	}
-	c.WriteCluster(batch, false)
+	return c.WriteCluster(batch, false)
 }
 
 // CheckConsistency rebuilds the fragment accounting from the extent map and

@@ -123,7 +123,11 @@ func NewLFS(cfg LFSConfig, fsys *fs.FS, pool *mem.Pool) (*LFS, error) {
 		}
 		l.bufferFrames = append(l.bufferFrames, id)
 	}
-	l.cur = l.allocSegment()
+	cur, err := l.allocSegment()
+	if err != nil {
+		return nil, err
+	}
+	l.cur = cur
 	return l, nil
 }
 
@@ -148,29 +152,35 @@ func (l *LFS) Stats() stats.Swap {
 }
 
 // allocSegment returns a free segment number, growing the log if allowed.
-func (l *LFS) allocSegment() int32 {
+func (l *LFS) allocSegment() (int32, error) {
 	if n := len(l.free); n > 0 {
 		seg := l.free[n-1]
 		l.free = l.free[:n-1]
 		l.segs[seg] = &lfsSegment{pages: make([]PageKey, 0, l.pagesPerSeg)}
-		return seg
+		return seg, nil
 	}
 	if l.cfg.MaxSegments > 0 && len(l.segs) >= l.cfg.MaxSegments {
 		// Force a synchronous clean; it must free at least one segment or
-		// the log is genuinely full (a sizing error).
-		if !l.clean() {
-			panic("swap: LFS log full and nothing cleanable")
+		// the log is genuinely full (a sizing error surfaced as an error so
+		// the run dies cleanly rather than crashing the process).
+		freed, err := l.clean()
+		if err != nil {
+			return 0, err
+		}
+		if !freed {
+			return 0, fmt.Errorf("swap: LFS log full (%d segments) and nothing cleanable", len(l.segs))
 		}
 		return l.allocSegment()
 	}
 	l.segs = append(l.segs, &lfsSegment{pages: make([]PageKey, 0, l.pagesPerSeg)})
-	return int32(len(l.segs) - 1)
+	return int32(len(l.segs) - 1), nil
 }
 
 // Write appends a page to the log buffer; a full buffer is flushed to disk
 // as one sequential segment write.
-func (l *LFS) Write(key PageKey, data []byte) {
+func (l *LFS) Write(key PageKey, data []byte) error {
 	if len(data) != l.cfg.PageSize {
+		// Invariant: the VM layer always pages out whole pages.
 		panic(fmt.Sprintf("swap: LFS.Write of %d bytes, want a whole page", len(data)))
 	}
 	l.Invalidate(key) // supersede any previous copy (disk or staged)
@@ -184,42 +194,53 @@ func (l *LFS) Write(key PageKey, data []byte) {
 	l.file.WriteStage(l.segOff(l.cur, idx), data)
 	l.curUsed++
 	if l.curUsed >= l.pagesPerSeg {
-		l.Flush()
+		if err := l.Flush(); err != nil {
+			return err
+		}
 	}
 	if !l.inClean {
 		l.st.PagesOut++
 	}
+	return nil
 }
 
 // Flush writes the partially or fully filled segment buffer to disk as one
 // asynchronous sequential operation and opens a new segment.
-func (l *LFS) Flush() {
+func (l *LFS) Flush() error {
 	if l.curUsed == 0 {
-		return
+		return nil
 	}
 	n := l.curUsed * l.cfg.PageSize
-	l.file.RawWriteStaged(l.segOff(l.cur, 0), n)
+	if _, err := l.file.RawWriteStaged(l.segOff(l.cur, 0), n); err != nil {
+		return err
+	}
 	l.curUsed = 0
-	l.cur = l.allocSegment()
-	l.maybeClean()
+	cur, err := l.allocSegment()
+	if err != nil {
+		return err
+	}
+	l.cur = cur
+	return l.maybeClean()
 }
 
 // Read fetches a page. Pages still in the segment buffer are served from
 // memory (they have not left the machine yet); pages on disk cost one
 // whole-page read.
-func (l *LFS) Read(key PageKey, buf []byte) bool {
+func (l *LFS) Read(key PageKey, buf []byte) (bool, error) {
 	pos, ok := l.loc[key]
 	if !ok {
-		return false
+		return false, nil
 	}
 	if pos.seg == l.cur {
 		l.file.ReadStaged(l.segOff(pos.seg, pos.idx), buf)
 		l.st.PagesIn++
-		return true
+		return true, nil
 	}
-	l.file.RawRead(buf, l.segOff(pos.seg, pos.idx), l.cfg.PageSize)
+	if err := l.file.RawRead(buf, l.segOff(pos.seg, pos.idx), l.cfg.PageSize); err != nil {
+		return false, err
+	}
 	l.st.PagesIn++
-	return true
+	return true, nil
 }
 
 // Has reports whether the store holds a copy of the page.
@@ -241,7 +262,7 @@ func (l *LFS) Invalidate(key PageKey) {
 }
 
 // maybeClean runs the segment cleaner when free segments run low.
-func (l *LFS) maybeClean() {
+func (l *LFS) maybeClean() error {
 	if l.cfg.MaxSegments == 0 {
 		// Generously sized log: clean only when garbage dominates, to bound
 		// disk usage without constant copying.
@@ -252,20 +273,23 @@ func (l *LFS) maybeClean() {
 			}
 		}
 		if dead < 4*l.pagesPerSeg {
-			return
+			return nil
 		}
 	} else if len(l.free) >= l.cfg.CleanReserve {
-		return
+		return nil
 	}
-	l.clean()
+	_, err := l.clean()
+	return err
 }
 
 // clean copies the live pages of the emptiest on-disk segments forward into
 // the log and frees those segments. This is the paper's warning made
 // concrete: swap segments stay relatively live, so cleaning copies a lot.
-func (l *LFS) clean() bool {
+// A device error aborts the pass: segments already processed stay freed,
+// the victim being copied keeps its remaining live pages.
+func (l *LFS) clean() (bool, error) {
 	if l.inClean {
-		return false
+		return false, nil
 	}
 	l.inClean = true
 	defer func() { l.inClean = false }()
@@ -284,7 +308,7 @@ func (l *LFS) clean() bool {
 		cands = append(cands, cand{int32(i), s.live})
 	}
 	if len(cands) == 0 {
-		return false
+		return false, nil
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].live < cands[j].live })
 	victims := cands
@@ -297,8 +321,10 @@ func (l *LFS) clean() bool {
 		seg := l.segs[v.seg]
 		if seg.live > 0 {
 			// One sequential sweep reads the whole victim segment.
-			l.file.RawRead(make([]byte, len(seg.pages)*l.cfg.PageSize), l.segOff(v.seg, 0),
-				len(seg.pages)*l.cfg.PageSize)
+			if err := l.file.RawRead(make([]byte, len(seg.pages)*l.cfg.PageSize), l.segOff(v.seg, 0),
+				len(seg.pages)*l.cfg.PageSize); err != nil {
+				return freed, err
+			}
 			for idx, key := range seg.pages {
 				if key == lfsTombstone {
 					continue
@@ -306,14 +332,16 @@ func (l *LFS) clean() bool {
 				l.file.ReadStaged(l.segOff(v.seg, int32(idx)), buf)
 				l.st.GCBytesCopied += uint64(l.cfg.PageSize)
 				// Rewriting moves the page into the current buffer.
-				l.Write(key, buf)
+				if err := l.Write(key, buf); err != nil {
+					return freed, err
+				}
 			}
 		}
 		l.segs[v.seg] = nil
 		l.free = append(l.free, v.seg)
 		freed = true
 	}
-	return freed
+	return freed, nil
 }
 
 // segOff is the byte offset of page idx of segment seg in the swap file.

@@ -44,6 +44,7 @@ type Item struct {
 	Key        PageKey
 	Data       []byte // compressed or raw page bytes
 	Compressed bool   // whether Data is compressed (affects fault handling)
+	Sum        uint32 // integrity checksum of Data, computed when it entered the cache
 }
 
 // Direct is the unmodified-Sprite backing store: one file per segment,
@@ -80,29 +81,39 @@ func (d *Direct) file(seg int32) *fs.File {
 }
 
 // Write stores a raw page. The write is queued asynchronously; the disk's
-// busy timeline serializes it ahead of subsequent reads.
-func (d *Direct) Write(key PageKey, data []byte) {
+// busy timeline serializes it ahead of subsequent reads. On a device error
+// the store does not mark the page present — the old copy (if any) remains
+// the authoritative one.
+func (d *Direct) Write(key PageKey, data []byte) error {
 	if len(data) != d.pageSize {
+		// Invariant: the VM layer always pages out whole pages; a short
+		// buffer is a programming error, not a runtime fault.
 		panic(fmt.Sprintf("swap: Direct.Write of %d bytes, want a whole %d-byte page", len(data), d.pageSize))
 	}
 	f := d.file(key.Seg)
-	f.RawWriteAsync(data, int64(key.Page)*int64(d.pageSize), d.pageSize)
+	if _, err := f.RawWriteAsync(data, int64(key.Page)*int64(d.pageSize), d.pageSize); err != nil {
+		return err
+	}
 	d.present[key] = true
 	d.st.PagesOut++
+	return nil
 }
 
 // Read fetches a raw page into buf. It reports false if the page was never
 // written.
-func (d *Direct) Read(key PageKey, buf []byte) bool {
+func (d *Direct) Read(key PageKey, buf []byte) (bool, error) {
 	if !d.present[key] {
-		return false
+		return false, nil
 	}
 	if len(buf) != d.pageSize {
+		// Invariant: the VM layer always pages in whole pages.
 		panic("swap: Direct.Read needs a whole-page buffer")
 	}
-	d.file(key.Seg).RawRead(buf, int64(key.Page)*int64(d.pageSize), d.pageSize)
+	if err := d.file(key.Seg).RawRead(buf, int64(key.Page)*int64(d.pageSize), d.pageSize); err != nil {
+		return false, err
+	}
 	d.st.PagesIn++
-	return true
+	return true, nil
 }
 
 // Has reports whether the store holds a copy of the page.

@@ -36,6 +36,35 @@ func page(seed int64, size int) []byte {
 	return p
 }
 
+// writeCluster is a test helper asserting the device write succeeds.
+func writeCluster(t *testing.T, c *Clustered, items []Item, async bool) {
+	t.Helper()
+	if err := c.WriteCluster(items, async); err != nil {
+		t.Fatalf("WriteCluster: %v", err)
+	}
+}
+
+// readC adapts Clustered.Read to the historical 4-tuple shape for tests that
+// do not exercise checksums or device errors.
+func readC(t *testing.T, c *Clustered, key PageKey) (data []byte, compressed bool, neighbors []Neighbor, ok bool) {
+	t.Helper()
+	data, _, compressed, neighbors, ok, err := c.Read(key)
+	if err != nil {
+		t.Fatalf("Read(%v): %v", key, err)
+	}
+	return data, compressed, neighbors, ok
+}
+
+// lfsRead is a test helper asserting the device read succeeds.
+func lfsRead(t *testing.T, l *LFS, key PageKey, buf []byte) bool {
+	t.Helper()
+	ok, err := l.Read(key, buf)
+	if err != nil {
+		t.Fatalf("Read(%v): %v", key, err)
+	}
+	return ok
+}
+
 // ---------------------------------------------------------------------------
 // Direct store
 
@@ -52,8 +81,8 @@ func TestDirectRoundTrip(t *testing.T) {
 		t.Fatal("Has = false after Write")
 	}
 	got := make([]byte, 4096)
-	if !d.Read(key, got) {
-		t.Fatal("Read failed")
+	if ok, err := d.Read(key, got); err != nil || !ok {
+		t.Fatalf("Read: ok=%v err=%v", ok, err)
 	}
 	if !bytes.Equal(got, data) {
 		t.Fatal("round trip mismatch")
@@ -67,8 +96,8 @@ func TestDirectRoundTrip(t *testing.T) {
 func TestDirectMissingPage(t *testing.T) {
 	fsys, _, _ := newFS(t, fs.Options{})
 	d, _ := NewDirect(fsys, 4096)
-	if d.Read(PageKey{0, 0}, make([]byte, 4096)) {
-		t.Fatal("Read of never-written page succeeded")
+	if ok, err := d.Read(PageKey{0, 0}, make([]byte, 4096)); err != nil || ok {
+		t.Fatalf("Read of never-written page: ok=%v err=%v", ok, err)
 	}
 }
 
@@ -152,8 +181,8 @@ func TestClusteredRoundTrip(t *testing.T) {
 	c, _, _ := newClustered(t, fs.Options{}, ClusterConfig{})
 	key := PageKey{1, 5}
 	data := page(3, 1500) // compressed page, padded to 2 fragments
-	c.WriteCluster([]Item{{Key: key, Data: data, Compressed: true}}, false)
-	got, compressed, _, ok := c.Read(key)
+	writeCluster(t, c, []Item{{Key: key, Data: data, Compressed: true}}, false)
+	got, compressed, _, ok := readC(t, c, key)
 	if !ok || !compressed {
 		t.Fatalf("Read ok=%v compressed=%v", ok, compressed)
 	}
@@ -169,8 +198,8 @@ func TestClusteredRawItemRoundTrip(t *testing.T) {
 	c, _, _ := newClustered(t, fs.Options{}, ClusterConfig{})
 	key := PageKey{1, 9}
 	data := page(4, 4096)
-	c.WriteCluster([]Item{{Key: key, Data: data, Compressed: false}}, false)
-	got, compressed, _, ok := c.Read(key)
+	writeCluster(t, c, []Item{{Key: key, Data: data, Compressed: false}}, false)
+	got, compressed, _, ok := readC(t, c, key)
 	if !ok || compressed {
 		t.Fatalf("Read ok=%v compressed=%v", ok, compressed)
 	}
@@ -196,7 +225,7 @@ func TestClusteredSingleDeviceOpPerCluster(t *testing.T) {
 		items = append(items, Item{Key: PageKey{1, i}, Data: page(int64(i), 1024), Compressed: true})
 	}
 	w0 := d.Stats().Writes
-	c.WriteCluster(items, false)
+	writeCluster(t, c, items, false)
 	if got := d.Stats().Writes - w0; got != 1 {
 		t.Fatalf("cluster write issued %d device ops, want 1", got)
 	}
@@ -210,8 +239,8 @@ func TestClusteredNeighbors(t *testing.T) {
 	for i := int32(0); i < 4; i++ {
 		items = append(items, Item{Key: PageKey{1, i}, Data: page(int64(i), 1000), Compressed: true})
 	}
-	c.WriteCluster(items, false)
-	_, _, neighbors, ok := c.Read(PageKey{1, 0})
+	writeCluster(t, c, items, false)
+	_, _, neighbors, ok := readC(t, c, PageKey{1, 0})
 	if !ok {
 		t.Fatal("Read failed")
 	}
@@ -235,7 +264,7 @@ func TestClusteredNoSpanPadsToBlock(t *testing.T) {
 		{Key: PageKey{1, 0}, Data: page(1, 2000), Compressed: true}, // 2 frags
 		{Key: PageKey{1, 1}, Data: page(2, 2500), Compressed: true}, // 3 frags
 	}
-	c.WriteCluster(items, false)
+	writeCluster(t, c, items, false)
 	st := c.Stats()
 	if st.FragsLive != 5 {
 		t.Fatalf("live frags = %d, want 5", st.FragsLive)
@@ -255,9 +284,9 @@ func TestClusteredSpanReadsTwoBlocks(t *testing.T) {
 		{Key: PageKey{1, 0}, Data: page(1, 3000), Compressed: true}, // frags 0-2
 		{Key: PageKey{1, 1}, Data: page(2, 3000), Compressed: true}, // frags 3-5: spans blocks 0 and 1
 	}
-	c.WriteCluster(items, false)
+	writeCluster(t, c, items, false)
 	r0 := d.Stats().BytesRead
-	_, _, _, ok := c.Read(PageKey{1, 1})
+	_, _, _, ok := readC(t, c, PageKey{1, 1})
 	if !ok {
 		t.Fatal("Read failed")
 	}
@@ -268,9 +297,9 @@ func TestClusteredSpanReadsTwoBlocks(t *testing.T) {
 
 func TestClusteredPartialIOReadsExactExtent(t *testing.T) {
 	c, _, d := newClustered(t, fs.Options{AllowPartialIO: true}, ClusterConfig{})
-	c.WriteCluster([]Item{{Key: PageKey{1, 0}, Data: page(1, 1500), Compressed: true}}, false)
+	writeCluster(t, c, []Item{{Key: PageKey{1, 0}, Data: page(1, 1500), Compressed: true}}, false)
 	r0 := d.Stats().BytesRead
-	got, _, neighbors, ok := c.Read(PageKey{1, 0})
+	got, _, neighbors, ok := readC(t, c, PageKey{1, 0})
 	if !ok || len(got) != 1500 {
 		t.Fatalf("Read ok=%v len=%d", ok, len(got))
 	}
@@ -285,14 +314,14 @@ func TestClusteredPartialIOReadsExactExtent(t *testing.T) {
 func TestClusteredRewriteRelocates(t *testing.T) {
 	c, _, _ := newClustered(t, fs.Options{}, ClusterConfig{})
 	key := PageKey{1, 0}
-	c.WriteCluster([]Item{{Key: key, Data: page(1, 1024), Compressed: true}}, false)
+	writeCluster(t, c, []Item{{Key: key, Data: page(1, 1024), Compressed: true}}, false)
 	first := c.extents[key].start
-	c.WriteCluster([]Item{{Key: key, Data: page(2, 1024), Compressed: true}}, false)
+	writeCluster(t, c, []Item{{Key: key, Data: page(2, 1024), Compressed: true}}, false)
 	second := c.extents[key].start
 	if first == second {
 		t.Fatal("rewrite stored page at the same location (would be a partial-block overwrite)")
 	}
-	got, _, _, _ := c.Read(key)
+	got, _, _, _ := readC(t, c, key)
 	if !bytes.Equal(got, page(2, 1024)) {
 		t.Fatal("read returned stale data")
 	}
@@ -304,12 +333,12 @@ func TestClusteredRewriteRelocates(t *testing.T) {
 func TestClusteredInvalidate(t *testing.T) {
 	c, _, _ := newClustered(t, fs.Options{}, ClusterConfig{})
 	key := PageKey{1, 0}
-	c.WriteCluster([]Item{{Key: key, Data: page(1, 1024), Compressed: true}}, false)
+	writeCluster(t, c, []Item{{Key: key, Data: page(1, 1024), Compressed: true}}, false)
 	c.Invalidate(key)
 	if c.Has(key) {
 		t.Fatal("Has after Invalidate")
 	}
-	if _, _, _, ok := c.Read(key); ok {
+	if _, _, _, ok := readC(t, c, key); ok {
 		t.Fatal("Read after Invalidate succeeded")
 	}
 	c.Invalidate(key) // idempotent
@@ -329,7 +358,7 @@ func TestClusteredGCCompactsAndPreservesData(t *testing.T) {
 		contents[key] = data
 		items = append(items, Item{Key: key, Data: data, Compressed: true})
 		if len(items) == 16 {
-			c.WriteCluster(items, false)
+			writeCluster(t, c, items, false)
 			items = nil
 		}
 	}
@@ -346,7 +375,7 @@ func TestClusteredGCCompactsAndPreservesData(t *testing.T) {
 		t.Fatalf("GC did not shrink the file span: %d -> %d", spanBefore, len(c.marked))
 	}
 	for key, want := range contents {
-		got, _, _, ok := c.Read(key)
+		got, _, _, ok := readC(t, c, key)
 		if !ok {
 			t.Fatalf("GC lost page %v", key)
 		}
@@ -368,7 +397,7 @@ func TestClusteredAutoGCTriggers(t *testing.T) {
 		for i := int32(0); i < 16; i++ {
 			items = append(items, Item{Key: PageKey{1, i}, Data: page(int64(round*16)+int64(i), 2048), Compressed: true})
 		}
-		c.WriteCluster(items, false)
+		writeCluster(t, c, items, false)
 	}
 	if c.Stats().GCs == 0 {
 		t.Fatal("auto GC never triggered despite heavy rewriting")
@@ -413,14 +442,14 @@ func TestClusteredChurn(t *testing.T) {
 						items = append(items, Item{Key: key, Data: data, Compressed: compressed})
 						contents[key] = data
 					}
-					c.WriteCluster(items, rng.Intn(2) == 0)
+					writeCluster(t, c, items, rng.Intn(2) == 0)
 				case 2: // invalidate
 					key := PageKey{1, int32(rng.Intn(40))}
 					c.Invalidate(key)
 					delete(contents, key)
 				case 3: // read and verify
 					key := PageKey{1, int32(rng.Intn(40))}
-					got, _, _, ok := c.Read(key)
+					got, _, _, ok := readC(t, c, key)
 					want, live := contents[key]
 					if ok != live {
 						t.Fatalf("span=%v partial=%v: Read(%v) ok=%v, want %v", span, partial, key, ok, live)
@@ -437,7 +466,7 @@ func TestClusteredChurn(t *testing.T) {
 			}
 			// Final sweep: every live page is intact.
 			for key, want := range contents {
-				got, _, _, ok := c.Read(key)
+				got, _, _, ok := readC(t, c, key)
 				if !ok || !bytes.Equal(got, want) {
 					t.Fatalf("span=%v partial=%v: final verify failed for %v", span, partial, key)
 				}
@@ -452,7 +481,7 @@ func TestClusteredChurn(t *testing.T) {
 func TestClusteredEmptyWrite(t *testing.T) {
 	c, _, d := newClustered(t, fs.Options{}, ClusterConfig{})
 	w0 := d.Stats().Writes
-	c.WriteCluster(nil, false)
+	writeCluster(t, c, nil, false)
 	if d.Stats().Writes != w0 {
 		t.Fatal("empty cluster issued a device write")
 	}
@@ -519,7 +548,7 @@ func TestLFSRoundTrip(t *testing.T) {
 	data := page(1, 4096)
 	l.Write(PageKey{1, 0}, data)
 	got := make([]byte, 4096)
-	if !l.Read(PageKey{1, 0}, got) {
+	if !lfsRead(t, l, PageKey{1, 0}, got) {
 		t.Fatal("read failed")
 	}
 	if !bytes.Equal(got, data) {
@@ -527,7 +556,7 @@ func TestLFSRoundTrip(t *testing.T) {
 	}
 	// Force a flush and re-read from "disk".
 	l.Flush()
-	if !l.Read(PageKey{1, 0}, got) || !bytes.Equal(got, data) {
+	if !lfsRead(t, l, PageKey{1, 0}, got) || !bytes.Equal(got, data) {
 		t.Fatal("round trip mismatch (flushed)")
 	}
 	if err := l.CheckConsistency(); err != nil {
@@ -552,8 +581,8 @@ func TestLFSSequentialSegmentWrites(t *testing.T) {
 
 func TestLFSMissingAndInvalidate(t *testing.T) {
 	l, _, _ := newLFS(t, LFSConfig{SegmentBytes: 4 * 4096})
-	if l.Read(PageKey{1, 9}, make([]byte, 4096)) {
-		t.Fatal("read of absent page succeeded")
+	if ok, err := l.Read(PageKey{1, 9}, make([]byte, 4096)); err != nil || ok {
+		t.Fatalf("read of absent page: ok=%v err=%v", ok, err)
 	}
 	l.Write(PageKey{1, 0}, page(1, 4096))
 	l.Invalidate(PageKey{1, 0})
@@ -600,7 +629,7 @@ func TestLFSCleanerReclaimsAndPreservesData(t *testing.T) {
 	}
 	got := make([]byte, 4096)
 	for key, want := range contents {
-		if !l.Read(key, got) {
+		if !lfsRead(t, l, key, got) {
 			t.Fatalf("cleaner lost %v", key)
 		}
 		if !bytes.Equal(got, want) {
@@ -629,7 +658,7 @@ func TestLFSChurn(t *testing.T) {
 			delete(contents, key)
 		case 2:
 			want, live := contents[key]
-			ok := l.Read(key, buf)
+			ok := lfsRead(t, l, key, buf)
 			if ok != live {
 				t.Fatalf("step %d: Read(%v) ok=%v want %v", step, key, ok, live)
 			}

@@ -105,13 +105,15 @@ type Pager interface {
 	// data is a scratch copy of the page (the frame itself has already been
 	// released so the pager can reuse it, e.g. to grow the compression
 	// cache). PageOut must set p.State to Compressed, Swapped or Untouched
-	// and maintain p.Dirty/p.SwapValid.
-	PageOut(p *Page, data []byte)
+	// and maintain p.Dirty/p.SwapValid. On error the page's contents are
+	// lost (a device failure with no remaining copy).
+	PageOut(p *Page, data []byte) error
 
 	// PageIn produces the page's current contents into data (the new
 	// frame's bytes) and reports where they came from. It must update
-	// p.Dirty/p.SwapValid; the VM sets p.State to Resident afterwards.
-	PageIn(p *Page, data []byte) Source
+	// p.Dirty/p.SwapValid; the VM sets p.State to Resident afterwards. On
+	// error data is not valid and the page stays in its prior state.
+	PageIn(p *Page, data []byte) (Source, error)
 
 	// Dirtied is called when a clean resident page is first modified, so
 	// stale copies at lower levels can be invalidated.
@@ -130,6 +132,8 @@ type Segment struct {
 // Page returns the page descriptor for page n.
 func (s *Segment) Page(n int32) *Page {
 	if n < 0 || n >= s.NPages {
+		// Invariant: a reference outside the segment is the simulated
+		// equivalent of a wild pointer — a workload bug, not a runtime fault.
 		panic(fmt.Sprintf("vm: page %d out of range [0,%d) in segment %q", n, s.NPages, s.Name))
 	}
 	return &s.pages[n]
@@ -147,7 +151,7 @@ type VM struct {
 
 	// frameSource obtains a frame for a faulting page, reclaiming one
 	// through the replacement policy when the pool is empty.
-	frameSource func(mem.Owner) mem.FrameID
+	frameSource func(mem.Owner) (mem.FrameID, error)
 
 	segs    []*Segment
 	nextSeg int32
@@ -174,12 +178,12 @@ func New(clock *sim.Clock, pool *mem.Pool, cost sim.CostModel) *VM {
 		cost:    cost,
 		scratch: make([]byte, pool.PageSize()),
 	}
-	v.frameSource = func(o mem.Owner) mem.FrameID {
+	v.frameSource = func(o mem.Owner) (mem.FrameID, error) {
 		id, ok := pool.Alloc(o)
 		if !ok {
-			panic("vm: no frame source wired and pool exhausted")
+			return 0, fmt.Errorf("vm: no frame source wired and pool exhausted")
 		}
-		return id
+		return id, nil
 	}
 	return v
 }
@@ -188,7 +192,7 @@ func New(clock *sim.Clock, pool *mem.Pool, cost sim.CostModel) *VM {
 func (v *VM) SetPager(p Pager) { v.pager = p }
 
 // SetFrameSource installs the policy-backed frame allocator.
-func (v *VM) SetFrameSource(f func(mem.Owner) mem.FrameID) { v.frameSource = f }
+func (v *VM) SetFrameSource(f func(mem.Owner) (mem.FrameID, error)) { v.frameSource = f }
 
 // SetTraceHook installs an observer called on every simulated reference;
 // nil disables tracing.
@@ -209,6 +213,7 @@ func (v *VM) Segments() []*Segment { return v.segs }
 // NewSegment creates a segment of npages pages.
 func (v *VM) NewSegment(name string, npages int32) *Segment {
 	if npages <= 0 {
+		// Invariant: setup-time configuration error, not a runtime fault.
 		panic(fmt.Sprintf("vm: segment %q must have at least one page", name))
 	}
 	s := &Segment{ID: v.nextSeg, Name: name, NPages: npages, pages: make([]Page, npages)}
@@ -223,8 +228,10 @@ func (v *VM) NewSegment(name string, npages int32) *Segment {
 
 // Touch simulates one memory reference to page n of segment s, faulting it
 // in if necessary, and returns the page (resident on return). Every call
-// costs one memory-reference time plus whatever the fault path costs.
-func (v *VM) Touch(s *Segment, n int32, write bool) *Page {
+// costs one memory-reference time plus whatever the fault path costs. On
+// error the page is not resident and the reference did not complete — the
+// simulated process took an unrecoverable machine check.
+func (v *VM) Touch(s *Segment, n int32, write bool) (*Page, error) {
 	v.st.Refs++
 	v.clock.Advance(v.cost.MemRef)
 	if v.traceHook != nil {
@@ -236,13 +243,15 @@ func (v *VM) Touch(s *Segment, n int32, write bool) *Page {
 		if write {
 			v.markWritten(p)
 		}
-		return p
+		return p, nil
 	}
-	v.fault(p)
+	if err := v.fault(p); err != nil {
+		return nil, err
+	}
 	if write {
 		v.markWritten(p)
 	}
-	return p
+	return p, nil
 }
 
 func (v *VM) markWritten(p *Page) {
@@ -256,15 +265,20 @@ func (v *VM) markWritten(p *Page) {
 	}
 }
 
-// fault brings a non-resident page into memory.
-func (v *VM) fault(p *Page) {
+// fault brings a non-resident page into memory. On error the allocated
+// frame is returned to the pool and the page keeps its prior state.
+func (v *VM) fault(p *Page) error {
 	if p.State == Resident {
+		// Invariant: Touch only calls fault for non-resident pages.
 		panic("vm: fault on resident page")
 	}
 	v.st.Faults++
 	v.clock.Advance(v.cost.FaultOverhead)
 
-	frame := v.frameSource(mem.VM)
+	frame, err := v.frameSource(mem.VM)
+	if err != nil {
+		return err
+	}
 	data := v.pool.Bytes(frame)
 
 	switch p.State {
@@ -274,7 +288,12 @@ func (v *VM) fault(p *Page) {
 		p.Dirty = false
 		p.SwapValid = false
 	default:
-		switch src := v.pager.PageIn(p, data); src {
+		src, err := v.pager.PageIn(p, data)
+		if err != nil {
+			v.pool.Release(frame)
+			return err
+		}
+		switch src {
 		case SrcCC:
 			v.st.CacheHits++
 		case SrcSwap:
@@ -286,6 +305,7 @@ func (v *VM) fault(p *Page) {
 	p.Frame = frame
 	p.State = Resident
 	v.lruAppend(p)
+	return nil
 }
 
 // Name identifies the VM system in the replacement policy ("vm").
@@ -304,25 +324,27 @@ func (v *VM) OldestAge() (sim.Time, bool) {
 // ReleaseOldest evicts the least-recently-used unpinned resident page,
 // handing its contents to the pager, and frees its frame. It reports false
 // when nothing evictable is resident.
-func (v *VM) ReleaseOldest() bool {
+func (v *VM) ReleaseOldest() (bool, error) {
 	p := v.lruHead
 	for p != nil && p.Pinned {
 		v.st.PinnedSkips++
 		p = p.next
 	}
 	if p == nil {
-		return false
+		return false, nil
 	}
-	v.Evict(p)
-	return true
+	return true, v.Evict(p)
 }
 
 // Pin makes the page exempt from eviction, faulting it in first if needed
 // (the §3 advisory interface). It returns the page.
-func (v *VM) Pin(s *Segment, n int32) *Page {
-	p := v.Touch(s, n, false)
+func (v *VM) Pin(s *Segment, n int32) (*Page, error) {
+	p, err := v.Touch(s, n, false)
+	if err != nil {
+		return nil, err
+	}
 	p.Pinned = true
-	return p
+	return p, nil
 }
 
 // Unpin makes the page evictable again.
@@ -332,11 +354,15 @@ func (v *VM) Unpin(s *Segment, n int32) {
 
 // Evict forces a specific resident page out of memory (exported for tests
 // and for workload madvise-style hints).
-func (v *VM) Evict(p *Page) {
+func (v *VM) Evict(p *Page) error {
 	if p.State != Resident {
+		// Invariant: callers (ReleaseOldest, tests) select from the resident
+		// LRU list; evicting a non-resident page is a programming error.
 		panic(fmt.Sprintf("vm: Evict of non-resident page %v (%v)", p.Key, p.State))
 	}
 	if p.Pinned {
+		// Invariant: ReleaseOldest skips pinned pages; direct callers must
+		// check Pinned themselves.
 		panic(fmt.Sprintf("vm: Evict of pinned page %v", p.Key))
 	}
 	v.st.Evictions++
@@ -358,9 +384,9 @@ func (v *VM) Evict(p *Page) {
 	if !p.Dirty && !p.EverWritten && !p.SwapValid {
 		// Never-written page: contents are all zeros; recreate on demand.
 		p.State = Untouched
-		return
+		return nil
 	}
-	v.pager.PageOut(p, v.scratch)
+	return v.pager.PageOut(p, v.scratch)
 }
 
 // lru plumbing ---------------------------------------------------------------
@@ -427,18 +453,19 @@ func (v *VM) CheckLRU() error {
 
 // Read copies len(buf) bytes at byte offset off in segment s into buf,
 // touching (and faulting) each covered page.
-func (v *VM) Read(s *Segment, off int64, buf []byte) {
-	v.access(s, off, buf, false)
+func (v *VM) Read(s *Segment, off int64, buf []byte) error {
+	return v.access(s, off, buf, false)
 }
 
 // Write copies data into segment s at byte offset off, touching (and
 // faulting) each covered page and marking it dirty.
-func (v *VM) Write(s *Segment, off int64, data []byte) {
-	v.access(s, off, data, true)
+func (v *VM) Write(s *Segment, off int64, data []byte) error {
+	return v.access(s, off, data, true)
 }
 
-func (v *VM) access(s *Segment, off int64, buf []byte, write bool) {
+func (v *VM) access(s *Segment, off int64, buf []byte, write bool) error {
 	if off < 0 {
+		// Invariant: the simulated equivalent of a wild pointer (see Page).
 		panic("vm: negative offset")
 	}
 	ps := int64(v.pool.PageSize())
@@ -449,7 +476,10 @@ func (v *VM) access(s *Segment, off int64, buf []byte, write bool) {
 		if n > len(buf) {
 			n = len(buf)
 		}
-		p := v.Touch(s, page, write)
+		p, err := v.Touch(s, page, write)
+		if err != nil {
+			return err
+		}
 		frame := v.pool.Bytes(p.Frame)
 		if write {
 			copy(frame[in:in+n], buf[:n])
@@ -459,33 +489,44 @@ func (v *VM) access(s *Segment, off int64, buf []byte, write bool) {
 		buf = buf[n:]
 		off += int64(n)
 	}
+	return nil
 }
 
 // ReadWord reads the 8-byte little-endian word at byte offset off.
-func (v *VM) ReadWord(s *Segment, off int64) uint64 {
+func (v *VM) ReadWord(s *Segment, off int64) (uint64, error) {
 	page, in := v.wordAddr(off)
-	p := v.Touch(s, page, false)
+	p, err := v.Touch(s, page, false)
+	if err != nil {
+		return 0, err
+	}
 	b := v.pool.Bytes(p.Frame)[in:]
 	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
-		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56, nil
 }
 
 // WriteWord writes the 8-byte little-endian word at byte offset off.
-func (v *VM) WriteWord(s *Segment, off int64, val uint64) {
+func (v *VM) WriteWord(s *Segment, off int64, val uint64) error {
 	page, in := v.wordAddr(off)
-	p := v.Touch(s, page, true)
+	p, err := v.Touch(s, page, true)
+	if err != nil {
+		return err
+	}
 	b := v.pool.Bytes(p.Frame)[in:]
 	b[0], b[1], b[2], b[3] = byte(val), byte(val>>8), byte(val>>16), byte(val>>24)
 	b[4], b[5], b[6], b[7] = byte(val>>32), byte(val>>40), byte(val>>48), byte(val>>56)
+	return nil
 }
 
 func (v *VM) wordAddr(off int64) (page int32, in int) {
 	if off < 0 {
+		// Invariant: the simulated equivalent of a wild pointer (see Page).
 		panic("vm: negative offset")
 	}
 	ps := int64(v.pool.PageSize())
 	in = int(off % ps)
 	if in+8 > int(ps) {
+		// Invariant: word accessors are documented page-aligned; a straddle
+		// is a workload bug.
 		panic(fmt.Sprintf("vm: word access at %d straddles a page boundary", off))
 	}
 	return int32(off / ps), in

@@ -24,15 +24,16 @@ func newFakePager() *fakePager {
 	return &fakePager{store: make(map[swap.PageKey][]byte)}
 }
 
-func (f *fakePager) PageOut(p *Page, data []byte) {
+func (f *fakePager) PageOut(p *Page, data []byte) error {
 	f.pageOuts++
 	f.store[p.Key] = append([]byte(nil), data...)
 	p.State = Swapped
 	p.Dirty = false
 	p.SwapValid = true
+	return nil
 }
 
-func (f *fakePager) PageIn(p *Page, data []byte) Source {
+func (f *fakePager) PageIn(p *Page, data []byte) (Source, error) {
 	f.pageIns++
 	stored, ok := f.store[p.Key]
 	if !ok {
@@ -41,10 +42,37 @@ func (f *fakePager) PageIn(p *Page, data []byte) Source {
 	copy(data, stored)
 	p.Dirty = false
 	p.SwapValid = true
-	return SrcSwap
+	return SrcSwap, nil
 }
 
 func (f *fakePager) Dirtied(p *Page) { f.dirtied++ }
+
+// touch, readWord and writeWord assert the access succeeds; the fault paths
+// that can fail are exercised separately in the machine tests.
+func touch(t *testing.T, v *VM, s *Segment, n int32, write bool) *Page {
+	t.Helper()
+	p, err := v.Touch(s, n, write)
+	if err != nil {
+		t.Fatalf("Touch(%d): %v", n, err)
+	}
+	return p
+}
+
+func readWord(t *testing.T, v *VM, s *Segment, off int64) uint64 {
+	t.Helper()
+	val, err := v.ReadWord(s, off)
+	if err != nil {
+		t.Fatalf("ReadWord(%d): %v", off, err)
+	}
+	return val
+}
+
+func writeWord(t *testing.T, v *VM, s *Segment, off int64, val uint64) {
+	t.Helper()
+	if err := v.WriteWord(s, off, val); err != nil {
+		t.Fatalf("WriteWord(%d): %v", off, err)
+	}
+}
 
 func newTestVM(t *testing.T, frames int) (*VM, *fakePager, *mem.Pool, *sim.Clock) {
 	t.Helper()
@@ -53,18 +81,18 @@ func newTestVM(t *testing.T, frames int) (*VM, *fakePager, *mem.Pool, *sim.Clock
 	v := New(&clock, pool, sim.DefaultCostModel())
 	fp := newFakePager()
 	v.SetPager(fp)
-	v.SetFrameSource(func(o mem.Owner) mem.FrameID {
+	v.SetFrameSource(func(o mem.Owner) (mem.FrameID, error) {
 		if id, ok := pool.Alloc(o); ok {
-			return id
+			return id, nil
 		}
-		if !v.ReleaseOldest() {
-			t.Fatal("nothing to evict")
+		if ok, err := v.ReleaseOldest(); err != nil || !ok {
+			t.Fatalf("nothing to evict (ok=%v err=%v)", ok, err)
 		}
 		id, ok := pool.Alloc(o)
 		if !ok {
 			t.Fatal("alloc failed after eviction")
 		}
-		return id
+		return id, nil
 	})
 	return v, fp, pool, &clock
 }
@@ -72,7 +100,7 @@ func newTestVM(t *testing.T, frames int) (*VM, *fakePager, *mem.Pool, *sim.Clock
 func TestColdFaultZeroFill(t *testing.T) {
 	v, _, pool, _ := newTestVM(t, 4)
 	s := v.NewSegment("heap", 8)
-	p := v.Touch(s, 3, false)
+	p := touch(t, v, s, 3, false)
 	if p.State != Resident {
 		t.Fatalf("state = %v", p.State)
 	}
@@ -104,8 +132,8 @@ func TestTouchResidentNoFault(t *testing.T) {
 func TestWordRoundTrip(t *testing.T) {
 	v, _, _, _ := newTestVM(t, 4)
 	s := v.NewSegment("heap", 8)
-	v.WriteWord(s, 4096+16, 0xDEADBEEFCAFE0123)
-	if got := v.ReadWord(s, 4096+16); got != 0xDEADBEEFCAFE0123 {
+	writeWord(t, v, s, 4096+16, 0xDEADBEEFCAFE0123)
+	if got := readWord(t, v, s, 4096+16); got != 0xDEADBEEFCAFE0123 {
 		t.Fatalf("ReadWord = %#x", got)
 	}
 }
@@ -143,7 +171,7 @@ func TestEvictionAndRefaultPreservesContents(t *testing.T) {
 		v.WriteWord(s, int64(i)*4096, uint64(i)+100)
 	}
 	for i := int32(0); i < 6; i++ {
-		if got := v.ReadWord(s, int64(i)*4096); got != uint64(i)+100 {
+		if got := readWord(t, v, s, int64(i)*4096); got != uint64(i)+100 {
 			t.Fatalf("page %d = %d after refault", i, got)
 		}
 	}
@@ -292,8 +320,8 @@ func TestOldestAge(t *testing.T) {
 
 func TestReleaseOldestEmpty(t *testing.T) {
 	v, _, _, _ := newTestVM(t, 2)
-	if v.ReleaseOldest() {
-		t.Fatal("ReleaseOldest with nothing resident returned true")
+	if ok, err := v.ReleaseOldest(); ok || err != nil {
+		t.Fatalf("ReleaseOldest with nothing resident: ok=%v err=%v", ok, err)
 	}
 }
 
@@ -324,7 +352,7 @@ func TestRandomAccessIntegrity(t *testing.T) {
 			shadow[off] = val
 		} else {
 			want := shadow[off]
-			if got := v.ReadWord(s, off); got != want {
+			if got := readWord(t, v, s, off); got != want {
 				t.Fatalf("step %d: ReadWord(%d) = %d, want %d", i, off, got, want)
 			}
 		}
@@ -364,15 +392,15 @@ func newQuickVM() (*VM, *fakePager, *mem.Pool, *sim.Clock) {
 	v := New(&clock, pool, sim.DefaultCostModel())
 	fp := newFakePager()
 	v.SetPager(fp)
-	v.SetFrameSource(func(o mem.Owner) mem.FrameID {
+	v.SetFrameSource(func(o mem.Owner) (mem.FrameID, error) {
 		if id, ok := pool.Alloc(o); ok {
-			return id
+			return id, nil
 		}
-		if !v.ReleaseOldest() {
+		if ok, err := v.ReleaseOldest(); err != nil || !ok {
 			panic("quick vm: nothing to evict")
 		}
 		id, _ := pool.Alloc(o)
-		return id
+		return id, nil
 	})
 	return v, fp, pool, &clock
 }

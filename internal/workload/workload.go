@@ -47,6 +47,12 @@ func Measure(cfg machine.Config, w Workload) (stats.Run, error) {
 	if err := w.Run(m); err != nil {
 		return stats.Run{}, fmt.Errorf("workload %s: %w", w.Name(), err)
 	}
+	// A paging failure inside the run sticks to the machine rather than
+	// aborting mid-workload; surface it here so a died run reports its typed
+	// error (fault.IsUnrecoverable distinguishes data loss from bugs).
+	if err := m.Err(); err != nil {
+		return stats.Run{}, fmt.Errorf("workload %s: %w", w.Name(), err)
+	}
 	if err := m.CheckInvariants(); err != nil {
 		return stats.Run{}, fmt.Errorf("workload %s: post-run invariant violation: %w", w.Name(), err)
 	}
