@@ -2,7 +2,12 @@
 //
 // Usage:
 //
-//	ccbench [-scale small|paper] [-exp fig1a|fig1b|fig3|table1|ablations|all] [-faults [-fault-rate R]] [-j N]
+//	ccbench -list
+//	ccbench [-scale small|paper] [-run name1,name2,...] [-j N] [-format text|csv]
+//
+// Every experiment is registered under a stable name (see -list); -run
+// accepts exact names, the group names "ablations" and "extensions", and
+// "all". The older -exp, -faults and -fault-rate flags remain as aliases.
 //
 // Each experiment prints the same rows or series the paper reports; the
 // paper's published values are included alongside where applicable (Table 1)
@@ -17,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -28,28 +34,24 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "small", "experiment scale: small or paper")
-	expFlag := flag.String("exp", "all", "experiment: fig1a, fig1b, fig3, table1, ablations, extensions, faults, all")
+	runFlag := flag.String("run", "", "comma-separated experiment names (see -list); groups: ablations, extensions, all")
+	listFlag := flag.Bool("list", false, "list registered experiment names and exit")
+	expFlag := flag.String("exp", "", "alias for -run (kept for compatibility)")
 	format := flag.String("format", "text", "output format for tables: text or csv")
 	jobs := flag.Int("j", 0, "max concurrent simulated machines (0 = one per core, 1 = serial); output is identical at any value")
-	faultsFlag := flag.Bool("faults", false, "run the fault-injection sweep (overhead and survival vs fault rate); shorthand for -exp faults")
+	faultsFlag := flag.Bool("faults", false, "run the fault-injection sweep (overhead and survival vs fault rate); shorthand for -run faults")
 	faultRate := flag.Float64("fault-rate", -1, "restrict the fault sweep to a single rate (plus the fault-free baseline); default sweeps the built-in rates")
 	flag.Parse()
-	if *faultRate >= 0 && *expFlag == "all" && !*faultsFlag {
-		*faultsFlag = true
-	}
-	if *faultsFlag && *expFlag == "all" {
-		*expFlag = "faults"
+
+	if *listFlag {
+		for _, name := range exp.Names() {
+			fmt.Println(name)
+		}
+		return
 	}
 	if *format != "text" && *format != "csv" {
 		fmt.Fprintf(os.Stderr, "ccbench: unknown format %q\n", *format)
 		os.Exit(2)
-	}
-	emit := func(tab *exp.Table) {
-		if *format == "csv" {
-			fmt.Printf("# %s\n%s\n", tab.Title, tab.CSV())
-			return
-		}
-		fmt.Println(tab)
 	}
 
 	var scale exp.Scale
@@ -63,110 +65,57 @@ func main() {
 		os.Exit(2)
 	}
 
-	which := strings.Split(*expFlag, ",")
-	run := func(name string) bool {
-		if *expFlag == "all" {
-			return true
+	// Merge the aliases into one selection: -run wins, then -exp, then the
+	// -faults shorthand, then the full suite.
+	selection := *runFlag
+	if selection == "" {
+		selection = *expFlag
+	}
+	if *faultsFlag {
+		if selection == "" || selection == "all" {
+			selection = "faults"
+		} else if !strings.Contains(","+selection+",", ",faults,") {
+			selection += ",faults"
 		}
-		for _, w := range which {
-			if strings.TrimSpace(w) == name {
-				return true
-			}
-		}
-		return false
 	}
-
-	ran := 0
-	start := time.Now() //cclint:ignore walltime -- deliberate host-time reading: the closing line reports how long the suite took on this machine, never a simulated cost
-	if run("fig1a") {
-		fmt.Println(exp.Fig1a())
-		ran++
+	if selection == "" {
+		selection = "all"
 	}
-	if run("fig1b") {
-		fmt.Println(exp.Fig1b())
-		ran++
-	}
-	if run("fig3") {
-		opts := exp.DefaultFig3Options(scale)
-		opts.Parallelism = *jobs
-		res, err := exp.Fig3(opts)
-		fatal(err)
-		emit(res.TableA())
-		emit(res.TableB())
-		ran++
-	}
-	if run("table1") {
-		opts := exp.DefaultTable1Options(scale)
-		opts.Parallelism = *jobs
-		res, err := exp.Table1(opts)
-		fatal(err)
-		emit(res.Table())
-		ran++
-	}
-	if run("extensions") {
-		memMB, pages := 1, int32(768)
-		if scale == exp.Paper {
-			memMB, pages = 6, 4096
-		}
-		j := *jobs
-		for _, f := range []func() (*exp.Table, error){
-			func() (*exp.Table, error) { return exp.BackingStoreSweep(memMB, pages, 1, j) },
-			func() (*exp.Table, error) { return exp.CompressionSpeedSweep(memMB, pages, 1, j) },
-			func() (*exp.Table, error) { return exp.AdvisoryPinning(memMB, pages/3*2, 1, j) },
-			func() (*exp.Table, error) { return exp.CompressedFileCache(memMB, 1, j) },
-			func() (*exp.Table, error) { return exp.LFSComparison(memMB, pages, 1, j) },
-			func() (*exp.Table, error) { return exp.Multiprogramming(memMB, 1, j) },
-			func() (*exp.Table, error) { return exp.ModelValidation(memMB, 1, j) },
-			func() (*exp.Table, error) { return exp.MobileScenario(memMB, 1, j) },
-		} {
-			tab, err := f()
-			fatal(err)
-			emit(tab)
-		}
-		ran++
-	}
-	if run("ablations") {
-		memMB, pages := 1, int32(768)
-		if scale == exp.Paper {
-			memMB, pages = 6, 4096
-		}
-		j := *jobs
-		for _, f := range []func() (*exp.Table, error){
-			func() (*exp.Table, error) { return exp.AblationPartialIO(memMB, pages, 1, j) },
-			func() (*exp.Table, error) { return exp.AblationSpanning(memMB, pages, 1, j) },
-			func() (*exp.Table, error) { return exp.AblationBias(memMB, pages, 1, j) },
-			func() (*exp.Table, error) { return exp.AblationThreshold(memMB, 1, j) },
-			func() (*exp.Table, error) { return exp.AblationCodec(memMB, pages, 1, j) },
-			func() (*exp.Table, error) { return exp.AblationFixedSize(memMB, 1, j) },
-		} {
-			tab, err := f()
-			fatal(err)
-			emit(tab)
-		}
-		ran++
-	}
-	if run("faults") || *faultsFlag {
-		opts := exp.DefaultFaultsOptions(scale)
-		opts.Parallelism = *jobs
-		if *faultRate >= 0 {
-			// Keep the rate-0 baseline: overhead is relative to it.
-			opts.Rates = []float64{0}
-			if *faultRate > 0 {
-				opts.Rates = append(opts.Rates, *faultRate)
-			}
-		}
-		res, err := exp.FaultSweep(opts)
-		fatal(err)
-		emit(res.Table())
-		ran++
-	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "ccbench: unknown experiment %q\n", *expFlag)
+	experiments, err := exp.Resolve(strings.Split(selection, ","))
+	if err != nil {
+		// Bad selection is a usage error (exit 2), like a bad flag value.
+		fmt.Fprintln(os.Stderr, "ccbench:", err)
 		os.Exit(2)
 	}
+	if len(experiments) == 0 {
+		fmt.Fprintf(os.Stderr, "ccbench: nothing selected by %q\n", selection)
+		os.Exit(2)
+	}
+
+	opts := exp.DefaultOptions(scale)
+	opts.Parallelism = *jobs
+	opts.FaultRate = *faultRate
+
+	emit := func(tab *exp.Table) {
+		if *format == "csv" {
+			fmt.Printf("# %s\n%s\n", tab.Title, tab.CSV())
+			return
+		}
+		fmt.Println(tab)
+	}
+
+	ctx := context.Background()
+	start := time.Now() //cclint:ignore walltime -- deliberate host-time reading: the closing line reports how long the suite took on this machine, never a simulated cost
+	for _, e := range experiments {
+		res, err := e.Run(ctx, opts)
+		fatal(err)
+		for _, tab := range res.Tables() {
+			emit(tab)
+		}
+	}
 	elapsed := time.Since(start).Round(time.Millisecond) //cclint:ignore walltime -- deliberate host-time reading: the summary is explicitly labelled "(host time)" in the output
-	fmt.Printf("ccbench: %d experiment group(s) at %s scale in %v (host time)\n",
-		ran, scale, elapsed)
+	fmt.Printf("ccbench: %d experiment(s) at %s scale in %v (host time)\n",
+		len(experiments), scale, elapsed)
 }
 
 func fatal(err error) {

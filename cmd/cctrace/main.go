@@ -1,24 +1,101 @@
 // Command cctrace records and replays page-reference traces, so one
 // workload execution can be re-examined under different machine
-// configurations — the classic trace-driven-simulation workflow.
+// configurations — the classic trace-driven-simulation workflow — and
+// inspects the machine's observability stream while doing it.
 //
 // Usage:
 //
 //	cctrace -record trace.cct -workload thrasher_rw -size 8 -mem 2
 //	cctrace -replay trace.cct -mem 2 -cc
+//	cctrace -replay trace.cct -mem 2 -cc -events run.jsonl -summary
+//	cctrace -replay trace.cct -mem 2 -cc -timeline -classes fault,flush
 //	cctrace -info trace.cct
+//
+// The -events, -timeline and -summary views attach the machine's event bus
+// for the run: -events exports the retained event window as JSONL ("-" for
+// stdout), -timeline prints it as an aligned virtual-time table, and
+// -summary prints per-class event counts plus the metrics-registry snapshot
+// (counters, gauges, virtual-latency histograms). -classes narrows which
+// event classes are traced; -ring bounds how many events are retained.
+// Everything printed is in virtual time and deterministic for a fixed seed.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"slices"
 
 	"compcache/internal/machine"
+	"compcache/internal/obs"
 	"compcache/internal/trace"
 	"compcache/internal/workload"
 )
+
+// obsOptions carries the observability flags shared by -record and -replay.
+type obsOptions struct {
+	events   string // JSONL export path, "-" = stdout, "" = off
+	timeline bool
+	summary  bool
+	classes  string
+	ring     int
+}
+
+// enabled reports whether the run needs a bus at all.
+func (o obsOptions) enabled() bool {
+	return o.events != "" || o.timeline || o.summary
+}
+
+// apply attaches the bus configuration to cfg when any view is requested.
+func (o obsOptions) apply(cfg machine.Config) machine.Config {
+	if !o.enabled() {
+		return cfg
+	}
+	mask, err := obs.ParseClasses(o.classes)
+	fatal(err)
+	return cfg.WithObs(obs.Options{Classes: mask, RingSize: o.ring})
+}
+
+// report prints the requested views of the machine's run.
+func (o obsOptions) report(m *machine.Machine) {
+	if !o.enabled() {
+		return
+	}
+	events := m.Events()
+	if o.events != "" {
+		out := os.Stdout
+		if o.events != "-" {
+			f, err := os.Create(o.events)
+			fatal(err)
+			defer f.Close()
+			out = f
+		}
+		w := bufio.NewWriter(out)
+		fatal(obs.WriteEventsJSONL(w, events))
+		fatal(w.Flush())
+		if o.events != "-" {
+			fmt.Printf("wrote %d event(s) to %s\n", len(events), o.events)
+		}
+	}
+	if dropped := m.Bus().Dropped(); dropped > 0 {
+		fmt.Printf("note: ring retained the last %d event(s); %d older one(s) dropped (raise -ring to keep more)\n",
+			len(events), dropped)
+	}
+	if o.timeline {
+		w := bufio.NewWriter(os.Stdout)
+		fatal(obs.WriteTimeline(w, events))
+		fatal(w.Flush())
+	}
+	if o.summary {
+		fmt.Printf("events by class (%d retained):\n", len(events))
+		fatal(obs.WriteClassSummary(os.Stdout, events))
+		if snap := m.Metrics(); snap != nil {
+			fmt.Println("metrics:")
+			fmt.Print(snap)
+		}
+	}
+}
 
 func main() {
 	record := flag.String("record", "", "record the workload's trace to this file")
@@ -29,13 +106,19 @@ func main() {
 	sizeMB := flag.Int("size", 6, "working-set size in MB")
 	useCC := flag.Bool("cc", false, "enable the compression cache (replay)")
 	seed := flag.Int64("seed", 1, "random seed")
+	var ob obsOptions
+	flag.StringVar(&ob.events, "events", "", "export the run's event stream as JSONL to this file ('-' = stdout)")
+	flag.BoolVar(&ob.timeline, "timeline", false, "print the run's event timeline (virtual time)")
+	flag.BoolVar(&ob.summary, "summary", false, "print per-class event counts and the metrics snapshot")
+	flag.StringVar(&ob.classes, "classes", "all", "event classes to trace, comma-separated (see obs docs); 'all' or 'none'")
+	flag.IntVar(&ob.ring, "ring", 0, "event ring capacity (0 = default; oldest events drop beyond it)")
 	flag.Parse()
 
 	switch {
 	case *record != "":
-		doRecord(*record, *name, *memMB, *sizeMB, *seed)
+		doRecord(*record, *name, *memMB, *sizeMB, *seed, ob)
 	case *replay != "":
-		doReplay(*replay, *memMB, *useCC, *seed)
+		doReplay(*replay, *memMB, *useCC, *seed, ob)
 	case *info != "":
 		doInfo(*info)
 	default:
@@ -44,8 +127,8 @@ func main() {
 	}
 }
 
-func doRecord(path, name string, memMB, sizeMB int, seed int64) {
-	m, err := machine.New(machine.Default(int64(memMB) << 20))
+func doRecord(path, name string, memMB, sizeMB int, seed int64, ob obsOptions) {
+	m, err := machine.New(ob.apply(machine.Default(int64(memMB) << 20)))
 	fatal(err)
 	var rec trace.Recorder
 	m.VM.SetTraceHook(rec.Note)
@@ -72,9 +155,10 @@ func doRecord(path, name string, memMB, sizeMB int, seed int64) {
 	fatal(err)
 	fmt.Printf("recorded %d references (%d bytes) from %s to %s\n",
 		len(rec.Refs), n, w.Name(), path)
+	ob.report(m)
 }
 
-func doReplay(path string, memMB int, useCC bool, seed int64) {
+func doReplay(path string, memMB int, useCC bool, seed int64, ob obsOptions) {
 	f, err := os.Open(path)
 	fatal(err)
 	defer f.Close()
@@ -87,10 +171,11 @@ func doReplay(path string, memMB int, useCC bool, seed int64) {
 		cfg = cfg.WithCC()
 		mode = "compression cache"
 	}
-	st, err := workload.Measure(cfg, &workload.Replay{Refs: refs, Seed: seed})
+	m, st, err := workload.MeasureMachine(ob.apply(cfg), &workload.Replay{Refs: refs, Seed: seed})
 	fatal(err)
 	fmt.Printf("replayed %d references on %d MB (%s)\n\n", len(refs), memMB, mode)
 	fmt.Print(st)
+	ob.report(m)
 }
 
 func doInfo(path string) {

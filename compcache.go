@@ -29,12 +29,26 @@
 //	fmt.Println(m.Stats())
 //
 // Ready-made workloads (the paper's applications) and experiment harnesses
-// that regenerate every table and figure live here too:
+// that regenerate every table and figure live here too, all registered
+// behind one interface:
 //
 //	res, _ := compcache.Table1(compcache.DefaultTable1Options(compcache.SmallScale))
 //	fmt.Println(res.Table())
 //
-// The cmd/ccbench command prints all of them.
+//	for _, e := range compcache.Experiments() { // or LookupExperiment("table1")
+//		res, _ := e.Run(ctx, compcache.DefaultExperimentOptions(compcache.SmallScale))
+//		for _, t := range res.Tables() { fmt.Println(t) }
+//	}
+//
+// The cmd/ccbench command prints all of them (-list, -run). To watch a
+// machine work, attach the deterministic observability layer and read the
+// virtual-time event stream and metrics back:
+//
+//	m, _ := compcache.New(cfg.WithObs(compcache.ObsOptions{}))
+//	... run a workload ...
+//	events, metrics := m.Events(), m.Metrics()
+//
+// The cmd/cctrace command exposes the same as -events/-timeline/-summary.
 package compcache
 
 import (
@@ -46,6 +60,7 @@ import (
 	"compcache/internal/machine"
 	"compcache/internal/model"
 	"compcache/internal/netdev"
+	"compcache/internal/obs"
 	"compcache/internal/runner"
 	"compcache/internal/stats"
 	"compcache/internal/trace"
@@ -138,6 +153,67 @@ const (
 	PaperScale = exp.Paper
 )
 
+// Experiment registry: every table, figure, ablation and extension study
+// behind one interface, dispatched by name (ccbench -list / -run).
+type (
+	// Experiment is one registered, runnable experiment.
+	Experiment = exp.Experiment
+	// ExperimentOptions is the shared sizing knob set experiments accept.
+	ExperimentOptions = exp.Options
+	// ExperimentResult is what an experiment produces: renderable tables.
+	ExperimentResult = exp.Result
+)
+
+// DefaultExperimentOptions returns the options every experiment documents:
+// built-in seeds and the full fault-rate ladder.
+func DefaultExperimentOptions(s exp.Scale) ExperimentOptions { return exp.DefaultOptions(s) }
+
+// Experiments returns every registered experiment in name order.
+func Experiments() []Experiment { return exp.Experiments() }
+
+// ExperimentNames returns every registered experiment name, sorted.
+func ExperimentNames() []string { return exp.Names() }
+
+// LookupExperiment finds one experiment by exact name ("table1",
+// "ablation/codec", ...).
+func LookupExperiment(name string) (Experiment, bool) { return exp.Lookup(name) }
+
+// ResolveExperiments expands names, group names ("ablations",
+// "extensions") and "all" into experiments in name order.
+func ResolveExperiments(names []string) ([]Experiment, error) { return exp.Resolve(names) }
+
+// Observability: the deterministic virtual-time event bus and metrics
+// registry (attach with Config.WithObs; see internal/obs).
+type (
+	// ObsOptions selects event classes and the ring size.
+	ObsOptions = obs.Options
+	// Event is one virtual-time event emitted by a subsystem.
+	Event = obs.Event
+	// EventClass is the bitmask of event classes.
+	EventClass = obs.Class
+	// MetricsSnapshot is a machine's metrics-registry snapshot.
+	MetricsSnapshot = obs.Snapshot
+)
+
+// AllEventClasses enables every event class.
+const AllEventClasses = obs.ClassAll
+
+// ParseEventClasses parses a comma- or pipe-separated list of event-class
+// names ("fault,disk_read") into an enable mask; "all" (or empty) selects
+// every class.
+func ParseEventClasses(s string) (EventClass, error) { return obs.ParseClasses(s) }
+
+// WriteEventsJSONL exports events as deterministic JSONL, one object per
+// line in fixed field order — a diffable trace artifact.
+var WriteEventsJSONL = obs.WriteEventsJSONL
+
+// WriteEventsCSV exports events as CSV with the same field order.
+var WriteEventsCSV = obs.WriteEventsCSV
+
+// WriteTimeline renders events as an aligned human-readable virtual-time
+// table (the cctrace -timeline view).
+var WriteTimeline = obs.WriteTimeline
+
 // Default returns the paper's baseline machine configuration (DECstation
 // 5000/200-class CPU costs, RZ57 disk, 4-KByte pages) with the given user
 // memory and the compression cache disabled.
@@ -161,6 +237,13 @@ func New(cfg Config) (*Machine, error) { return machine.New(cfg) }
 
 // Measure runs a workload on a fresh machine built from cfg.
 func Measure(cfg Config, w Workload) (Stats, error) { return workload.Measure(cfg, w) }
+
+// MeasureMachine is Measure for callers that also need the machine after
+// the run — typically to read its event ring (Machine.Events) or metrics
+// snapshot (Machine.Metrics) when cfg carries observability options.
+func MeasureMachine(cfg Config, w Workload) (*Machine, Stats, error) {
+	return workload.MeasureMachine(cfg, w)
+}
 
 // RunBoth measures a workload on the baseline and compression-cache
 // machines, producing one Table 1-style comparison.

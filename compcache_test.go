@@ -42,6 +42,66 @@ func TestFacadeExperiments(t *testing.T) {
 	}
 }
 
+func TestFacadeObservability(t *testing.T) {
+	cfg := Default(1 << 20).WithCC().WithObs(ObsOptions{})
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap := m.NewSegment("heap", 4<<20)
+	for p := int32(0); p < heap.Pages(); p++ {
+		heap.WriteWord(int64(p)*4096, uint64(p))
+	}
+	events := m.Events()
+	if len(events) == 0 {
+		t.Fatal("traced machine emitted no events")
+	}
+	var sb strings.Builder
+	if err := WriteEventsJSONL(&sb, events); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"class":"fault"`) {
+		t.Fatal("no fault events in the JSONL export")
+	}
+	snap := m.Metrics()
+	if snap == nil {
+		t.Fatal("metrics snapshot nil on a traced machine")
+	}
+	if h, ok := snap.Hist("vm.fault_service"); !ok || h.Count == 0 {
+		t.Fatal("metrics snapshot missing vm.fault_service histogram")
+	}
+	if st := m.Stats(); st.Metrics == nil {
+		t.Fatal("Stats().Metrics nil on a traced machine")
+	}
+	mask, err := ParseEventClasses("fault,flush")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mask == 0 || mask == AllEventClasses {
+		t.Fatalf("ParseEventClasses mask = %v", mask)
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	names := ExperimentNames()
+	if len(names) == 0 {
+		t.Fatal("no experiments registered")
+	}
+	if _, ok := LookupExperiment("table1"); !ok {
+		t.Fatal("table1 not registered")
+	}
+	exps, err := ResolveExperiments([]string{"ablations"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) == 0 {
+		t.Fatal("ablations group empty")
+	}
+	if len(Experiments()) != len(names) {
+		t.Fatal("Experiments and ExperimentNames disagree")
+	}
+}
+
 func TestFacadeCodecs(t *testing.T) {
 	names := Codecs()
 	if len(names) < 3 {

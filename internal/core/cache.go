@@ -37,6 +37,7 @@ import (
 	"hash/crc32"
 
 	"compcache/internal/mem"
+	"compcache/internal/obs"
 	"compcache/internal/sim"
 	"compcache/internal/stats"
 	"compcache/internal/swap"
@@ -151,6 +152,8 @@ type Cache struct {
 	flush  FlushFunc
 	onDrop DropFunc
 
+	bus *obs.Bus
+
 	st stats.CC
 }
 
@@ -181,6 +184,10 @@ func (c *Cache) SetHooks(flush FlushFunc, onDrop DropFunc) {
 	c.flush = flush
 	c.onDrop = onDrop
 }
+
+// SetObserver wires the cache to a machine's event bus; nil disables
+// emission.
+func (c *Cache) SetObserver(b *obs.Bus) { c.bus = b }
 
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() stats.CC { return c.st }
@@ -311,6 +318,16 @@ func (c *Cache) Insert(key swap.PageKey, data []byte, dirty bool) (bool, error) 
 		c.dirtyBytes += need
 	}
 	c.st.Inserts++
+	if c.bus.Enabled(obs.ClassCCInsert) {
+		aux := int64(0)
+		if dirty {
+			aux = 1
+		}
+		c.bus.Emit(obs.Event{
+			T: c.clock.Now(), Class: obs.ClassCCInsert, Sub: obs.SubCore,
+			Seg: key.Seg, Page: key.Page, Bytes: int64(len(data)), Aux: aux,
+		})
+	}
 	return true, nil
 }
 
@@ -378,9 +395,21 @@ func (c *Cache) Fault(key swap.PageKey) (data []byte, sum uint32, dirty bool, ok
 	e, found := c.entries[key]
 	if !found {
 		c.st.Misses++
+		if c.bus.Enabled(obs.ClassCCMiss) {
+			c.bus.Emit(obs.Event{
+				T: c.clock.Now(), Class: obs.ClassCCMiss, Sub: obs.SubCore,
+				Seg: key.Seg, Page: key.Page,
+			})
+		}
 		return nil, 0, false, false
 	}
 	c.st.Hits++
+	if c.bus.Enabled(obs.ClassCCHit) {
+		c.bus.Emit(obs.Event{
+			T: c.clock.Now(), Class: obs.ClassCCHit, Sub: obs.SubCore,
+			Seg: key.Seg, Page: key.Page, Bytes: int64(len(e.Data)),
+		})
+	}
 	if c.params.RefreshOnFault {
 		// A re-reference refreshes the entry's age (LRU-like aging). The
 		// ring's frame-reclamation order is positional and unchanged; only
@@ -396,6 +425,12 @@ func (c *Cache) Drop(key swap.PageKey) {
 	if e, ok := c.entries[key]; ok {
 		c.kill(e)
 		c.st.Dropped++
+		if c.bus.Enabled(obs.ClassCCEvict) {
+			c.bus.Emit(obs.Event{
+				T: c.clock.Now(), Class: obs.ClassCCEvict, Sub: obs.SubCore,
+				Seg: key.Seg, Page: key.Page, Aux: 0,
+			})
+		}
 	}
 }
 
@@ -469,6 +504,12 @@ func (c *Cache) Clean() (int, error) {
 		e.Dirty = false
 		c.dirtyBytes -= e.footprint(c.params)
 		c.st.CleanWrites++
+	}
+	if c.bus.Enabled(obs.ClassCleanPass) {
+		c.bus.Emit(obs.Event{
+			T: c.clock.Now(), Class: obs.ClassCleanPass, Sub: obs.SubCore,
+			Bytes: int64(bytes), Aux: int64(len(batch)),
+		})
 	}
 	return len(batch), nil
 }
@@ -546,6 +587,12 @@ func (c *Cache) reclaimFirstExcept(skip *ccFrame) bool {
 			// the contents.
 			c.kill(e)
 			c.st.Dropped++
+			if c.bus.Enabled(obs.ClassCCEvict) {
+				c.bus.Emit(obs.Event{
+					T: c.clock.Now(), Class: obs.ClassCCEvict, Sub: obs.SubCore,
+					Seg: e.Key.Seg, Page: e.Key.Page, Aux: 1,
+				})
+			}
 			if c.onDrop != nil {
 				c.onDrop(e.Key)
 			}

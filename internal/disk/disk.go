@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"compcache/internal/fault"
+	"compcache/internal/obs"
 	"compcache/internal/sim"
 	"compcache/internal/stats"
 )
@@ -96,6 +97,10 @@ type Disk struct {
 	next   int64    // byte address one past the previous access
 	stats  stats.Disk
 	faults *fault.Injector // nil injects nothing
+
+	bus      *obs.Bus
+	waitHist *obs.Histogram // disk.queue_wait — delay behind queued work
+	svcHist  *obs.Histogram // disk.service — positioning plus transfer
 }
 
 // New creates a disk on the given clock.
@@ -112,6 +117,26 @@ func (d *Disk) Params() Params { return d.params }
 // SetFaultInjector attaches a fault injector; nil (the default) disables
 // injection. The injector must live on the same clock as the disk.
 func (d *Disk) SetFaultInjector(in *fault.Injector) { d.faults = in }
+
+// SetObserver wires the disk to a machine's event bus; nil disables emission.
+func (d *Disk) SetObserver(b *obs.Bus) {
+	d.bus = b
+	d.waitHist = b.Histogram("disk.queue_wait")
+	d.svcHist = b.Histogram("disk.service")
+}
+
+// observe records one completed operation: the wait/service histograms plus
+// a completion event stamped at the completion instant.
+func (d *Disk) observe(class obs.Class, n int, wait, svc time.Duration, done sim.Time) {
+	d.waitHist.Observe(wait)
+	d.svcHist.Observe(svc)
+	if d.bus.Enabled(class) {
+		d.bus.Emit(obs.Event{
+			T: done, Class: class, Sub: obs.SubDisk,
+			Bytes: int64(n), Dur: svc, Aux: int64(wait),
+		})
+	}
+}
 
 // Granularity reports the sector size (the fs.Device interface).
 func (d *Disk) Granularity() int { return d.params.SectorSize }
@@ -159,10 +184,13 @@ func (d *Disk) start() sim.Time {
 func (d *Disk) Read(addr int64, n int) error {
 	svc, seek := d.opTime(addr, n)
 	svc += d.faults.Latency()
-	done := d.start().Add(svc)
+	st := d.start()
+	wait := time.Duration(st - d.clock.Now())
+	done := st.Add(svc)
 	d.finish(addr, n, done, svc, seek)
 	d.stats.Reads++
 	d.stats.BytesRead += uint64(n)
+	d.observe(obs.ClassDiskRead, n, wait, svc, done)
 	d.clock.AdvanceTo(done)
 	return d.faults.DiskRead()
 }
@@ -171,10 +199,13 @@ func (d *Disk) Read(addr int64, n int) error {
 func (d *Disk) Write(addr int64, n int) error {
 	svc, seek := d.opTime(addr, n)
 	svc += d.faults.Latency()
-	done := d.start().Add(svc)
+	st := d.start()
+	wait := time.Duration(st - d.clock.Now())
+	done := st.Add(svc)
 	d.finish(addr, n, done, svc, seek)
 	d.stats.Writes++
 	d.stats.BytesWritten += uint64(n)
+	d.observe(obs.ClassDiskWrite, n, wait, svc, done)
 	d.clock.AdvanceTo(done)
 	return d.faults.DiskWrite()
 }
@@ -188,10 +219,13 @@ func (d *Disk) Write(addr int64, n int) error {
 func (d *Disk) WriteAsync(addr int64, n int) (sim.Time, error) {
 	svc, seek := d.opTime(addr, n)
 	svc += d.faults.Latency()
-	done := d.start().Add(svc)
+	st := d.start()
+	wait := time.Duration(st - d.clock.Now())
+	done := st.Add(svc)
 	d.finish(addr, n, done, svc, seek)
 	d.stats.Writes++
 	d.stats.BytesWritten += uint64(n)
+	d.observe(obs.ClassDiskWrite, n, wait, svc, done)
 	return done, d.faults.DiskWrite()
 }
 

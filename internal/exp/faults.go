@@ -188,6 +188,9 @@ func FaultSweep(opts FaultsOptions) (*FaultsResult, error) {
 	return res, nil
 }
 
+// Tables implements Result.
+func (r *FaultsResult) Tables() []*Table { return []*Table{r.Table()} }
+
 // Table renders the sweep: survival and overhead versus fault rate.
 func (r *FaultsResult) Table() *Table {
 	t := &Table{

@@ -60,11 +60,10 @@ func (f *Fig1Result) Regions() map[string]float64 {
 	return out
 }
 
-// String renders the surface as a character map (rows: compression ratio,
-// best at top; columns: compression speed, slowest at left), using the
-// paper's three shades: '#' for >6x, '+' for 1-6x, '.' for slowdown,
-// followed by a numeric table of selected rows.
-func (f *Fig1Result) String() string {
+// Table renders the surface as a numeric grid (rows: compression ratio, best
+// at top; columns: compression speed, slowest at left) with the paper's
+// three-shade region map ('#' >6x, '+' 1-6x, '.' slowdown) as the note.
+func (f *Fig1Result) Table() *Table {
 	t := &Table{Title: f.Title}
 	t.Header = []string{"ratio\\speed"}
 	for _, s := range f.Speeds {
@@ -92,5 +91,11 @@ func (f *Fig1Result) String() string {
 		mapStr += "\n"
 	}
 	t.Note = mapStr
-	return t.String()
+	return t
 }
+
+// Tables implements Result.
+func (f *Fig1Result) Tables() []*Table { return []*Table{f.Table()} }
+
+// String renders the table.
+func (f *Fig1Result) String() string { return f.Table().String() }

@@ -129,6 +129,9 @@ func Fig3(opts Fig3Options) (*Fig3Result, error) {
 	return res, nil
 }
 
+// Tables implements Result.
+func (r *Fig3Result) Tables() []*Table { return []*Table{r.TableA(), r.TableB()} }
+
 // TableA renders Figure 3(a): average page access time per curve.
 func (r *Fig3Result) TableA() *Table {
 	t := &Table{

@@ -1,0 +1,251 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Options is the one experiment-sizing knob set every registered experiment
+// accepts. Individual experiments read the fields they care about and ignore
+// the rest, so a single Options value can drive a whole `-run` list.
+type Options struct {
+	// Scale selects Small or Paper sizing (see Scale).
+	Scale Scale
+
+	// Seed overrides the experiment's built-in seed; 0 keeps the default, so
+	// the registry reproduces the documented tables out of the box.
+	Seed int64
+
+	// Parallelism caps concurrent simulated machines (0 = one per core,
+	// 1 = serial). Results are byte-identical at any value.
+	Parallelism int
+
+	// FaultRate restricts the fault sweep to one rate (plus the rate-0
+	// baseline). Negative selects the built-in rate ladder. Only the faults
+	// experiment reads it.
+	FaultRate float64
+}
+
+// DefaultOptions returns the options every experiment documents: built-in
+// seeds and the full fault-rate ladder.
+func DefaultOptions(s Scale) Options {
+	return Options{Scale: s, FaultRate: -1}
+}
+
+// sizing maps the scale to the shared memory/working-set convention the
+// ablation and extension sweeps use.
+func (o Options) sizing() (memMB int, pages int32) {
+	if o.Scale == Paper {
+		return 6, 4096
+	}
+	return 1, 768
+}
+
+// seed returns the effective seed (the shared default 1 unless overridden).
+func (o Options) seed() int64 {
+	if o.Seed != 0 {
+		return o.Seed
+	}
+	return 1
+}
+
+// Result is what a registered experiment produces: one or more renderable
+// tables. Concrete results (Fig3Result, Table1Result, ...) expose their
+// richer structure too; Tables is the common denominator ccbench renders.
+type Result interface {
+	Tables() []*Table
+}
+
+// Tables makes a bare Table usable as a Result (the ablation and extension
+// experiments each produce exactly one).
+func (t *Table) Tables() []*Table { return []*Table{t} }
+
+// Experiment is one runnable entry of the registry.
+type Experiment interface {
+	// Name is the registry key ("table1", "ablation/codec", ...). Group
+	// prefixes before the slash ("ablation/", "ext/") are what the group
+	// names in Resolve expand to.
+	Name() string
+
+	// Run executes the experiment. Implementations derive all sizing from
+	// opts and must stay deterministic for a fixed (Scale, Seed).
+	Run(ctx context.Context, opts Options) (Result, error)
+}
+
+// funcExp adapts a closure to the Experiment interface.
+type funcExp struct {
+	name string
+	run  func(ctx context.Context, opts Options) (Result, error)
+}
+
+func (f funcExp) Name() string { return f.name }
+func (f funcExp) Run(ctx context.Context, opts Options) (Result, error) {
+	return f.run(ctx, opts)
+}
+
+var registry = map[string]Experiment{}
+
+// Register adds an experiment to the registry. Duplicate names are a
+// programming error.
+func Register(e Experiment) {
+	if _, dup := registry[e.Name()]; dup {
+		// Invariant: registration happens once, at package init.
+		panic(fmt.Sprintf("exp: duplicate experiment %q", e.Name()))
+	}
+	registry[e.Name()] = e
+}
+
+// register is the init-time shorthand for function-backed experiments.
+func register(name string, run func(ctx context.Context, opts Options) (Result, error)) {
+	Register(funcExp{name: name, run: run})
+}
+
+// Names returns every registered experiment name, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Experiments returns every registered experiment in name order.
+func Experiments() []Experiment {
+	names := Names()
+	out := make([]Experiment, len(names))
+	for i, name := range names {
+		out[i] = registry[name]
+	}
+	return out
+}
+
+// Lookup finds one experiment by exact name.
+func Lookup(name string) (Experiment, bool) {
+	e, ok := registry[name]
+	return e, ok
+}
+
+// groups maps a group name to the registry prefix it expands to.
+var groups = map[string]string{
+	"ablations":  "ablation/",
+	"extensions": "ext/",
+}
+
+// Resolve expands a list of names — exact experiment names, group names
+// ("ablations", "extensions"), or "all" — into experiments in name order,
+// deduplicated. Unknown names are an error listing the valid ones.
+func Resolve(names []string) ([]Experiment, error) {
+	picked := map[string]bool{}
+	for _, raw := range names {
+		name := strings.TrimSpace(raw)
+		switch {
+		case name == "":
+		case name == "all":
+			for _, n := range Names() {
+				picked[n] = true
+			}
+		case groups[name] != "":
+			prefix := groups[name]
+			for _, n := range Names() {
+				if strings.HasPrefix(n, prefix) {
+					picked[n] = true
+				}
+			}
+		default:
+			if _, ok := registry[name]; !ok {
+				return nil, fmt.Errorf("exp: unknown experiment %q (valid: all, ablations, extensions, %s)",
+					name, strings.Join(Names(), ", "))
+			}
+			picked[name] = true
+		}
+	}
+	ordered := make([]string, 0, len(picked))
+	for name := range picked {
+		ordered = append(ordered, name)
+	}
+	sort.Strings(ordered)
+	out := make([]Experiment, len(ordered))
+	for i, name := range ordered {
+		out[i] = registry[name]
+	}
+	return out, nil
+}
+
+// tableExp registers an experiment backed by one of the (memMB, pages, seed,
+// workers) sweep functions.
+func tableExp(name string, run func(memMB int, pages int32, seed int64, workers int) (*Table, error)) {
+	register(name, func(_ context.Context, o Options) (Result, error) {
+		memMB, pages := o.sizing()
+		return run(memMB, pages, o.seed(), o.Parallelism)
+	})
+}
+
+// tableExpNoPages registers a sweep that sizes itself from memory alone.
+func tableExpNoPages(name string, run func(memMB int, seed int64, workers int) (*Table, error)) {
+	register(name, func(_ context.Context, o Options) (Result, error) {
+		memMB, _ := o.sizing()
+		return run(memMB, o.seed(), o.Parallelism)
+	})
+}
+
+func init() {
+	register("fig1a", func(_ context.Context, _ Options) (Result, error) {
+		return Fig1a(), nil
+	})
+	register("fig1b", func(_ context.Context, _ Options) (Result, error) {
+		return Fig1b(), nil
+	})
+	register("fig3", func(_ context.Context, o Options) (Result, error) {
+		opts := DefaultFig3Options(o.Scale)
+		opts.Parallelism = o.Parallelism
+		if o.Seed != 0 {
+			opts.Seed = o.Seed
+		}
+		return Fig3(opts)
+	})
+	register("table1", func(_ context.Context, o Options) (Result, error) {
+		opts := DefaultTable1Options(o.Scale)
+		opts.Parallelism = o.Parallelism
+		if o.Seed != 0 {
+			opts.Seed = o.Seed
+		}
+		return Table1(opts)
+	})
+	register("faults", func(_ context.Context, o Options) (Result, error) {
+		opts := DefaultFaultsOptions(o.Scale)
+		opts.Parallelism = o.Parallelism
+		if o.Seed != 0 {
+			opts.Seed = o.Seed
+		}
+		if o.FaultRate >= 0 {
+			// Keep the rate-0 baseline: overhead is relative to it.
+			opts.Rates = []float64{0}
+			if o.FaultRate > 0 {
+				opts.Rates = append(opts.Rates, o.FaultRate)
+			}
+		}
+		return FaultSweep(opts)
+	})
+
+	tableExp("ablation/partial-io", AblationPartialIO)
+	tableExp("ablation/spanning", AblationSpanning)
+	tableExp("ablation/bias", AblationBias)
+	tableExpNoPages("ablation/threshold", AblationThreshold)
+	tableExp("ablation/codec", AblationCodec)
+	tableExpNoPages("ablation/fixed-size", AblationFixedSize)
+
+	tableExp("ext/backing-store", BackingStoreSweep)
+	tableExp("ext/compression-speed", CompressionSpeedSweep)
+	register("ext/pinning", func(_ context.Context, o Options) (Result, error) {
+		memMB, pages := o.sizing()
+		return AdvisoryPinning(memMB, pages/3*2, o.seed(), o.Parallelism)
+	})
+	tableExpNoPages("ext/file-cache", CompressedFileCache)
+	tableExp("ext/lfs", LFSComparison)
+	tableExpNoPages("ext/multiprogramming", Multiprogramming)
+	tableExpNoPages("ext/model-validation", ModelValidation)
+	tableExpNoPages("ext/mobile", MobileScenario)
+}

@@ -129,6 +129,9 @@ func Table1(opts Table1Options) (*Table1Result, error) {
 	return res, nil
 }
 
+// Tables implements Result.
+func (r *Table1Result) Tables() []*Table { return []*Table{r.Table()} }
+
 // Table renders the measured table next to the paper's published values.
 func (r *Table1Result) Table() *Table {
 	t := &Table{

@@ -23,6 +23,7 @@ import (
 	"math/rand"
 	"time"
 
+	"compcache/internal/obs"
 	"compcache/internal/sim"
 	"compcache/internal/stats"
 )
@@ -112,6 +113,7 @@ type Injector struct {
 	cfg   Config
 	clock *sim.Clock
 	rng   *rand.Rand
+	bus   *obs.Bus
 	st    stats.Faults
 }
 
@@ -121,6 +123,24 @@ func New(cfg Config, clock *sim.Clock) (*Injector, error) {
 		return nil, err
 	}
 	return &Injector{cfg: cfg, clock: clock, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// SetObserver wires the injector to a machine's event bus; nil disables
+// emission. Emission never consumes randomness, so a traced run makes the
+// same injection decisions as an untraced one.
+func (in *Injector) SetObserver(b *obs.Bus) {
+	if in != nil {
+		in.bus = b
+	}
+}
+
+// emit records one fired injection decision.
+func (in *Injector) emit(kind int64) {
+	if in.bus.Enabled(obs.ClassInject) {
+		in.bus.Emit(obs.Event{
+			T: in.clock.Now(), Class: obs.ClassInject, Sub: obs.SubFault, Aux: kind,
+		})
+	}
 }
 
 // Stats returns the injected-fault counters. The detection and recovery
@@ -157,6 +177,7 @@ func (in *Injector) DiskRead() error {
 		return nil
 	}
 	in.st.InjectedReadErrors++
+	in.emit(obs.InjectReadError)
 	return &DeviceError{Op: "read", At: in.clock.Now()}
 }
 
@@ -166,6 +187,7 @@ func (in *Injector) DiskWrite() error {
 		return nil
 	}
 	in.st.InjectedWriteErrors++
+	in.emit(obs.InjectWriteError)
 	return &DeviceError{Op: "write", At: in.clock.Now()}
 }
 
@@ -176,6 +198,7 @@ func (in *Injector) Latency() time.Duration {
 		return 0
 	}
 	in.st.InjectedSpikes++
+	in.emit(obs.InjectLatencySpike)
 	return in.cfg.LatencySpike
 }
 
@@ -187,7 +210,7 @@ func (in *Injector) CorruptCache(frag []byte) bool {
 	if in == nil {
 		return false
 	}
-	return in.corrupt(in.cfg.CacheCorruptionRate, frag)
+	return in.corrupt(in.cfg.CacheCorruptionRate, frag, obs.InjectCacheCorruption)
 }
 
 // CorruptSwap flips one bit of a compressed fragment just read from the
@@ -196,16 +219,17 @@ func (in *Injector) CorruptSwap(frag []byte) bool {
 	if in == nil {
 		return false
 	}
-	return in.corrupt(in.cfg.SwapCorruptionRate, frag)
+	return in.corrupt(in.cfg.SwapCorruptionRate, frag, obs.InjectSwapCorruption)
 }
 
-func (in *Injector) corrupt(rate float64, frag []byte) bool {
+func (in *Injector) corrupt(rate float64, frag []byte, kind int64) bool {
 	if len(frag) == 0 || !in.draw(rate) {
 		return false
 	}
 	bit := in.rng.Intn(len(frag) * 8)
 	frag[bit>>3] ^= 1 << (bit & 7)
 	in.st.InjectedCorruptions++
+	in.emit(kind)
 	return true
 }
 

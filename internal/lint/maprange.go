@@ -101,20 +101,30 @@ func (m MapRange) checkLoop(pkg *Package, fd *ast.FuncDecl, rs *ast.RangeStmt) [
 }
 
 // orderedOutputCall recognizes calls that emit ordered output: the fmt
-// printers and the strings.Builder / bytes.Buffer writer methods.
+// printers, io.WriteString, writer/encoder methods (Write, WriteString,
+// Encode, ...) and the obs exporters (WriteEventsJSONL, WriteTimeline, ...
+// all match the Write prefix rule below).
 func orderedOutputCall(call *ast.CallExpr) (string, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return "", false
 	}
-	if id, ok := sel.X.(*ast.Ident); ok && id.Name == "fmt" {
-		switch sel.Sel.Name {
-		case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
-			return "fmt." + sel.Sel.Name, true
+	if id, ok := sel.X.(*ast.Ident); ok {
+		switch id.Name {
+		case "fmt":
+			switch sel.Sel.Name {
+			case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
+				return "fmt." + sel.Sel.Name, true
+			}
+		case "io":
+			if sel.Sel.Name == "WriteString" {
+				return "io.WriteString", true
+			}
 		}
 	}
 	switch sel.Sel.Name {
-	case "WriteString", "WriteByte", "WriteRune":
+	case "Write", "WriteString", "WriteByte", "WriteRune", "WriteTo",
+		"Encode", "WriteAll":
 		return sel.Sel.Name, true
 	}
 	return "", false

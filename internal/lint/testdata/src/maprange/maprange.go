@@ -2,7 +2,9 @@
 package mr
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 )
@@ -42,6 +44,21 @@ func badConcat(m map[string]string) string {
 		out += v + "\n" // want `string built inside map iteration`
 	}
 	return out
+}
+
+// badWrite pushes bytes from map iteration straight through a writer.
+func badWrite(w io.Writer, m map[string][]byte) {
+	for _, v := range m {
+		w.Write(v)             // want `Write inside map iteration`
+		io.WriteString(w, "x") // want `io\.WriteString inside map iteration`
+	}
+}
+
+// badEncode streams records in random map order through an encoder.
+func badEncode(enc *json.Encoder, m map[string]int) {
+	for k := range m {
+		enc.Encode(k) // want `Encode inside map iteration`
+	}
 }
 
 // goodCollectSort is the canonical deterministic idiom: collect, sort,

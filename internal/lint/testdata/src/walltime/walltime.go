@@ -19,6 +19,16 @@ func bad() {
 	_, _ = t, tick
 }
 
+// badValue smuggles the host clock past a call-only check by handing the
+// functions around as values.
+func badValue() {
+	now := time.Now // want `wall-clock func time\.Now referenced as a value`
+	_ = now
+	stamp(wall.Since) // want `wall-clock func time\.Since referenced as a value`
+}
+
+func stamp(func(time.Time) time.Duration) {}
+
 // good uses the time package the way the simulation does: durations as
 // units of virtual time, never the host clock.
 func good() time.Duration {

@@ -54,12 +54,21 @@ func (w Walltime) Check(pkg *Package) []Diagnostic {
 					"dot-import of package time hides wall-clock calls from walltime; import it qualified"))
 			}
 		}
+		// First pass: remember which selectors are call targets, so the
+		// second pass can tell time.Now() apart from time.Now handed around
+		// as a value (a callback, a field default, a func variable) — the
+		// value form smuggles the host clock past a call-only check.
+		callFuns := map[*ast.SelectorExpr]bool{}
 		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
+			if call, ok := n.(*ast.CallExpr); ok {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+					callFuns[sel] = true
+				}
 			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {
 				return true
 			}
@@ -67,9 +76,16 @@ func (w Walltime) Check(pkg *Package) []Diagnostic {
 			if !ok || !slices.Contains(names, id.Name) {
 				return true
 			}
-			if wallClockFuncs[sel.Sel.Name] {
-				out = append(out, diag(pkg, w.Name(), call,
+			if !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			if callFuns[sel] {
+				out = append(out, diag(pkg, w.Name(), sel,
 					"wall-clock call time.%s contaminates virtual-time measurements; advance the sim clock instead",
+					sel.Sel.Name))
+			} else {
+				out = append(out, diag(pkg, w.Name(), sel,
+					"wall-clock func time.%s referenced as a value; whatever calls it reads the host clock",
 					sel.Sel.Name))
 			}
 			return true

@@ -12,6 +12,7 @@ import (
 	"compcache/internal/fs"
 	"compcache/internal/mem"
 	"compcache/internal/netdev"
+	"compcache/internal/obs"
 	"compcache/internal/policy"
 	"compcache/internal/sim"
 	"compcache/internal/stats"
@@ -48,6 +49,10 @@ type Machine struct {
 	err         error        // first fatal error; see Err
 	start       sim.Time
 	startFrozen bool
+
+	bus        *obs.Bus       // nil when Config.Obs is nil
+	compHist   *obs.Histogram // machine.compress_page — per-page compression time
+	decompHist *obs.Histogram // machine.decompress_page — per-page decompression time
 }
 
 // New builds a machine from the configuration.
@@ -65,24 +70,34 @@ func New(cfg Config) (*Machine, error) {
 	frames := int(cfg.MemoryBytes / int64(cfg.PageSize))
 	m.Pool = mem.NewPool(frames, cfg.PageSize)
 
+	if cfg.Obs != nil {
+		m.bus = obs.NewBus(*cfg.Obs)
+	}
+	// Probe handles are nil-safe, so they are cached unconditionally.
+	m.compHist = m.bus.Histogram("machine.compress_page")
+	m.decompHist = m.bus.Histogram("machine.decompress_page")
+
 	var err error
 	if cfg.Faults != nil {
 		m.faults, err = fault.New(*cfg.Faults, m.Clock)
 		if err != nil {
 			return nil, err
 		}
+		m.faults.SetObserver(m.bus)
 	}
 	if cfg.Net != nil {
 		var net *netdev.Net
 		net, err = netdev.New(*cfg.Net, m.Clock)
 		if err == nil {
 			net.SetFaultInjector(m.faults)
+			net.SetObserver(m.bus)
 			m.Device = net
 		}
 	} else {
 		m.Disk, err = disk.New(cfg.Disk, m.Clock)
 		if err == nil {
 			m.Disk.SetFaultInjector(m.faults)
+			m.Disk.SetObserver(m.bus)
 			m.Device = m.Disk
 		}
 	}
@@ -95,6 +110,7 @@ func New(cfg Config) (*Machine, error) {
 	}
 	m.VM = vm.New(m.Clock, m.Pool, cfg.Cost)
 	m.VM.SetPager(m)
+	m.VM.SetObserver(m.bus)
 
 	m.alloc = policy.NewAllocator(m.Pool, m.Clock)
 	m.alloc.Reserve = cfg.ReserveFrames
@@ -114,11 +130,13 @@ func New(cfg Config) (*Machine, error) {
 		}
 		m.CC = core.New(cfg.CC.Core, m.Clock, m.Pool)
 		m.CC.SetHooks(m.flushEntries, m.entryDropped)
+		m.CC.SetObserver(m.bus)
 		m.alloc.Register(ccConsumer{m.CC}, bias("cc"))
 		m.clustered, err = swap.NewClustered(cfg.Swap, m.FS)
 		if err != nil {
 			return nil, err
 		}
+		m.clustered.SetObserver(m.bus, m.Clock)
 		if cfg.CC.FixedFrames > 0 {
 			m.CC.Prefill(cfg.CC.FixedFrames)
 		}
@@ -192,6 +210,18 @@ func (m *Machine) Faults() stats.Faults {
 	f.Recoveries = m.fst.Recoveries
 	return f
 }
+
+// Bus returns the machine's event bus, or nil when observability is
+// disabled (Config.Obs == nil).
+func (m *Machine) Bus() *obs.Bus { return m.bus }
+
+// Events returns the retained event window in emission order (nil when
+// observability is disabled).
+func (m *Machine) Events() []obs.Event { return m.bus.Events() }
+
+// Metrics captures the machine's metrics registry in deterministic sorted
+// order (nil when observability is disabled).
+func (m *Machine) Metrics() *obs.Snapshot { return m.bus.Snapshot() }
 
 // Elapsed reports the virtual time since the machine was created or since
 // the last ResetClockBase call.
@@ -344,15 +374,19 @@ func (m *Machine) maybeClean() {
 	}
 }
 
-// Stats assembles the full statistics block.
+// Stats assembles the full statistics block: nested per-subsystem views
+// (VM, Comp, Disk, CC, Swap, Faults) plus — when the machine carries an
+// observability bus — a deterministic snapshot of its metrics registry in
+// Metrics. The deprecated flat Fault field stays populated.
 func (m *Machine) Stats() stats.Run {
 	r := stats.Run{
-		VM:    m.VM.Stats(),
-		Comp:  m.comp,
-		Disk:  m.Device.Stats(),
-		Fault: m.Faults(),
-		Time:  m.Elapsed(),
+		VM:     m.VM.Stats(),
+		Comp:   m.comp,
+		Disk:   m.Device.Stats(),
+		Faults: m.Faults(),
+		Time:   m.Elapsed(),
 	}
+	r.Fault = r.Faults
 	if m.CC != nil {
 		r.CC = m.CC.Stats()
 	}
@@ -360,6 +394,18 @@ func (m *Machine) Stats() stats.Run {
 		r.Swap = m.clustered.Stats()
 	} else if m.direct != nil {
 		r.Swap = m.direct.Stats()
+	}
+	if m.bus != nil {
+		// Gauges are levels, sampled at snapshot time rather than maintained
+		// on the hot path.
+		m.bus.Gauge("vm.resident_pages").Set(int64(m.VM.ResidentPages()))
+		m.bus.Gauge("pool.free_frames").Set(int64(m.Pool.FreeCount()))
+		if m.CC != nil {
+			m.bus.Gauge("cc.frames").Set(int64(m.CC.FrameCount()))
+			m.bus.Gauge("cc.live_bytes").Set(int64(m.CC.LiveBytes()))
+			m.bus.Gauge("cc.dirty_bytes").Set(int64(m.CC.DirtyBytes()))
+		}
+		r.Metrics = m.bus.Snapshot()
 	}
 	return r
 }
@@ -402,6 +448,7 @@ func (m *Machine) PageOut(p *vm.Page, data []byte) error {
 
 	// Compression cache path: compress the page and decide its fate.
 	m.Clock.Advance(m.cfg.Cost.CompressCost(len(data)))
+	m.compHist.Observe(m.cfg.Cost.CompressCost(len(data)))
 	m.comp.Compressions++
 	m.comp.BytesIn += uint64(len(data))
 	cdata := m.codecFor(p.Key.Seg).Compress(nil, data)
@@ -494,6 +541,12 @@ func (m *Machine) PageIn(p *vm.Page, data []byte) (vm.Source, error) {
 				}
 			}
 			m.fst.Recoveries++
+			if m.bus.Enabled(obs.ClassRecovery) {
+				m.bus.Emit(obs.Event{
+					T: m.Clock.Now(), Class: obs.ClassRecovery, Sub: obs.SubMachine,
+					Seg: p.Key.Seg, Page: p.Key.Page,
+				})
+			}
 			// Fall through to the backing-store read.
 		}
 	}
@@ -654,6 +707,7 @@ func (f fsBlockCache) Store(fileID int32, block int64, data []byte) (bool, error
 		return true, nil // still-valid compressed copy from an earlier eviction
 	}
 	m.Clock.Advance(m.cfg.Cost.CompressCost(len(data)))
+	m.compHist.Observe(m.cfg.Cost.CompressCost(len(data)))
 	m.comp.Compressions++
 	m.comp.BytesIn += uint64(len(data))
 	cdata := m.codec.Compress(nil, data)
@@ -722,6 +776,7 @@ func (m *Machine) entryDropped(key swap.PageKey) {
 // callers decide whether a fallback copy exists.
 func (m *Machine) decompressInto(data, cdata []byte, sum uint32, key swap.PageKey) error {
 	m.Clock.Advance(m.cfg.Cost.DecompressCost(len(data)))
+	m.decompHist.Observe(m.cfg.Cost.DecompressCost(len(data)))
 	m.comp.Decompressions++
 	if core.Checksum(cdata) != sum {
 		m.fst.CorruptionsDetected++

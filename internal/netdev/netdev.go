@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"compcache/internal/fault"
+	"compcache/internal/obs"
 	"compcache/internal/sim"
 	"compcache/internal/stats"
 )
@@ -126,6 +127,10 @@ type Net struct {
 	busyAt sim.Time
 	st     stats.Disk
 	faults *fault.Injector // nil injects nothing
+
+	bus      *obs.Bus
+	waitHist *obs.Histogram // net.queue_wait — delay behind the send queue
+	svcHist  *obs.Histogram // net.service — RTT plus transfer
 }
 
 // New creates a network device on the given clock.
@@ -142,6 +147,14 @@ func (n *Net) Params() Params { return n.params }
 // SetFaultInjector attaches a fault injector; nil (the default) disables
 // injection. The injector must live on the same clock as the device.
 func (n *Net) SetFaultInjector(in *fault.Injector) { n.faults = in }
+
+// SetObserver wires the device to a machine's event bus; nil disables
+// emission.
+func (n *Net) SetObserver(b *obs.Bus) {
+	n.bus = b
+	n.waitHist = b.Histogram("net.queue_wait")
+	n.svcHist = b.Histogram("net.service")
+}
 
 // Granularity reports the packet payload size (the fs.Device interface).
 func (n *Net) Granularity() int { return n.params.PacketBytes }
@@ -185,9 +198,23 @@ func (p Params) backoff(attempt int) time.Duration {
 // timeline and draw the injected-failure decision.
 func (n *Net) attempt(bytes int, write bool, sync bool) error {
 	svc := n.opTime(bytes) + n.faults.Latency()
-	done := n.start().Add(svc)
+	st := n.start()
+	wait := time.Duration(st - n.clock.Now())
+	done := st.Add(svc)
 	n.busyAt = done
 	n.st.BusyTime += svc
+	n.waitHist.Observe(wait)
+	n.svcHist.Observe(svc)
+	class := obs.ClassDiskRead
+	if write {
+		class = obs.ClassDiskWrite
+	}
+	if n.bus.Enabled(class) {
+		n.bus.Emit(obs.Event{
+			T: done, Class: class, Sub: obs.SubNet,
+			Bytes: int64(bytes), Dur: svc, Aux: int64(wait),
+		})
+	}
 	if sync {
 		n.clock.AdvanceTo(done)
 	}
@@ -206,6 +233,12 @@ func (n *Net) transfer(bytes int, write bool, sync bool) error {
 	for retry := 1; err != nil && retry <= n.params.Retries; retry++ {
 		n.st.Retries++
 		wait := n.params.backoff(retry)
+		if n.bus.Enabled(obs.ClassRetry) {
+			n.bus.Emit(obs.Event{
+				T: n.clock.Now(), Class: obs.ClassRetry, Sub: obs.SubNet,
+				Bytes: int64(bytes), Dur: wait, Aux: int64(retry),
+			})
+		}
 		if sync {
 			n.clock.Advance(wait)
 		} else {

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"compcache/internal/obs"
 )
 
 // VM aggregates virtual-memory events.
@@ -111,16 +113,31 @@ type Swap struct {
 	GCBytesCopied uint64 // live bytes moved by GC
 }
 
-// Run is the full stats block one simulation produces.
+// Run is the full stats block one simulation produces, organized as nested
+// per-subsystem views: Stats().VM, .CC, .Swap, .Disk, .Faults.
 type Run struct {
-	VM    VM
-	Comp  Compression
-	Disk  Disk
-	CC    CC
-	Swap  Swap
+	VM     VM
+	Comp   Compression
+	Disk   Disk
+	CC     CC
+	Swap   Swap
+	Faults Faults
+
+	// Fault is a deprecated alias of Faults, kept populated so callers
+	// written against the flat field keep compiling and reading the same
+	// numbers.
+	//
+	// Deprecated: use Faults.
 	Fault Faults
+
 	Time  time.Duration // virtual execution time of the workload
 	Extra map[string]float64
+
+	// Metrics is the machine's obs-registry snapshot (counters, gauges,
+	// virtual-latency histograms), nil when the machine ran without an
+	// observability bus. It is deterministic — sorted by name with fixed
+	// buckets — so DeepEqual comparisons between runs remain valid.
+	Metrics *obs.Snapshot
 }
 
 // AddExtra records a named auxiliary metric (workload-specific).
@@ -158,10 +175,10 @@ func (r Run) String() string {
 		r.Disk.Reads, r.Disk.Writes, bytesStr(r.Disk.BytesRead), bytesStr(r.Disk.BytesWritten), r.Disk.BusyTime)
 	fmt.Fprintf(&b, "swap            %d pages out / %d pages in, %d GCs\n",
 		r.Swap.PagesOut, r.Swap.PagesIn, r.Swap.GCs)
-	if r.Fault.Any() {
+	if r.Faults.Any() {
 		fmt.Fprintf(&b, "faults-injected %d read-err %d write-err %d corrupt %d spikes (detected %d, recovered %d)\n",
-			r.Fault.InjectedReadErrors, r.Fault.InjectedWriteErrors, r.Fault.InjectedCorruptions,
-			r.Fault.InjectedSpikes, r.Fault.CorruptionsDetected, r.Fault.Recoveries)
+			r.Faults.InjectedReadErrors, r.Faults.InjectedWriteErrors, r.Faults.InjectedCorruptions,
+			r.Faults.InjectedSpikes, r.Faults.CorruptionsDetected, r.Faults.Recoveries)
 	}
 	if len(r.Extra) > 0 {
 		keys := make([]string, 0, len(r.Extra))

@@ -5,6 +5,8 @@ import (
 	"sort"
 
 	"compcache/internal/fs"
+	"compcache/internal/obs"
+	"compcache/internal/sim"
 	"compcache/internal/stats"
 )
 
@@ -104,6 +106,9 @@ type Clustered struct {
 	hint    int // first-fit search start
 	inGC    bool
 
+	bus   *obs.Bus
+	clock *sim.Clock // event timestamps only; the fs layer charges the I/O
+
 	st stats.Swap
 }
 
@@ -122,6 +127,14 @@ func NewClustered(cfg ClusterConfig, fsys *fs.FS) (*Clustered, error) {
 		extents:   make(map[PageKey]extent),
 		byStart:   make(map[int32]PageKey),
 	}, nil
+}
+
+// SetObserver wires the store to a machine's event bus; nil disables
+// emission. The clock supplies event timestamps (the store itself charges no
+// time — the fs layer below it does).
+func (c *Clustered) SetObserver(b *obs.Bus, clock *sim.Clock) {
+	c.bus = b
+	c.clock = clock
 }
 
 // Stats returns a snapshot of the store's counters, including current
@@ -262,6 +275,12 @@ func (c *Clustered) WriteCluster(items []Item, async bool) error {
 	c.padFr += int(total - liveFrags)
 	if !c.inGC {
 		c.st.PagesOut += uint64(len(items))
+		if c.bus.Enabled(obs.ClassFlush) {
+			c.bus.Emit(obs.Event{
+				T: c.clock.Now(), Class: obs.ClassFlush, Sub: obs.SubSwap,
+				Bytes: int64(n), Aux: int64(len(items)),
+			})
+		}
 	}
 	return nil
 }
@@ -387,6 +406,15 @@ func (c *Clustered) GC() error {
 	c.inGC = true
 	defer func() { c.inGC = false }()
 	c.st.GCs++
+	copiedBefore := c.st.GCBytesCopied
+	defer func() {
+		if c.bus.Enabled(obs.ClassSwapGC) {
+			c.bus.Emit(obs.Event{
+				T: c.clock.Now(), Class: obs.ClassSwapGC, Sub: obs.SubSwap,
+				Bytes: int64(c.st.GCBytesCopied - copiedBefore),
+			})
+		}
+	}()
 
 	type livePage struct {
 		key  PageKey

@@ -17,8 +17,10 @@ package vm
 
 import (
 	"fmt"
+	"time"
 
 	"compcache/internal/mem"
+	"compcache/internal/obs"
 	"compcache/internal/sim"
 	"compcache/internal/stats"
 	"compcache/internal/swap"
@@ -166,6 +168,9 @@ type VM struct {
 	// page, write); the trace package's Recorder plugs in here.
 	traceHook func(seg, page int32, write bool)
 
+	bus       *obs.Bus
+	faultHist *obs.Histogram // vm.fault_service — full fault service time
+
 	st stats.VM
 }
 
@@ -197,6 +202,13 @@ func (v *VM) SetFrameSource(f func(mem.Owner) (mem.FrameID, error)) { v.frameSou
 // SetTraceHook installs an observer called on every simulated reference;
 // nil disables tracing.
 func (v *VM) SetTraceHook(f func(seg, page int32, write bool)) { v.traceHook = f }
+
+// SetObserver wires the VM to a machine's event bus; nil disables emission.
+// Probe handles are cached here so the fault path never touches registry maps.
+func (v *VM) SetObserver(b *obs.Bus) {
+	v.bus = b
+	v.faultHist = b.Histogram("vm.fault_service")
+}
 
 // Stats returns a snapshot of the VM counters.
 func (v *VM) Stats() stats.VM { return v.st }
@@ -273,6 +285,7 @@ func (v *VM) fault(p *Page) error {
 		panic("vm: fault on resident page")
 	}
 	v.st.Faults++
+	t0 := v.clock.Now()
 	v.clock.Advance(v.cost.FaultOverhead)
 
 	frame, err := v.frameSource(mem.VM)
@@ -281,6 +294,7 @@ func (v *VM) fault(p *Page) error {
 	}
 	data := v.pool.Bytes(frame)
 
+	source := obs.FaultSrcZero
 	switch p.State {
 	case Untouched:
 		v.st.ColdFaults++
@@ -296,8 +310,10 @@ func (v *VM) fault(p *Page) error {
 		switch src {
 		case SrcCC:
 			v.st.CacheHits++
+			source = obs.FaultSrcCC
 		case SrcSwap:
 			v.st.SwapIns++
+			source = obs.FaultSrcSwap
 		case SrcZero:
 			v.st.ColdFaults++
 		}
@@ -305,6 +321,14 @@ func (v *VM) fault(p *Page) error {
 	p.Frame = frame
 	p.State = Resident
 	v.lruAppend(p)
+	svc := time.Duration(v.clock.Now() - t0)
+	v.faultHist.Observe(svc)
+	if v.bus.Enabled(obs.ClassFault) {
+		v.bus.Emit(obs.Event{
+			T: v.clock.Now(), Class: obs.ClassFault, Sub: obs.SubVM,
+			Seg: p.Key.Seg, Page: p.Key.Page, Dur: svc, Aux: source,
+		})
+	}
 	return nil
 }
 
@@ -368,6 +392,16 @@ func (v *VM) Evict(p *Page) error {
 	v.st.Evictions++
 	if p.Dirty {
 		v.st.WriteBacks++
+	}
+	if v.bus.Enabled(obs.ClassEvict) {
+		aux := int64(0)
+		if p.Dirty {
+			aux = 1
+		}
+		v.bus.Emit(obs.Event{
+			T: v.clock.Now(), Class: obs.ClassEvict, Sub: obs.SubVM,
+			Seg: p.Key.Seg, Page: p.Key.Page, Aux: aux,
+		})
 	}
 	v.lruRemove(p)
 	v.resident--

@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"compcache/internal/fault"
+	"compcache/internal/machine"
+	"compcache/internal/obs"
+	"compcache/internal/runner"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden trace files instead of comparing")
+
+// tracedRun runs one fully-traced thrashing machine and renders everything
+// the observability layer produced — the JSONL event stream followed by the
+// metrics snapshot — as one byte string, the unit of comparison for the
+// determinism contract.
+func tracedRun(memFrames int, pages int32, seed int64, faults bool) (string, error) {
+	cfg := machine.Default(int64(memFrames) * 4096).WithCC().WithObs(obs.Options{})
+	if faults {
+		// Latency spikes only: deterministic, never fatal, and they route
+		// through the injector's rng so emission order is exercised too.
+		cfg = cfg.WithFaults(fault.Config{Seed: seed, LatencySpikeRate: 0.05, LatencySpike: time.Millisecond})
+	}
+	m, _, err := MeasureMachine(cfg, &Thrasher{Pages: pages, Write: true, Passes: 2, Seed: seed})
+	if err != nil {
+		return "", err
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteEventsJSONL(&buf, m.Events()); err != nil {
+		return "", err
+	}
+	buf.WriteString(m.Metrics().String())
+	return buf.String(), nil
+}
+
+// TestObsParallelDeterminism is the tentpole's hard contract: the event
+// stream and every histogram of each machine in a fleet are byte-identical
+// whether the fleet runs serially or on eight workers. Each machine is
+// single-threaded on its own virtual clock, so host scheduling must not be
+// able to perturb a trace; if this fails, some probe site consumed shared
+// state (host clock, global rand, map order) on the hot path.
+func TestObsParallelDeterminism(t *testing.T) {
+	type variant struct {
+		frames int
+		pages  int32
+		seed   int64
+		faults bool
+	}
+	fleet := []variant{
+		{64, 96, 1, false},
+		{64, 96, 2, false},
+		{32, 80, 3, false},
+		{32, 80, 3, true},
+		{128, 96, 4, false},
+		{64, 128, 5, true},
+	}
+	render := func(ctx context.Context, i int) (string, error) {
+		v := fleet[i]
+		return tracedRun(v.frames, v.pages, v.seed, v.faults)
+	}
+	serial, err := runner.Map(context.Background(), 1, len(fleet), render)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := runner.Map(context.Background(), 8, len(fleet), render)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fleet {
+		if serial[i] == "" {
+			t.Fatalf("machine %d produced an empty trace", i)
+		}
+		if serial[i] != parallel[i] {
+			t.Fatalf("machine %d: -j1 and -j8 traces differ (%d vs %d bytes)\nfirst divergence near: %s",
+				i, len(serial[i]), len(parallel[i]), firstDiff(serial[i], parallel[i]))
+		}
+	}
+	// Distinct seeds must yield distinct traces, or the comparison above is
+	// vacuous.
+	if serial[0] == serial[1] {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// firstDiff excerpts the region where two strings first diverge.
+func firstDiff(a, b string) string {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo, hi := max(0, i-40), min(n, i+40)
+			return fmt.Sprintf("byte %d: %q vs %q", i, a[lo:hi], b[lo:hi])
+		}
+	}
+	return fmt.Sprintf("length %d vs %d", len(a), len(b))
+}
+
+// TestGoldenTrace pins the exact trace of a tiny fixed-seed workload: the
+// JSONL event stream plus the metrics snapshot must match the checked-in
+// golden file byte for byte. Any intentional change to event emission,
+// costs, or policy shows up as a reviewable golden diff; regenerate with
+//
+//	go test ./internal/workload -run TestGoldenTrace -update
+func TestGoldenTrace(t *testing.T) {
+	got, err := tracedRun(32, 48, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden_trace.jsonl")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("trace deviates from %s (%d vs %d bytes)\nfirst divergence near: %s\nif the change is intentional, rerun with -update",
+			path, len(got), len(want), firstDiff(got, string(want)))
+	}
+}

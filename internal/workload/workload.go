@@ -40,23 +40,33 @@ type Workload interface {
 
 // Measure builds a machine from cfg, runs w, and returns the final stats.
 func Measure(cfg machine.Config, w Workload) (stats.Run, error) {
+	_, st, err := MeasureMachine(cfg, w)
+	return st, err
+}
+
+// MeasureMachine is Measure for callers that also need the machine after the
+// run — typically to read its event ring (Machine.Events) or metrics
+// snapshot, which stats.Run does not carry. The machine is returned even on
+// error (nil only if construction itself failed), so a died run's trace can
+// still be inspected.
+func MeasureMachine(cfg machine.Config, w Workload) (*machine.Machine, stats.Run, error) {
 	m, err := machine.New(cfg)
 	if err != nil {
-		return stats.Run{}, err
+		return nil, stats.Run{}, err
 	}
 	if err := w.Run(m); err != nil {
-		return stats.Run{}, fmt.Errorf("workload %s: %w", w.Name(), err)
+		return m, stats.Run{}, fmt.Errorf("workload %s: %w", w.Name(), err)
 	}
 	// A paging failure inside the run sticks to the machine rather than
 	// aborting mid-workload; surface it here so a died run reports its typed
 	// error (fault.IsUnrecoverable distinguishes data loss from bugs).
 	if err := m.Err(); err != nil {
-		return stats.Run{}, fmt.Errorf("workload %s: %w", w.Name(), err)
+		return m, stats.Run{}, fmt.Errorf("workload %s: %w", w.Name(), err)
 	}
 	if err := m.CheckInvariants(); err != nil {
-		return stats.Run{}, fmt.Errorf("workload %s: post-run invariant violation: %w", w.Name(), err)
+		return m, stats.Run{}, fmt.Errorf("workload %s: post-run invariant violation: %w", w.Name(), err)
 	}
-	return m.Stats(), nil
+	return m, m.Stats(), nil
 }
 
 // Comparison is the outcome of running one workload on the baseline machine
