@@ -3,19 +3,26 @@
 //
 // Usage:
 //
-//	cclint [-json] [-list] [packages...]
+//	cclint [-json] [-list] [-werror] [-baseline file] [-write-baseline] [packages...]
 //
 // Packages default to ./... . Patterns follow the go tool's shape
-// ("./...", "./internal/...", or plain directories). Exit status is 0
-// when the tree is clean, 1 when there are findings, and 2 on usage or
-// load errors.
+// ("./...", "./internal/...", or plain directories); whatever the
+// patterns, the whole module is loaded and type-checked so cross-package
+// analyses (crosscredit, obscoverage) see every call path — patterns only
+// select which packages' findings are reported. Exit status is 0 when the
+// tree is clean (warn-severity findings do not fail unless -werror), 1
+// when there are error findings, and 2 on usage or load errors.
 //
 // Findings are suppressed one line at a time, with a mandatory reason:
 //
 //	start := time.Now() //cclint:ignore walltime -- host-time progress line
 //
-// See internal/lint for the analyzers and DESIGN.md ("Determinism and
-// virtual-time invariants") for why each rule exists.
+// or, for incremental adoption of a new analyzer, recorded wholesale with
+// -write-baseline into .cclint-baseline.json and burned down over time —
+// CI fails while the checked-in baseline is non-empty.
+//
+// See internal/lint for the analyzers and DESIGN.md ("Static analysis
+// engine") for the call-graph machinery and why each rule exists.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"compcache/internal/lint"
 )
@@ -30,21 +38,33 @@ import (
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	werror := flag.Bool("werror", false, "treat warn-severity findings as errors for the exit status")
+	baselinePath := flag.String("baseline", ".cclint-baseline.json", "baseline file (module-root-relative unless absolute); missing file = empty baseline")
+	writeBaseline := flag.Bool("write-baseline", false, "record current findings into the baseline file and exit 0")
 	flag.Parse()
 
 	analyzers := lint.All()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name(), a.Doc())
+			fmt.Printf("%-12s %-5s %s\n", a.Name(), a.Severity(), a.Doc())
 		}
 		return
+	}
+
+	mod, err := lint.LoadModule(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cclint:", err)
+		os.Exit(2)
+	}
+	for _, terr := range mod.TypeErrors {
+		fmt.Fprintln(os.Stderr, "cclint: type error:", terr)
 	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := lint.Load(".", patterns)
+	pkgs, err := mod.Select(".", patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cclint:", err)
 		os.Exit(2)
@@ -55,6 +75,26 @@ func main() {
 	}
 
 	diags := lint.Run(pkgs, analyzers)
+
+	bp := *baselinePath
+	if !filepath.IsAbs(bp) {
+		bp = filepath.Join(mod.Root, bp)
+	}
+	if *writeBaseline {
+		if err := lint.WriteBaseline(bp, mod.Root, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "cclint:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "cclint: wrote %d finding(s) to %s\n", len(diags), bp)
+		return
+	}
+	entries, err := lint.LoadBaseline(bp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cclint:", err)
+		os.Exit(2)
+	}
+	diags, suppressed := lint.ApplyBaseline(entries, mod.Root, diags)
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -70,10 +110,14 @@ func main() {
 			fmt.Println(d)
 		}
 	}
-	if len(diags) > 0 {
-		if !*jsonOut {
-			fmt.Fprintf(os.Stderr, "cclint: %d finding(s)\n", len(diags))
+
+	fail := lint.ErrorCount(diags) > 0 || (*werror && len(diags) > 0)
+	if len(diags) > 0 || suppressed > 0 {
+		if !*jsonOut || suppressed > 0 {
+			fmt.Fprintf(os.Stderr, "cclint: %d finding(s), %d suppressed by baseline\n", len(diags), suppressed)
 		}
+	}
+	if fail {
 		os.Exit(1)
 	}
 }

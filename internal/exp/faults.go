@@ -22,7 +22,7 @@ type FaultPoint struct {
 	Survived int           // trials that completed despite the faults
 	MeanTime time.Duration // mean elapsed virtual time among survivors
 	Overhead float64       // survivor mean / fault-free mean (1.0 at rate 0)
-	Fault    stats.Faults  // fault activity summed over surviving trials
+	Faults   stats.Faults  // fault activity summed over all trials (died trials included)
 }
 
 // SurvivalPct reports the fraction of trials that completed, in percent.
@@ -159,13 +159,13 @@ func FaultSweep(opts FaultsOptions) (*FaultsResult, error) {
 			t := trials[ri*opts.Trials+tr]
 			// Fault activity counts for every trial — a died trial's
 			// injections up to the death are part of the picture.
-			f := t.run.Fault
-			pt.Fault.InjectedReadErrors += f.InjectedReadErrors
-			pt.Fault.InjectedWriteErrors += f.InjectedWriteErrors
-			pt.Fault.InjectedCorruptions += f.InjectedCorruptions
-			pt.Fault.InjectedSpikes += f.InjectedSpikes
-			pt.Fault.CorruptionsDetected += f.CorruptionsDetected
-			pt.Fault.Recoveries += f.Recoveries
+			f := t.run.Faults
+			pt.Faults.InjectedReadErrors += f.InjectedReadErrors
+			pt.Faults.InjectedWriteErrors += f.InjectedWriteErrors
+			pt.Faults.InjectedCorruptions += f.InjectedCorruptions
+			pt.Faults.InjectedSpikes += f.InjectedSpikes
+			pt.Faults.CorruptionsDetected += f.CorruptionsDetected
+			pt.Faults.Recoveries += f.Recoveries
 			if t.died {
 				continue
 			}
@@ -214,11 +214,11 @@ func (r *FaultsResult) Table() *Table {
 			fmt.Sprintf("%.0f", p.SurvivalPct()),
 			mean,
 			overhead,
-			fmt.Sprint(p.Fault.InjectedReadErrors+p.Fault.InjectedWriteErrors),
-			fmt.Sprint(p.Fault.InjectedSpikes),
-			fmt.Sprint(p.Fault.InjectedCorruptions),
-			fmt.Sprint(p.Fault.CorruptionsDetected),
-			fmt.Sprint(p.Fault.Recoveries))
+			fmt.Sprint(p.Faults.InjectedReadErrors+p.Faults.InjectedWriteErrors),
+			fmt.Sprint(p.Faults.InjectedSpikes),
+			fmt.Sprint(p.Faults.InjectedCorruptions),
+			fmt.Sprint(p.Faults.CorruptionsDetected),
+			fmt.Sprint(p.Faults.Recoveries))
 	}
 	return t
 }

@@ -50,7 +50,7 @@ func TestFaultSweepShape(t *testing.T) {
 		t.Fatalf("points = %d, want 3", len(res.Points))
 	}
 	p0 := res.Points[0]
-	if p0.Survived != p0.Trials || p0.Overhead != 1.0 || p0.Fault.Any() {
+	if p0.Survived != p0.Trials || p0.Overhead != 1.0 || p0.Faults.Any() {
 		t.Fatalf("rate-0 row should be clean: %+v", p0)
 	}
 	if res.BaseTime == 0 {

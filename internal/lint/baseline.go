@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Baseline support: incremental adoption without weakening the ratchet.
+//
+// Introducing a new analyzer over a tree with existing findings forces a
+// bad choice — fix everything in the same change (huge PRs), or sprinkle
+// ignore directives that misrepresent deliberate suppressions. A baseline
+// is the third option: `cclint -write-baseline` records today's findings
+// in .cclint-baseline.json, subsequent runs subtract exactly those, and
+// the file can only shrink — CI fails while the checked-in baseline is
+// non-empty, so the debt is burned down in follow-ups, never accreted.
+//
+// Entries are keyed by (analyzer, module-relative file, message) with a
+// count, not by line number: surrounding edits must not invalidate the
+// baseline, but a new instance of a suppressed finding in the same file
+// must still surface (the count budget is exceeded and the extra finding
+// is reported).
+
+// BaselineEntry is one suppressed finding class.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // module-root-relative, slash-separated
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// WriteBaseline records diags (relative to root) at path, sorted and
+// deduplicated into counted entries. An empty diagnostic set writes the
+// canonical empty baseline "[]".
+func WriteBaseline(path, root string, diags []Diagnostic) error {
+	counts := make(map[BaselineEntry]int)
+	var order []BaselineEntry
+	for _, d := range diags {
+		key := BaselineEntry{Analyzer: d.Analyzer, File: relFile(root, d.File), Message: d.Message}
+		if counts[key] == 0 {
+			order = append(order, key)
+		}
+		counts[key]++
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	entries := make([]BaselineEntry, 0, len(order))
+	for _, key := range order {
+		key.Count = counts[key]
+		entries = append(entries, key)
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline, not an error — a fresh checkout without the file must behave
+// like one with the canonical "[]".
+func LoadBaseline(path string) ([]BaselineEntry, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var entries []BaselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %v", path, err)
+	}
+	for i := range entries {
+		if entries[i].Count <= 0 {
+			entries[i].Count = 1
+		}
+	}
+	return entries, nil
+}
+
+// ApplyBaseline subtracts baselined findings from diags (which must be
+// sorted, as Run returns them, so budget consumption is deterministic)
+// and reports how many were suppressed.
+func ApplyBaseline(entries []BaselineEntry, root string, diags []Diagnostic) (kept []Diagnostic, suppressed int) {
+	if len(entries) == 0 {
+		return diags, 0
+	}
+	budget := make(map[BaselineEntry]int, len(entries))
+	for _, e := range entries {
+		budget[BaselineEntry{Analyzer: e.Analyzer, File: e.File, Message: e.Message}] += e.Count
+	}
+	for _, d := range diags {
+		key := BaselineEntry{Analyzer: d.Analyzer, File: relFile(root, d.File), Message: d.Message}
+		if budget[key] > 0 {
+			budget[key]--
+			suppressed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, suppressed
+}
+
+// relFile maps an absolute diagnostic path to the module-root-relative
+// slash form used in baseline files.
+func relFile(root, file string) string {
+	if root == "" {
+		return filepath.ToSlash(file)
+	}
+	rel, err := filepath.Rel(root, file)
+	if err != nil {
+		return filepath.ToSlash(file)
+	}
+	return filepath.ToSlash(rel)
+}

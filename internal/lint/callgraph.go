@@ -1,0 +1,302 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// CallGraph is the module-wide approximate static call graph.
+//
+// Nodes are the named functions and methods declared in the module; every
+// call site in a body (including calls made inside function literals,
+// which are attributed to the enclosing declaration) contributes edges.
+// Three kinds of imprecision are accepted, all conservative for the
+// analyses built on top:
+//
+//   - A call through an interface is resolved with type-informed
+//     method-set resolution: an edge is added to the interface method
+//     itself and to the matching concrete method of every module type
+//     that implements the interface. This over-approximates the callees,
+//     which makes "reaches a clock advance" facts easier to earn and
+//     "does work without credit" findings harder to fake.
+//   - A call through a plain func value is dropped (no edge).
+//   - Calls into other modules (the standard library) appear as edges to
+//     body-less external nodes, so predicates can still match them by
+//     package path and name.
+type CallGraph struct {
+	mod   *Module
+	nodes map[*types.Func]*Node
+	// order lists the declared nodes in (package, file, position) order,
+	// so every whole-graph pass is deterministic by construction.
+	order []*Node
+	// impls caches interface-method -> concrete-method resolution.
+	impls map[*types.Func][]*types.Func
+	// named lists every defined (non-alias) type in the module, in
+	// deterministic order, for method-set resolution.
+	named []*types.Named
+}
+
+// Node is one function or method in the graph.
+type Node struct {
+	// Fn identifies the function; for external (out-of-module) callees
+	// it is the only field set.
+	Fn *types.Func
+	// Decl is the declaration, nil for external functions.
+	Decl *ast.FuncDecl
+	// Pkg is the declaring package, nil for external functions.
+	Pkg *Package
+	// Out lists the call edges in source order.
+	Out []Edge
+}
+
+// Edge is one call site.
+type Edge struct {
+	// Site is the call expression (positions diagnostics).
+	Site ast.Node
+	// Callee is the resolved target.
+	Callee *types.Func
+	// Dynamic marks edges recovered by interface method-set resolution.
+	Dynamic bool
+}
+
+// Node returns the graph node for fn, or nil.
+func (g *CallGraph) Node(fn *types.Func) *Node { return g.nodes[fn] }
+
+// buildCallGraph constructs the graph after type-checking.
+func buildCallGraph(mod *Module) *CallGraph {
+	g := &CallGraph{
+		mod:   mod,
+		nodes: make(map[*types.Func]*Node),
+		impls: make(map[*types.Func][]*types.Func),
+	}
+	for _, pkg := range mod.Pkgs {
+		scope := pkg.Types.Scope()
+		names := scope.Names() // already sorted
+		for _, name := range names {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if named, ok := tn.Type().(*types.Named); ok {
+				g.named = append(g.named, named)
+			}
+		}
+	}
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := mod.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue // type checking failed for this decl
+				}
+				node := &Node{Fn: fn, Decl: fd, Pkg: pkg}
+				g.nodes[fn] = node
+				g.order = append(g.order, node)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					for _, e := range g.resolve(call) {
+						node.Out = append(node.Out, e)
+					}
+					return true
+				})
+			}
+		}
+	}
+	return g
+}
+
+// resolve maps one call expression to its edges.
+func (g *CallGraph) resolve(call *ast.CallExpr) []Edge {
+	info := g.mod.Info
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return []Edge{{Site: call, Callee: fn}}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil
+			}
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return nil
+			}
+			if types.IsInterface(sel.Recv()) {
+				out := []Edge{{Site: call, Callee: fn, Dynamic: true}}
+				for _, impl := range g.implementations(sel.Recv(), fn) {
+					out = append(out, Edge{Site: call, Callee: impl, Dynamic: true})
+				}
+				return out
+			}
+			return []Edge{{Site: call, Callee: fn}}
+		}
+		// No selection: a package-qualified call like compress.Compress.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return []Edge{{Site: call, Callee: fn}}
+		}
+	}
+	return nil
+}
+
+// implementations resolves an interface method to the matching concrete
+// methods of every module type whose method set satisfies the interface.
+func (g *CallGraph) implementations(recv types.Type, m *types.Func) []*types.Func {
+	if cached, ok := g.impls[m]; ok {
+		return cached
+	}
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok {
+		g.impls[m] = nil
+		return nil
+	}
+	var out []*types.Func
+	for _, named := range g.named {
+		if types.IsInterface(named) {
+			continue
+		}
+		var recvT types.Type
+		switch {
+		case types.Implements(named, iface):
+			recvT = named
+		case types.Implements(types.NewPointer(named), iface):
+			recvT = types.NewPointer(named)
+		default:
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(recvT, true, m.Pkg(), m.Name())
+		if fn, ok := obj.(*types.Func); ok {
+			out = append(out, fn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if pa, pb := pkgPath(a), pkgPath(b); pa != pb {
+			return pa < pb
+		}
+		return a.FullName() < b.FullName()
+	})
+	g.impls[m] = out
+	return out
+}
+
+// Reaches computes the set of functions that satisfy pred themselves or
+// can reach, through any chain of call edges, a callee satisfying pred.
+func (g *CallGraph) Reaches(pred func(*types.Func) bool) map[*types.Func]bool {
+	// Reverse adjacency over every callee (including external ones).
+	rev := make(map[*types.Func][]*types.Func)
+	reached := make(map[*types.Func]bool)
+	var queue []*types.Func
+	mark := func(fn *types.Func) {
+		if !reached[fn] {
+			reached[fn] = true
+			queue = append(queue, fn)
+		}
+	}
+	for _, node := range g.order {
+		if pred(node.Fn) {
+			mark(node.Fn)
+		}
+		for _, e := range node.Out {
+			rev[e.Callee] = append(rev[e.Callee], node.Fn)
+			if pred(e.Callee) {
+				mark(e.Callee)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, caller := range rev[fn] {
+			mark(caller)
+		}
+	}
+	return reached
+}
+
+// Path returns a shortest call chain from `from` to a callee satisfying
+// pred: [from, ..., target]. It returns nil if no chain exists. Edges are
+// explored in source order, so the chain reported for a diagnostic is
+// deterministic.
+func (g *CallGraph) Path(from *types.Func, pred func(*types.Func) bool) []*types.Func {
+	if pred(from) {
+		return []*types.Func{from}
+	}
+	type hop struct {
+		fn   *types.Func
+		prev *hop
+	}
+	unwind := func(h *hop) []*types.Func {
+		var out []*types.Func
+		for ; h != nil; h = h.prev {
+			out = append([]*types.Func{h.fn}, out...)
+		}
+		return out
+	}
+	seen := map[*types.Func]bool{from: true}
+	queue := []*hop{{fn: from}}
+	for len(queue) > 0 {
+		h := queue[0]
+		queue = queue[1:]
+		node := g.nodes[h.fn]
+		if node == nil {
+			continue
+		}
+		for _, e := range node.Out {
+			if pred(e.Callee) {
+				return append(unwind(h), e.Callee)
+			}
+			if !seen[e.Callee] {
+				seen[e.Callee] = true
+				queue = append(queue, &hop{fn: e.Callee, prev: h})
+			}
+		}
+	}
+	return nil
+}
+
+// pkgPath returns a function's package path, "" for builtins.
+func pkgPath(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// pathHasSuffix reports whether an import path is, or ends with, the
+// given slash-separated suffix ("internal/sim" matches both
+// "compcache/internal/sim" and a fixture's "compcache/x/internal/sim").
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// fnIn reports whether fn is declared in a package whose path ends with
+// suffix and has one of the given names.
+func fnIn(fn *types.Func, suffix string, names map[string]bool) bool {
+	return fn != nil && names[fn.Name()] && pathHasSuffix(pkgPath(fn), suffix)
+}
+
+// chainString renders a call chain for a diagnostic message, e.g.
+// "Flush → lfs.Append → compress.Compress".
+func chainString(chain []*types.Func) string {
+	parts := make([]string, len(chain))
+	for i, fn := range chain {
+		name := fn.Name()
+		if i > 0 {
+			if p := fn.Pkg(); p != nil {
+				name = p.Name() + "." + name
+			}
+		}
+		parts[i] = name
+	}
+	return strings.Join(parts, " → ")
+}

@@ -28,6 +28,9 @@ func (ClockCredit) Doc() string {
 	return "exported internal/machine methods doing codec or disk work must advance the virtual clock"
 }
 
+// Severity implements Analyzer.
+func (ClockCredit) Severity() Severity { return SevError }
+
 // clockCreditScope is the package-path suffix the analyzer applies to.
 const clockCreditScope = "internal/machine"
 

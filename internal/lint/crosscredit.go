@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CrossCredit is the interprocedural, cross-package form of ClockCredit.
+//
+// ClockCredit's view stops at the package boundary: it sees an exported
+// internal/machine method charge the clock through a same-package helper,
+// but it cannot see codec work buried two calls deep in another package,
+// and it cannot see credit earned there either. CrossCredit walks the
+// module-wide call graph instead: an exported method of internal/machine,
+// internal/swap or internal/disk that transitively reaches codec work
+// (internal/compress Compress/Decompress, resolved through interfaces by
+// method-set matching) or raw device I/O (internal/disk
+// Read/Write/ReadCluster/WriteCluster) in *another* package must also
+// transitively reach a virtual-clock advance ((*sim.Clock).Advance /
+// AdvanceTo) — otherwise simulated work is happening that no experiment
+// ever pays for.
+//
+// Same-package chains are deliberately left to ClockCredit, so the two
+// analyzers partition the invariant instead of double-reporting it.
+type CrossCredit struct{}
+
+// Name implements Analyzer.
+func (CrossCredit) Name() string { return "crosscredit" }
+
+// Doc implements Analyzer.
+func (CrossCredit) Doc() string {
+	return "exported machine/swap/disk methods reaching codec or device work in another package must advance the virtual clock"
+}
+
+// Severity implements Analyzer.
+func (CrossCredit) Severity() Severity { return SevError }
+
+// crossCreditScopes are the package-path suffixes whose exported API owns
+// chargeable simulation work.
+var crossCreditScopes = []string{"internal/machine", "internal/swap", "internal/disk"}
+
+// codecFuncs are the chargeable codec entry points in internal/compress.
+var codecFuncs = map[string]bool{"Compress": true, "Decompress": true}
+
+// deviceFuncs are the chargeable device entry points in internal/disk.
+var deviceFuncs = map[string]bool{"Read": true, "Write": true, "ReadCluster": true, "WriteCluster": true}
+
+// isChargeableWork reports whether fn is a chargeable work primitive.
+func isChargeableWork(fn *types.Func) bool {
+	return fnIn(fn, "internal/compress", codecFuncs) || fnIn(fn, "internal/disk", deviceFuncs)
+}
+
+// isClockAdvance reports whether fn is a virtual-clock charging call.
+func isClockAdvance(fn *types.Func) bool {
+	return fnIn(fn, "internal/sim", advanceOps)
+}
+
+// Check implements Analyzer.
+func (c CrossCredit) Check(pkg *Package) []Diagnostic {
+	if pkg.Mod == nil || pkg.Mod.Graph == nil || !inScopes(pkg.Path, crossCreditScopes) {
+		return nil
+	}
+	g := pkg.Mod.Graph
+	credited := pkg.Mod.factSet("crosscredit.credited", isClockAdvance)
+
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			fn, ok := pkg.Mod.Info.Defs[fd.Name].(*types.Func)
+			if !ok || credited[fn] {
+				continue
+			}
+			// Only cross-package work counts: the final work primitive
+			// must live outside the declaring package (same-package work
+			// is ClockCredit's jurisdiction).
+			chain := g.Path(fn, func(callee *types.Func) bool {
+				return isChargeableWork(callee) && callee.Pkg() != nil && callee.Pkg() != pkg.Types
+			})
+			if chain == nil {
+				continue
+			}
+			out = append(out, diag(pkg, c.Name(), fd.Name,
+				"%s does codec/device work (%s) but no call path ever advances the virtual clock; this cost is uncharged",
+				fd.Name.Name, chainString(chain)))
+		}
+	}
+	return out
+}
+
+// inScopes reports whether an import path ends in one of the suffixes.
+func inScopes(path string, scopes []string) bool {
+	for _, s := range scopes {
+		if pathHasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,341 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrDrop polices error propagation on the paged-data paths.
+//
+// PR 3's graceful-degradation ladder only works if every error climbs it:
+// a corrupt fragment is re-fetched from a lower level, a dead device
+// surfaces as a typed sticky error, and the experiment reports a died
+// trial instead of silently producing wrong numbers. One discarded error
+// return anywhere on the vm → core → swap → disk/netdev → machine path
+// breaks the ladder invisibly — the run keeps going with pages whose
+// content is no longer trustworthy.
+//
+// Three shapes are flagged in the scoped packages (type-informed, so only
+// results whose type is really `error` count):
+//
+//   - a call used as a statement whose results include an error;
+//   - an assignment that drops an error result into the blank identifier;
+//   - an error variable assigned from a call and then overwritten by a
+//     sibling statement before anything reads it (the classic copy-paste
+//     shadowing bug).
+//
+// Module-wide (not just on the paged paths) it also flags reads of the
+// deprecated flat fault-counter field stats.Run.Fault: the nested Faults
+// view is the real one, and the shim's eventual removal is enforced here
+// rather than remembered.
+type ErrDrop struct{}
+
+// Name implements Analyzer.
+func (ErrDrop) Name() string { return "errdrop" }
+
+// Doc implements Analyzer.
+func (ErrDrop) Doc() string {
+	return "forbid discarded or shadowed error returns on the paged-data paths (vm/core/swap/disk/netdev/machine)"
+}
+
+// Severity implements Analyzer.
+func (ErrDrop) Severity() Severity { return SevError }
+
+// errDropScopes are the paged-data packages whose error returns carry the
+// degradation ladder.
+var errDropScopes = []string{
+	"internal/vm", "internal/core", "internal/swap",
+	"internal/disk", "internal/netdev", "internal/machine",
+}
+
+// Check implements Analyzer.
+func (e ErrDrop) Check(pkg *Package) []Diagnostic {
+	if pkg.Mod == nil {
+		return nil
+	}
+	var out []Diagnostic
+	out = append(out, e.checkDeprecatedFault(pkg)...)
+	if !inScopes(pkg.Path, errDropScopes) {
+		return out
+	}
+	info := pkg.Mod.Info
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := n.X.(*ast.CallExpr); ok {
+						if errResultIndex(info, call) >= 0 && !neverFails(info, call) {
+							out = append(out, diag(pkg, e.Name(), call,
+								"%s returns an error that is silently discarded; handle it or it never climbs the degradation ladder", callName(call)))
+						}
+					}
+				case *ast.AssignStmt:
+					out = append(out, e.checkBlank(pkg, info, n)...)
+				case *ast.BlockStmt:
+					out = append(out, e.checkOverwrites(pkg, info, n)...)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// checkBlank flags `_` receiving an error result.
+func (e ErrDrop) checkBlank(pkg *Package, info *types.Info, as *ast.AssignStmt) []Diagnostic {
+	var out []Diagnostic
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		var t types.Type
+		switch {
+		case len(as.Rhs) == len(as.Lhs):
+			t = info.TypeOf(as.Rhs[i])
+		case len(as.Rhs) == 1:
+			// Multi-value call: pick the i-th tuple member.
+			if tup, ok := info.TypeOf(as.Rhs[0]).(*types.Tuple); ok && i < tup.Len() {
+				t = tup.At(i).Type()
+			}
+		}
+		if t != nil && isErrorType(t) {
+			out = append(out, diag(pkg, e.Name(), id,
+				"error result assigned to the blank identifier; paged-data errors must be handled, not dropped"))
+		}
+	}
+	return out
+}
+
+// checkOverwrites flags an error variable written from a call and then
+// written again by a later sibling statement, with no statement in
+// between (or the second statement itself) reading it.
+func (e ErrDrop) checkOverwrites(pkg *Package, info *types.Info, block *ast.BlockStmt) []Diagnostic {
+	var out []Diagnostic
+	// last[obj] remembers the most recent unread error-write in this
+	// statement list.
+	type write struct {
+		at   ast.Node
+		name string
+	}
+	last := make(map[types.Object]*write)
+	for _, stmt := range block.List {
+		// Which error objects does this statement write at its own level,
+		// and which does it mention anywhere in its subtree?
+		writes := topLevelErrWrites(info, stmt)
+		mentioned := mentionedObjects(info, stmt)
+		for obj := range mentioned {
+			if _, isWrite := writes[obj]; !isWrite {
+				// Read (or nested use) clears the pending write.
+				delete(last, obj)
+			}
+		}
+		for obj, n := range writes {
+			if w, ok := last[obj]; ok {
+				// Does the overwriting statement also read the variable
+				// (err = fmt.Errorf("...: %w", err) wraps, not drops)?
+				if !readsObject(info, stmt, obj, n) {
+					out = append(out, diag(pkg, e.Name(), w.at,
+						"error assigned to %s is overwritten before anything reads it; the first failure is lost", w.name))
+				}
+			}
+			last[obj] = &write{at: n, name: obj.Name()}
+		}
+	}
+	return out
+}
+
+// topLevelErrWrites returns the error-typed objects a statement assigns
+// from a call at its own level (not inside nested blocks), keyed to the
+// assignment node.
+func topLevelErrWrites(info *types.Info, stmt ast.Stmt) map[types.Object]ast.Node {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok || (as.Tok != token.ASSIGN && as.Tok != token.DEFINE) {
+		return nil
+	}
+	hasCall := false
+	for _, rhs := range as.Rhs {
+		ast.Inspect(rhs, func(n ast.Node) bool {
+			if _, ok := n.(*ast.CallExpr); ok {
+				hasCall = true
+			}
+			return !hasCall
+		})
+	}
+	if !hasCall {
+		return nil
+	}
+	writes := make(map[types.Object]ast.Node)
+	for _, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if v, ok := obj.(*types.Var); ok && isErrorType(v.Type()) {
+			writes[obj] = id
+		}
+	}
+	if len(writes) == 0 {
+		return nil
+	}
+	return writes
+}
+
+// mentionedObjects collects every object referenced anywhere in a
+// statement's subtree.
+func mentionedObjects(info *types.Info, stmt ast.Stmt) map[types.Object]bool {
+	objs := make(map[types.Object]bool)
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				objs[obj] = true
+			}
+		}
+		return true
+	})
+	return objs
+}
+
+// readsObject reports whether stmt references obj anywhere other than the
+// writing identifier itself.
+func readsObject(info *types.Info, stmt ast.Stmt, obj types.Object, writeSite ast.Node) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && ast.Node(id) != writeSite {
+			if info.Uses[id] == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkDeprecatedFault flags reads of the deprecated stats.Run.Fault
+// shim anywhere in the module. Writes are exempt — the shim is populated
+// by exactly one assignment in internal/machine until its removal.
+func (e ErrDrop) checkDeprecatedFault(pkg *Package) []Diagnostic {
+	info := pkg.Mod.Info
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		// Pre-collect selectors that are pure assignment targets.
+		writeTargets := make(map[*ast.SelectorExpr]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+						writeTargets[sel] = true
+					}
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Fault" || writeTargets[sel] {
+				return true
+			}
+			s, ok := info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			v, ok := s.Obj().(*types.Var)
+			if !ok || v.Pkg() == nil || !pathHasSuffix(v.Pkg().Path(), "internal/stats") {
+				return true
+			}
+			if named, ok := deref(s.Recv()).(*types.Named); !ok || named.Obj().Name() != "Run" {
+				return true
+			}
+			out = append(out, diag(pkg, e.Name(), sel.Sel,
+				"reads deprecated flat fault-counter field stats.Run.Fault; use the nested Faults view"))
+			return true
+		})
+	}
+	return out
+}
+
+// deref unwraps one level of pointer.
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// isErrorType reports whether t is exactly the predeclared error type.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// errResultIndex returns the index of the first error in a call's result
+// tuple, or -1.
+func errResultIndex(info *types.Info, call *ast.CallExpr) int {
+	t := info.TypeOf(call)
+	switch t := t.(type) {
+	case nil:
+		return -1
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return i
+			}
+		}
+		return -1
+	default:
+		if isErrorType(t) {
+			return 0
+		}
+		return -1
+	}
+}
+
+// neverFails recognizes the conventional always-nil error sources whose
+// discarded error is idiomatic, not a broken ladder: methods on
+// strings.Builder / bytes.Buffer and the fmt printers.
+func neverFails(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+		if named, ok := deref(s.Recv()).(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil {
+				switch obj.Pkg().Path() + "." + obj.Name() {
+				case "strings.Builder", "bytes.Buffer":
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		return true
+	}
+	return false
+}
+
+// callName renders a call target for a message ("m.flush", "Close").
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	default:
+		return "call"
+	}
+}

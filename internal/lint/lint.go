@@ -11,9 +11,14 @@
 //     silently breaks the guarantee.
 //
 // cclint turns those tribal rules into CI-enforced law. The framework is
-// deliberately stdlib-only (go/ast, go/parser, go/token): the build
-// environment has no network, so golang.org/x/tools is off the table, and
-// the analyses are all syntactic, so nothing heavier is needed.
+// deliberately stdlib-only: the build environment has no network, so
+// golang.org/x/tools is off the table. Since PR 5 the engine loads the
+// whole module at once, type-checks it with go/types (one shared
+// types.Info across packages, stdlib resolved from GOROOT source) and
+// builds an approximate static call graph with type-informed method-set
+// resolution — so invariants that cross package boundaries (clock credit
+// earned two calls deep in another package, probes emitted by a callee)
+// are enforced too, not just the syntactic per-package ones.
 //
 // Findings can be suppressed, one line at a time, with a written reason:
 //
@@ -21,7 +26,10 @@
 //
 // or, as a standalone comment, on the line directly below it. The reason
 // after "--" is mandatory; a directive without one is itself a finding, as
-// is a directive that no longer suppresses anything.
+// is a directive that no longer suppresses anything. For incremental
+// adoption of new analyzers there is also a baseline mechanism
+// (.cclint-baseline.json, see baseline.go) — the checked-in baseline is
+// kept empty, and CI fails if it ever stops being empty.
 package lint
 
 import (
@@ -31,28 +39,23 @@ import (
 	"sort"
 )
 
-// Package is one parsed Go package as the analyzers see it: syntax only,
-// no type information, with the import path preserved so analyzers can
-// scope themselves (e.g. clockcredit runs only on internal/machine).
-type Package struct {
-	// Path is the slash-separated import path, e.g.
-	// "compcache/internal/machine".
-	Path string
-	// Dir is the directory the files were read from.
-	Dir string
-	// Fset positions all Files.
-	Fset *token.FileSet
-	// Files holds the parsed non-test sources, sorted by file name.
-	Files []*ast.File
-	// Lines holds each file's raw source split into lines, keyed the same
-	// way Fset positions name files. The ignore machinery uses it to tell
-	// trailing directives from standalone ones.
-	Lines map[string][]string
-}
+// Severity ranks a finding. Error-severity findings fail cclint (exit 1);
+// warn-severity findings are reported but only fail under -werror.
+type Severity string
+
+const (
+	// SevError marks invariant violations: the tree must not merge with
+	// one of these outstanding.
+	SevError Severity = "error"
+	// SevWarn marks strong-heuristic findings that occasionally need
+	// human judgment (floatorder, obscoverage).
+	SevWarn Severity = "warn"
+)
 
 // Diagnostic is one finding, positioned at file:line:col.
 type Diagnostic struct {
 	Analyzer string         `json:"analyzer"`
+	Severity Severity       `json:"severity"`
 	Pos      token.Position `json:"-"`
 	File     string         `json:"file"`
 	Line     int            `json:"line"`
@@ -62,30 +65,42 @@ type Diagnostic struct {
 
 // String renders the conventional compiler-style form.
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.File, d.Line, d.Col, d.Message, d.Analyzer)
+	return fmt.Sprintf("%s:%d:%d: %s: %s [%s]", d.File, d.Line, d.Col, d.Severity, d.Message, d.Analyzer)
 }
 
-// Analyzer is one named check over a single package.
+// Analyzer is one named check. Check is called once per selected package;
+// module-wide context (the call graph, other packages, type info) is
+// reached through pkg.Mod.
 type Analyzer interface {
 	// Name is the identifier used in output and in ignore directives.
 	Name() string
 	// Doc is a one-line description of what the analyzer enforces.
 	Doc() string
+	// Severity is the default severity of this analyzer's findings.
+	Severity() Severity
 	// Check reports all findings in pkg.
 	Check(pkg *Package) []Diagnostic
 }
 
-// All returns the full cclint analyzer suite, in stable order.
+// All returns the full cclint analyzer suite, in stable order: the four
+// original syntactic analyzers, then the five call-graph analyzers added
+// with the cross-package engine.
 func All() []Analyzer {
 	return []Analyzer{
 		Walltime{},
 		GlobalRand{},
 		MapRange{},
 		ClockCredit{},
+		CrossCredit{},
+		ErrDrop{},
+		SharedWrite{},
+		FloatOrder{},
+		ObsCoverage{},
 	}
 }
 
-// diag builds a Diagnostic at a node's position.
+// diag builds a Diagnostic at a node's position. Severity is stamped by
+// Run from the analyzer's declared level.
 func diag(pkg *Package, name string, n ast.Node, format string, args ...any) Diagnostic {
 	pos := pkg.Fset.Position(n.Pos())
 	return Diagnostic{
@@ -98,10 +113,10 @@ func diag(pkg *Package, name string, n ast.Node, format string, args ...any) Dia
 	}
 }
 
-// Run applies every analyzer to every package, filters the findings
-// through the //cclint:ignore directives, appends directive-hygiene
-// findings (missing reason, unknown analyzer, unused directive), and
-// returns the surviving diagnostics sorted by position.
+// Run applies every analyzer to every selected package, filters the
+// findings through the //cclint:ignore directives, appends
+// directive-hygiene findings (missing reason, unknown analyzer, unused
+// directive), and returns the surviving diagnostics sorted by position.
 func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
@@ -113,7 +128,12 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 		dirs := collectIgnores(pkg, known)
 		var raw []Diagnostic
 		for _, a := range analyzers {
-			raw = append(raw, a.Check(pkg)...)
+			for _, d := range a.Check(pkg) {
+				if d.Severity == "" {
+					d.Severity = a.Severity()
+				}
+				raw = append(raw, d)
+			}
 		}
 		for _, d := range raw {
 			if dirs.suppress(d) {
@@ -121,7 +141,10 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 			}
 			out = append(out, d)
 		}
-		out = append(out, dirs.hygiene()...)
+		for _, d := range dirs.hygiene() {
+			d.Severity = SevError
+			out = append(out, d)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -137,4 +160,17 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 		return a.Analyzer < b.Analyzer
 	})
 	return out
+}
+
+// ErrorCount reports how many diagnostics are error-severity; cclint's
+// exit status is 1 exactly when this is non-zero (or -werror is set and
+// any finding survives).
+func ErrorCount(diags []Diagnostic) int {
+	n := 0
+	for _, d := range diags {
+		if d.Severity == SevError {
+			n++
+		}
+	}
+	return n
 }

@@ -1,15 +1,22 @@
 package lint
 
 import (
+	"go/types"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
+	"sync"
 	"testing"
 )
 
-// The golden tests are a hand-rolled, stdlib-only analysistest: each
-// fixture directory under testdata/src is loaded, the full analyzer suite
-// (plus ignore-directive processing) runs over it, and every diagnostic
-// must match a trailing
+// The golden tests are a hand-rolled, stdlib-only analysistest: the whole
+// of testdata/src is mounted once as a pretend module named "compcache"
+// (so fixture packages get import paths like
+// "compcache/crosscredit/internal/machine" and can import each other),
+// each fixture subtree is selected, the full analyzer suite (plus
+// ignore-directive processing) runs over it, and every diagnostic must
+// match a trailing
 //
 //	// want `regexp` [`regexp` ...]
 //
@@ -17,6 +24,43 @@ import (
 // both failing the test. Running the whole suite (not one analyzer per
 // fixture) also locks in that analyzers do not fire on each other's clean
 // examples.
+
+var (
+	fixtureOnce sync.Once
+	fixtureMod  *Module
+	fixtureErr  error
+)
+
+// fixtureModule loads testdata/src once for the whole test binary; the
+// type check of the fixture tree (and the stdlib it imports) is the
+// expensive part, and every golden test shares it.
+func fixtureModule(t *testing.T) *Module {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixtureMod, fixtureErr = LoadTree(filepath.Join("testdata", "src"), "compcache")
+	})
+	if fixtureErr != nil {
+		t.Fatalf("LoadTree(testdata/src): %v", fixtureErr)
+	}
+	if len(fixtureMod.TypeErrors) > 0 {
+		t.Fatalf("fixture module must type-check cleanly, got: %v", fixtureMod.TypeErrors)
+	}
+	return fixtureMod
+}
+
+// selectFixture resolves one fixture subtree to its loaded packages.
+func selectFixture(t *testing.T, dir string) []*Package {
+	t.Helper()
+	mod := fixtureModule(t)
+	pkgs, err := mod.Select(".", []string{dir + "/..."})
+	if err != nil {
+		t.Fatalf("Select(%s): %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("Select(%s): no packages", dir)
+	}
+	return pkgs
+}
 
 // wantRE extracts the backquoted patterns after a "// want" marker.
 var wantRE = regexp.MustCompile("`([^`]*)`")
@@ -53,15 +97,13 @@ func parseWants(t *testing.T, pkg *Package) map[string]map[int][]*want {
 
 func runGolden(t *testing.T, dir string) {
 	t.Helper()
-	pkgs, err := Load(".", []string{dir})
-	if err != nil {
-		t.Fatalf("Load(%s): %v", dir, err)
+	pkgs := selectFixture(t, dir)
+	wants := map[string]map[int][]*want{}
+	for _, pkg := range pkgs {
+		for file, byLine := range parseWants(t, pkg) {
+			wants[file] = byLine
+		}
 	}
-	if len(pkgs) != 1 {
-		t.Fatalf("Load(%s): got %d packages, want 1", dir, len(pkgs))
-	}
-	pkg := pkgs[0]
-	wants := parseWants(t, pkg)
 
 	diags := Run(pkgs, All())
 	for _, d := range diags {
@@ -88,11 +130,80 @@ func runGolden(t *testing.T, dir string) {
 	}
 }
 
-func TestWalltimeGolden(t *testing.T)   { runGolden(t, "testdata/src/walltime") }
-func TestGlobalRandGolden(t *testing.T) { runGolden(t, "testdata/src/globalrand") }
-func TestMapRangeGolden(t *testing.T)   { runGolden(t, "testdata/src/maprange") }
-func TestIgnoreGolden(t *testing.T)     { runGolden(t, "testdata/src/ignore") }
-func TestMachineFixture(t *testing.T)   { runGolden(t, "testdata/src/internal/machine") }
+func TestWalltimeGolden(t *testing.T)    { runGolden(t, "testdata/src/walltime") }
+func TestGlobalRandGolden(t *testing.T)  { runGolden(t, "testdata/src/globalrand") }
+func TestMapRangeGolden(t *testing.T)    { runGolden(t, "testdata/src/maprange") }
+func TestIgnoreGolden(t *testing.T)      { runGolden(t, "testdata/src/ignore") }
+func TestMachineFixture(t *testing.T)    { runGolden(t, "testdata/src/internal/machine") }
+func TestCrossCreditGolden(t *testing.T) { runGolden(t, "testdata/src/crosscredit") }
+func TestErrDropGolden(t *testing.T)     { runGolden(t, "testdata/src/errdrop") }
+func TestSharedWriteGolden(t *testing.T) { runGolden(t, "testdata/src/sharedwrite") }
+func TestFloatOrderGolden(t *testing.T)  { runGolden(t, "testdata/src/floatorder") }
+func TestObsCoverageGolden(t *testing.T) { runGolden(t, "testdata/src/obscoverage") }
+
+// findFn resolves a function or method by fixture package path suffix and
+// name, through the call graph's deterministic node order.
+func findFn(t *testing.T, mod *Module, pkgSuffix, name string) *types.Func {
+	t.Helper()
+	for _, node := range mod.Graph.order {
+		if node.Fn.Name() == name && node.Pkg != nil && pathHasSuffix(node.Pkg.Path, pkgSuffix) {
+			return node.Fn
+		}
+	}
+	t.Fatalf("function %s not found in package %s", name, pkgSuffix)
+	return nil
+}
+
+// TestCallGraphInterfaceResolution pins the engine property crosscredit's
+// BadIface case rests on: a call through an interface gets dynamic edges
+// to the concrete methods of every implementing module type.
+func TestCallGraphInterfaceResolution(t *testing.T) {
+	mod := fixtureModule(t)
+	apply := findFn(t, mod, "crosscredit/internal/pipeline", "Apply")
+	node := mod.Graph.Node(apply)
+	if node == nil {
+		t.Fatal("no graph node for pipeline.Apply")
+	}
+	var iface, concrete bool
+	for _, e := range node.Out {
+		if !e.Dynamic || e.Callee.Name() != "Compress" {
+			continue
+		}
+		switch {
+		case pathHasSuffix(pkgPath(e.Callee), "crosscredit/internal/compress"):
+			concrete = true
+		case pathHasSuffix(pkgPath(e.Callee), "crosscredit/internal/pipeline"):
+			iface = true
+		}
+	}
+	if !iface {
+		t.Error("Apply has no dynamic edge to the interface method Codec.Compress")
+	}
+	if !concrete {
+		t.Error("Apply has no dynamic edge to the implementation compress.LZ.Compress")
+	}
+}
+
+// TestCallGraphReachesAndPath pins the fact-propagation primitives the
+// interprocedural analyzers are built on.
+func TestCallGraphReachesAndPath(t *testing.T) {
+	mod := fixtureModule(t)
+	credited := mod.Graph.Reaches(isClockAdvance)
+
+	good := findFn(t, mod, "crosscredit/internal/machine", "GoodDeep")
+	if !credited[good] {
+		t.Error("GoodDeep should reach a clock advance through pipeline.ProcessCharged")
+	}
+	bad := findFn(t, mod, "crosscredit/internal/machine", "BadDeep")
+	if credited[bad] {
+		t.Error("BadDeep must not reach a clock advance")
+	}
+
+	chain := mod.Graph.Path(bad, isChargeableWork)
+	if len(chain) != 3 || chain[0] != bad || chain[2].Name() != "Compress" {
+		t.Errorf("Path(BadDeep → codec work) = %s, want a 3-hop chain ending in Compress", chainString(chain))
+	}
+}
 
 // TestMachineFixtureScope pins the two properties the acceptance criteria
 // name: the fixture directory resolves to an import path ending in
@@ -100,9 +211,9 @@ func TestMachineFixture(t *testing.T)   { runGolden(t, "testdata/src/internal/ma
 // there, and clockcredit is in scope), and the suite reports findings —
 // which is exactly what makes `cclint <fixture-dir>` exit 1.
 func TestMachineFixtureScope(t *testing.T) {
-	pkgs, err := Load(".", []string{"testdata/src/internal/machine"})
-	if err != nil {
-		t.Fatal(err)
+	pkgs := selectFixture(t, "testdata/src/internal/machine")
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
 	}
 	pkg := pkgs[0]
 	if !strings.HasSuffix(pkg.Path, "internal/machine") {
@@ -129,17 +240,23 @@ func TestMachineFixtureScope(t *testing.T) {
 	}
 }
 
-// TestLoadSkipsTestdataAndTests: pattern expansion must skip testdata (so
-// `cclint ./...` never trips over fixtures) and must not load _test.go
-// files (whose golden host-time fixtures are out of scope).
-func TestLoadSkipsTestdataAndTests(t *testing.T) {
-	pkgs, err := Load(".", []string{"./..."})
+// TestLoadModuleNeverLoadsTestdata: the module walk must skip testdata
+// (so `cclint ./...` never trips over fixtures), must not load _test.go
+// files (whose golden host-time fixtures are out of scope), and pattern
+// selection must resolve only against the loaded set — naming a fixture
+// directory outright selects nothing.
+func TestLoadModuleNeverLoadsTestdata(t *testing.T) {
+	mod, err := LoadModule(".")
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, pkg := range pkgs {
+	haveLint := false
+	for _, pkg := range mod.Pkgs {
 		if strings.Contains(pkg.Path, "testdata") {
-			t.Errorf("pattern expansion loaded fixture package %s", pkg.Path)
+			t.Errorf("module walk loaded fixture package %s", pkg.Path)
+		}
+		if strings.HasSuffix(pkg.Path, "internal/lint") {
+			haveLint = true
 		}
 		for file := range pkg.Lines {
 			if strings.HasSuffix(file, "_test.go") {
@@ -147,23 +264,111 @@ func TestLoadSkipsTestdataAndTests(t *testing.T) {
 			}
 		}
 	}
-	if len(pkgs) != 1 || !strings.HasSuffix(pkgs[0].Path, "internal/lint") {
-		t.Fatalf("Load(./...) from internal/lint: got %d packages, want just compcache/internal/lint", len(pkgs))
+	if !haveLint {
+		t.Error("LoadModule(.) did not load compcache/internal/lint itself")
+	}
+	pkgs, err := mod.Select(".", []string{"testdata/src/walltime", "./testdata/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 0 {
+		t.Errorf("selecting testdata paths matched %d packages, want 0", len(pkgs))
 	}
 }
 
 // TestRunOutputSorted: diagnostics come back ordered by position so
 // cclint's own output is deterministic.
 func TestRunOutputSorted(t *testing.T) {
-	pkgs, err := Load(".", []string{"testdata/src/walltime", "testdata/src/internal/machine"})
-	if err != nil {
-		t.Fatal(err)
-	}
+	pkgs := append(selectFixture(t, "testdata/src/walltime"), selectFixture(t, "testdata/src/errdrop")...)
 	diags := Run(pkgs, All())
+	if len(diags) < 2 {
+		t.Fatalf("want several diagnostics to order, got %d", len(diags))
+	}
 	for i := 1; i < len(diags); i++ {
 		a, b := diags[i-1], diags[i]
 		if a.File > b.File || (a.File == b.File && a.Line > b.Line) {
 			t.Fatalf("diagnostics out of order: %v before %v", a, b)
 		}
+	}
+}
+
+// TestSeverityStamped: Run stamps each finding with its analyzer's
+// declared severity, and ErrorCount counts only error-severity ones.
+func TestSeverityStamped(t *testing.T) {
+	pkgs := selectFixture(t, "testdata/src/obscoverage")
+	diags := Run(pkgs, All())
+	if len(diags) == 0 {
+		t.Fatal("obscoverage fixture produced no findings")
+	}
+	for _, d := range diags {
+		if d.Severity == "" {
+			t.Errorf("finding without severity: %v", d)
+		}
+		if d.Analyzer == "obscoverage" && d.Severity != SevWarn {
+			t.Errorf("obscoverage finding has severity %q, want warn", d.Severity)
+		}
+	}
+	if n := ErrorCount(diags); n != 0 {
+		t.Errorf("obscoverage fixture has %d error-severity findings, want 0 (all warns)", n)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	path := filepath.Join(root, ".cclint-baseline.json")
+	diags := []Diagnostic{
+		{Analyzer: "walltime", Severity: SevError, File: filepath.Join(root, "a.go"), Line: 3, Message: "m1"},
+		{Analyzer: "walltime", Severity: SevError, File: filepath.Join(root, "a.go"), Line: 9, Message: "m1"},
+		{Analyzer: "errdrop", Severity: SevError, File: filepath.Join(root, "b.go"), Line: 1, Message: "m2"},
+	}
+	if err := WriteBaseline(path, root, diags); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d baseline entries, want 2 (same-message findings fold into a count)", len(entries))
+	}
+	if entries[0].File != "a.go" || entries[0].Count != 2 {
+		t.Fatalf("entry[0] = %+v, want a.go with count 2", entries[0])
+	}
+
+	kept, suppressed := ApplyBaseline(entries, root, diags)
+	if len(kept) != 0 || suppressed != 3 {
+		t.Fatalf("ApplyBaseline kept %d / suppressed %d, want 0 / 3", len(kept), suppressed)
+	}
+
+	// A new instance beyond the recorded count must still surface: the
+	// baseline is line-number-free but budgeted.
+	extra := append(diags, Diagnostic{Analyzer: "walltime", Severity: SevError, File: filepath.Join(root, "a.go"), Line: 20, Message: "m1"})
+	kept, suppressed = ApplyBaseline(entries, root, extra)
+	if len(kept) != 1 || suppressed != 3 {
+		t.Fatalf("over-budget ApplyBaseline kept %d / suppressed %d, want 1 / 3", len(kept), suppressed)
+	}
+	if kept[0].Line != 20 {
+		t.Fatalf("surviving finding at line %d, want the budget-exceeding one at 20", kept[0].Line)
+	}
+}
+
+func TestBaselineMissingFileIsEmpty(t *testing.T) {
+	entries, err := LoadBaseline(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil || entries != nil {
+		t.Fatalf("missing baseline: got (%v, %v), want (nil, nil)", entries, err)
+	}
+}
+
+func TestBaselineEmptyWritesCanonicalForm(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "b.json")
+	if err := WriteBaseline(path, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(data)) != "[]" {
+		t.Fatalf("empty baseline serializes as %q, want []", data)
 	}
 }

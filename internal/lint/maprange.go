@@ -36,6 +36,9 @@ func (MapRange) Doc() string {
 	return "flag map iteration that feeds ordered output (append/print/string build) without sorting"
 }
 
+// Severity implements Analyzer.
+func (MapRange) Severity() Severity { return SevError }
+
 // Check implements Analyzer.
 func (m MapRange) Check(pkg *Package) []Diagnostic {
 	mapFields := collectMapFields(pkg)

@@ -1,0 +1,38 @@
+// Package disk is the crosscredit fixture for the disjointness rule: the
+// chargeable device primitives live here, so a chain that ends in this
+// same package is clockcredit's jurisdiction and crosscredit must stay
+// silent on it — only cross-package work counts.
+package disk
+
+import (
+	"time"
+
+	"compcache/crosscredit/internal/compress"
+	"compcache/crosscredit/internal/sim"
+)
+
+// Disk is the fixture device.
+type Disk struct {
+	clock *sim.Clock
+}
+
+// Write is a chargeable device primitive that charges itself.
+func (d *Disk) Write(addr int64, p []byte) {
+	d.clock.Advance(time.Duration(len(p)))
+}
+
+// Read is a device primitive that does not charge; it is the target of
+// the same-package chain below.
+func (d *Disk) Read(addr int64, p []byte) {}
+
+// Scrub reaches the uncharged Read — but only within its own package, so
+// crosscredit leaves it alone (disjointness with clockcredit).
+func (d *Disk) Scrub(p []byte) {
+	d.Read(0, p)
+}
+
+// BadCompact reaches codec work in another package without charging.
+func (d *Disk) BadCompact(p []byte) []byte { // want `BadCompact does codec/device work \(BadCompact → compress\.Compress\)`
+	var z compress.LZ
+	return z.Compress(p)
+}

@@ -1,0 +1,35 @@
+// Package machine is the crosscredit golden fixture for the scoped
+// exported API: every chain here keeps the codec work in another package,
+// which is exactly the territory the same-package clockcredit analyzer
+// cannot see.
+package machine
+
+import (
+	"compcache/crosscredit/internal/pipeline"
+	"compcache/crosscredit/internal/sim"
+)
+
+// Machine owns the fixture's clock.
+type Machine struct {
+	clock *sim.Clock
+}
+
+// BadDeep reaches codec work two packages away with no credit on any
+// path: the chain in the message names the route.
+func (m *Machine) BadDeep(p []byte) []byte { // want `BadDeep does codec/device work \(BadDeep → pipeline\.Process → compress\.Compress\) but no call path ever advances the virtual clock`
+	return pipeline.Process(p)
+}
+
+// GoodDeep reaches the same work through a chain that charges the clock.
+func (m *Machine) GoodDeep(p []byte) []byte {
+	return pipeline.ProcessCharged(m.clock, p)
+}
+
+// BadIface reaches codec work through interface dispatch; method-set
+// resolution still finds the uncharged chain.
+func (m *Machine) BadIface(c pipeline.Codec, p []byte) []byte { // want `BadIface does codec/device work`
+	return pipeline.Apply(c, p)
+}
+
+// Idle does no chargeable work at all; silent.
+func (m *Machine) Idle() sim.Time { return m.clock.Now() }

@@ -1,0 +1,24 @@
+// Package stats is the errdrop fixture's miniature of the real stats
+// package: the nested Faults view plus the deprecated flat shim whose
+// reads the analyzer flags module-wide.
+package stats
+
+// Faults is the nested per-class fault-counter view.
+type Faults struct {
+	DiskRead  int
+	DiskWrite int
+}
+
+// Any reports whether any fault fired.
+func (f Faults) Any() bool { return f.DiskRead+f.DiskWrite > 0 }
+
+// Run is a trial summary.
+type Run struct {
+	// Faults is the real, nested view.
+	Faults Faults
+
+	// Fault is the flat alias kept only while callers migrate.
+	//
+	// Deprecated: read Faults instead; errdrop flags every read.
+	Fault Faults
+}

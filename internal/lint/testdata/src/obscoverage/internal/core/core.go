@@ -1,0 +1,17 @@
+// Package core is the obscoverage gate fixture: it advances the clock
+// but does not import internal/obs, so it is not instrumented yet and
+// the analyzer leaves it alone entirely.
+package core
+
+import (
+	"time"
+
+	"compcache/obscoverage/internal/sim"
+)
+
+// Core is an uninstrumented subsystem.
+type Core struct{ clock *sim.Clock }
+
+// Step advances the clock; no finding, because the package has no bus to
+// probe in the first place.
+func (c *Core) Step() { c.clock.Advance(time.Microsecond) }

@@ -1,0 +1,24 @@
+// Package obs is the obscoverage fixture's observability layer: Emit,
+// Inc and Add are the probes the analyzer requires charged work to reach.
+package obs
+
+// Event is one trace record.
+type Event struct {
+	Class int
+	Bytes int64
+}
+
+// Bus collects events.
+type Bus struct{ events []Event }
+
+// Emit records an event; it is a probe.
+func (b *Bus) Emit(e Event) { b.events = append(b.events, e) }
+
+// Counter is a monotone counter.
+type Counter struct{ n int64 }
+
+// Inc bumps the counter; it is a probe.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds d to the counter; it is a probe.
+func (c *Counter) Add(d int64) { c.n += d }

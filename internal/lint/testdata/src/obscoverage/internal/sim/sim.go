@@ -1,0 +1,23 @@
+// Package sim is the obscoverage fixture's virtual clock.
+package sim
+
+import "time"
+
+// Time is a virtual instant.
+type Time int64
+
+// Clock is the fixture's virtual clock.
+type Clock struct{ now Time }
+
+// Now reports the current virtual instant.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance charges d of virtual time.
+func (c *Clock) Advance(d time.Duration) { c.now += Time(d) }
+
+// AdvanceTo moves the clock forward to t.
+func (c *Clock) AdvanceTo(t Time) {
+	if t > c.now {
+		c.now = t
+	}
+}

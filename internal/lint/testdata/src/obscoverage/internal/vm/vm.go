@@ -1,0 +1,47 @@
+// Package vm is the obscoverage golden fixture: an instrumented package
+// (it imports internal/obs), so every exported method that advances the
+// virtual clock must also reach a probe.
+package vm
+
+import (
+	"time"
+
+	"compcache/obscoverage/internal/obs"
+	"compcache/obscoverage/internal/sim"
+)
+
+// VM is the fixture subsystem.
+type VM struct {
+	clock *sim.Clock
+	bus   *obs.Bus
+	hits  *obs.Counter
+}
+
+// BadTouch advances the clock but never probes: traced runs under-report
+// exactly this method's work.
+func (v *VM) BadTouch() { // want `BadTouch advances the virtual clock but no call path reaches an obs probe`
+	v.clock.Advance(time.Millisecond)
+}
+
+// GoodTouch probes directly.
+func (v *VM) GoodTouch() {
+	v.clock.Advance(time.Millisecond)
+	v.hits.Inc()
+}
+
+// GoodDeep earns both the charge and the probe through a helper.
+func (v *VM) GoodDeep() {
+	v.charge()
+}
+
+// charge advances and emits; unexported, so it is never flagged itself.
+func (v *VM) charge() {
+	v.clock.Advance(time.Millisecond)
+	v.bus.Emit(obs.Event{Class: 1, Bytes: 4096})
+}
+
+// quiet advances without probing, but coverage is an exported-API rule.
+func (v *VM) quiet() { v.clock.Advance(time.Microsecond) }
+
+// Peek neither advances nor probes; nothing to cover.
+func (v *VM) Peek() sim.Time { return v.clock.Now() }

@@ -248,6 +248,8 @@ func (m *Machine) FreezeStart() {
 
 // Drain waits for all queued asynchronous backing-store writes to finish,
 // so that end-of-run timings include background cleaning.
+//
+//cclint:ignore obscoverage -- drain only retires the device's busy timeline; the drained writes were probed when issued
 func (m *Machine) Drain() { m.Device.Drain() }
 
 // EvictAll pushes every resident page out of memory, empties the compression

@@ -82,6 +82,57 @@ func TestRingWrap(t *testing.T) {
 	}
 }
 
+// TestRingExactCapacityBoundaries pins the wrap behavior at the exact
+// edges: filling the ring to capacity drops nothing and keeps emission
+// order; one event past capacity drops exactly the oldest; a full second
+// lap drops exactly one capacity's worth and retains the last lap in
+// order. Off-by-ones here silently truncate traces from the wrong end.
+func TestRingExactCapacityBoundaries(t *testing.T) {
+	const ringSize = 8
+	fill := func(n int) *Bus {
+		b := NewBus(Options{RingSize: ringSize})
+		for i := 0; i < n; i++ {
+			b.Emit(Event{T: sim.Time(i), Class: ClassFault})
+		}
+		return b
+	}
+	cases := []struct {
+		name        string
+		emitted     int
+		wantDropped uint64
+		wantFirst   sim.Time
+	}{
+		{"exactly-capacity", ringSize, 0, 0},
+		{"capacity-plus-one", ringSize + 1, 1, 1},
+		{"twice-capacity", 2 * ringSize, ringSize, ringSize},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := fill(tc.emitted)
+			if b.Dropped() != tc.wantDropped {
+				t.Fatalf("dropped = %d, want %d", b.Dropped(), tc.wantDropped)
+			}
+			if b.Len() != ringSize {
+				t.Fatalf("len = %d, want %d (ring stays full once filled)", b.Len(), ringSize)
+			}
+			got := b.Events()
+			if len(got) != ringSize {
+				t.Fatalf("Events() returned %d events, want %d", len(got), ringSize)
+			}
+			for i, e := range got {
+				if want := tc.wantFirst + sim.Time(i); e.T != want {
+					t.Fatalf("event %d has T=%d, want %d (oldest-first after wrap)", i, e.T, want)
+				}
+			}
+			// Conservation at the boundary: every emission is either
+			// retained or counted as dropped, never both, never neither.
+			if got := uint64(b.Len()) + b.Dropped(); got != uint64(tc.emitted) {
+				t.Fatalf("retained+dropped = %d, want %d emitted", got, tc.emitted)
+			}
+		})
+	}
+}
+
 func TestRegistryReuse(t *testing.T) {
 	var r Registry
 	c1 := r.Counter("a")
