@@ -208,7 +208,9 @@ func BenchmarkCodecs(b *testing.B) {
 		}
 		b.Run(name+"/compress", func(b *testing.B) {
 			b.SetBytes(4096)
-			var dst []byte
+			b.ReportAllocs()
+			dst := make([]byte, 0, codec.MaxCompressedSize(4096))
+			dst = codec.Compress(dst[:0], page) // warm internal pools
 			for i := 0; i < b.N; i++ {
 				dst = codec.Compress(dst[:0], page)
 			}
@@ -216,7 +218,8 @@ func BenchmarkCodecs(b *testing.B) {
 		b.Run(name+"/decompress", func(b *testing.B) {
 			comp := codec.Compress(nil, page)
 			b.SetBytes(4096)
-			var dst []byte
+			b.ReportAllocs()
+			dst := make([]byte, 0, 4096)
 			for i := 0; i < b.N; i++ {
 				var err error
 				dst, err = codec.Decompress(dst[:0], comp)
@@ -253,8 +256,45 @@ func BenchmarkFaultPath(b *testing.B) {
 				s.Write(int64(p)*4096, word[:])
 			}
 			b.ResetTimer()
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				s.Touch(int32(i)%pages, i%2 == 0)
+			}
+		})
+	}
+}
+
+// BenchmarkSteadyStatePaging measures the machine's compress/decompress hot
+// path once the compression cache holds the whole working set: every touch
+// is a page-out (compress into the per-machine scratch buffer) plus a cache
+// hit (decompress into the frame), with no disk traffic. The allocs/op
+// column is the interesting one — the steady state must stay at zero (also
+// pinned by TestSteadyState*ZeroAllocs in internal/machine).
+func BenchmarkSteadyStatePaging(b *testing.B) {
+	for _, codecName := range []string{"lzrw1", "lzss", "bdi", "fpc"} {
+		b.Run(codecName, func(b *testing.B) {
+			cfg := Default(benchMB).WithCC()
+			cfg.CC.Codec = codecName
+			m, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := m.NewSegment("bench", 400*4096)
+			pages := s.Pages()
+			var word [8]byte
+			for p := int32(0); p < pages; p++ {
+				s.Write(int64(p)*4096, word[:])
+			}
+			for pass := 0; pass < 3; pass++ { // reach the compressed steady state
+				for p := int32(0); p < pages; p++ {
+					s.Touch(p, false)
+				}
+			}
+			b.SetBytes(4096)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.Touch(int32(i)%pages, false)
 			}
 		})
 	}

@@ -41,6 +41,7 @@ func main() {
 	jobs := flag.Int("j", 0, "max concurrent simulated machines (0 = one per core, 1 = serial); output is identical at any value")
 	faultsFlag := flag.Bool("faults", false, "run the fault-injection sweep (overhead and survival vs fault rate); shorthand for -run faults")
 	faultRate := flag.Float64("fault-rate", -1, "restrict the fault sweep to a single rate (plus the fault-free baseline); default sweeps the built-in rates")
+	hostTiming := flag.Bool("host-timing", false, "measure host-clock columns (codec sweep ns/op); nondeterministic, off by default")
 	flag.Parse()
 
 	if *listFlag {
@@ -95,6 +96,7 @@ func main() {
 	opts := exp.DefaultOptions(scale)
 	opts.Parallelism = *jobs
 	opts.FaultRate = *faultRate
+	opts.HostTiming = *hostTiming
 
 	emit := func(tab *exp.Table) {
 		if *format == "csv" {

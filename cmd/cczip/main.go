@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	codecName := flag.String("codec", "lzrw1", "codec: lzrw1, lzss, rle, null")
+	codecName := flag.String("codec", "lzrw1", "codec: lzrw1, lzss, bdi, fpc, rle, null")
 	blockSize := flag.Int("block", 4096, "block size (the paper's page size)")
 	decompress := flag.Bool("d", false, "decompress stdin to stdout")
 	statsMode := flag.Bool("stats", false, "report per-page compression of the named files")

@@ -269,8 +269,8 @@ func CloneWorkload(w Workload) Workload { return workload.Clone(w) }
 // here does: n if positive, else one worker per available core.
 func Parallelism(n int) int { return runner.Parallelism(n) }
 
-// LookupCodec returns a registered page-compression codec ("lzrw1", "rle",
-// "null").
+// LookupCodec returns a registered page-compression codec ("lzrw1", "lzss",
+// "bdi", "fpc", "rle", "null").
 func LookupCodec(name string) (Codec, error) { return compress.Lookup(name) }
 
 // Codecs lists the registered codec names.

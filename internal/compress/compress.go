@@ -4,11 +4,13 @@
 // The paper compresses 4-KByte VM pages with Ross Williams's LZRW1 algorithm
 // (Data Compression Conference, 1991), chosen because it is fast enough for
 // on-line use while compressing typical page data 2:1–4:1. This package
-// contains a from-scratch Go implementation of the LZRW1 format, plus two
-// simpler codecs (run-length and null) and a registry so different data types
-// can use different algorithms, one of the design requirements in §3 of the
-// paper ("it should allow different compression algorithms to be used for
-// different types of data").
+// contains a from-scratch Go implementation of the LZRW1 format, a
+// higher-effort LZSS variant, two hardware-inspired codecs (bdi and fpc,
+// after Pekhimenko's Base-Delta-Immediate and Alameldeen & Wood's
+// Frequent-Pattern Compression), two simpler codecs (run-length and null),
+// and a registry so different data types can use different algorithms, one
+// of the design requirements in §3 of the paper ("it should allow different
+// compression algorithms to be used for different types of data").
 package compress
 
 import (
@@ -20,8 +22,15 @@ import (
 
 // Codec compresses and decompresses byte blocks. Implementations must be
 // deterministic and safe for concurrent use by multiple goroutines (they may
-// not retain state across calls; scratch space is allocated per call or
-// passed explicitly).
+// not retain state across calls; scratch space is allocated per call, pooled
+// internally, or passed explicitly).
+//
+// Determinism extends to recycled destination buffers: Compress(dst, src)
+// must produce the same bytes whether dst[:0] re-slices a buffer full of
+// stale garbage or is freshly allocated — implementations may never read
+// dst's backing array beyond len(dst). The machine's hot path hands every
+// codec a per-machine scratch buffer, so this is a load-bearing contract,
+// enforced by FuzzCompressDirtyScratch.
 type Codec interface {
 	// Name reports the registry name of the codec, e.g. "lzrw1".
 	Name() string
@@ -91,4 +100,6 @@ func init() {
 	Register(LZSS{})
 	Register(RLE{})
 	Register(Null{})
+	Register(BDI{})
+	Register(FPC{})
 }

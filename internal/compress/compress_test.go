@@ -178,7 +178,7 @@ func TestDecompressErrors(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	names := Names()
-	want := []string{"lzrw1", "lzss", "null", "rle"}
+	want := []string{"bdi", "fpc", "lzrw1", "lzss", "null", "rle"}
 	if len(names) < len(want) {
 		t.Fatalf("Names() = %v", names)
 	}

@@ -94,5 +94,40 @@ func fuzzCorrupt(f *testing.F, c Codec) {
 
 func FuzzLZRW1RoundTrip(f *testing.F) { fuzzRoundTrip(f, LZRW1{}) }
 func FuzzLZSSRoundTrip(f *testing.F)  { fuzzRoundTrip(f, LZSS{}) }
+func FuzzBDIRoundTrip(f *testing.F)   { fuzzRoundTrip(f, BDI{}) }
+func FuzzFPCRoundTrip(f *testing.F)   { fuzzRoundTrip(f, FPC{}) }
 func FuzzLZRW1Corrupt(f *testing.F)   { fuzzCorrupt(f, LZRW1{}) }
 func FuzzLZSSCorrupt(f *testing.F)    { fuzzCorrupt(f, LZSS{}) }
+func FuzzBDICorrupt(f *testing.F)     { fuzzCorrupt(f, BDI{}) }
+func FuzzFPCCorrupt(f *testing.F)     { fuzzCorrupt(f, FPC{}) }
+
+// FuzzCompressDirtyScratch checks the recycled-dst contract documented on
+// Codec: compressing into a zero-length slice whose backing array is full of
+// garbage must produce exactly the bytes of a fresh compression. The machine
+// reuses one scratch buffer for every page it compresses, so a codec that
+// reads stale dst bytes beyond len(dst) would silently corrupt pages in a
+// data-dependent, hard-to-reproduce way.
+func FuzzCompressDirtyScratch(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, p []byte) {
+		if len(p) > fuzzPageSize {
+			p = p[:fuzzPageSize]
+		}
+		for _, name := range Names() {
+			c, err := Lookup(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			clean := c.Compress(nil, p)
+			scratch := make([]byte, c.MaxCompressedSize(fuzzPageSize))
+			for i := range scratch {
+				scratch[i] = 0xFF
+			}
+			dirty := c.Compress(scratch[:0], p)
+			if !bytes.Equal(clean, dirty) {
+				t.Fatalf("%s: dirty-scratch compression differs: clean %d bytes, dirty %d bytes",
+					c.Name(), len(clean), len(dirty))
+			}
+		}
+	})
+}

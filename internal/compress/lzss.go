@@ -1,6 +1,9 @@
 package compress
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // LZSS is a higher-effort LZ77 codec: a 32-KByte window searched with hash
 // chains, long matches, and the same stored-block fallback as LZRW1. It
@@ -40,6 +43,19 @@ func lzssHash(b []byte) uint32 {
 	return (v * 2654435761) >> (32 - lzssHashBits)
 }
 
+// lzssScratch holds one Compress call's hash-chain state. The tables are
+// pooled so steady-state compression allocates nothing; determinism is
+// preserved because head is fully reset per call (head[h] stores position+1,
+// 0 meaning empty, so the reset is a plain clear) and prev[i] is always
+// written before position i becomes reachable through any chain — stale
+// entries from an earlier call are never read.
+type lzssScratch struct {
+	head [lzssHashSize]int32
+	prev []int32
+}
+
+var lzssPool = sync.Pool{New: func() any { return new(lzssScratch) }}
+
 // Compress appends the LZSS-compressed form of src to dst.
 func (LZSS) Compress(dst, src []byte) []byte {
 	base := len(dst)
@@ -49,13 +65,19 @@ func (LZSS) Compress(dst, src []byte) []byte {
 	limit := base + len(src) + 1
 	dst = append(dst, flagCompress)
 
-	// Hash chains: head[h] is the most recent position with hash h; prev[i]
-	// links position i to the previous position with the same hash.
-	head := make([]int32, lzssHashSize)
+	// Hash chains: head[h]-1 is the most recent position with hash h (0 =
+	// empty chain); prev[i] links position i to the previous position with
+	// the same hash, again offset by one.
+	sc := lzssPool.Get().(*lzssScratch)
+	defer lzssPool.Put(sc)
+	head := &sc.head
 	for i := range head {
-		head[i] = -1
+		head[i] = 0
 	}
-	prev := make([]int32, len(src))
+	if cap(sc.prev) < len(src) {
+		sc.prev = make([]int32, len(src))
+	}
+	prev := sc.prev[:len(src)]
 
 	ctrlPos := len(dst)
 	dst = append(dst, 0)
@@ -73,20 +95,20 @@ func (LZSS) Compress(dst, src []byte) []byte {
 		bestLen, bestOff := 0, 0
 		if pos+lzssMinMatch <= len(src) {
 			h := lzssHash(src[pos:])
-			cand := head[h]
+			cand := int(head[h]) - 1
 			maxLen := len(src) - pos
 			for depth := 0; cand >= 0 && depth < lzssMaxChain; depth++ {
-				off := pos - int(cand)
+				off := pos - cand
 				if off > lzssMaxOff {
 					break
 				}
 				// Quick reject on the byte past the current best.
-				if bestLen > 0 && (bestLen >= maxLen || src[int(cand)+bestLen] != src[pos+bestLen]) {
-					cand = prev[cand]
+				if bestLen > 0 && (bestLen >= maxLen || src[cand+bestLen] != src[pos+bestLen]) {
+					cand = int(prev[cand]) - 1
 					continue
 				}
 				l := 0
-				for l < maxLen && src[int(cand)+l] == src[pos+l] {
+				for l < maxLen && src[cand+l] == src[pos+l] {
 					l++
 				}
 				if l > bestLen {
@@ -95,10 +117,10 @@ func (LZSS) Compress(dst, src []byte) []byte {
 						break
 					}
 				}
-				cand = prev[cand]
+				cand = int(prev[cand]) - 1
 			}
 			prev[pos] = head[h]
-			head[h] = int32(pos)
+			head[h] = int32(pos) + 1
 		}
 		if bestLen >= lzssMinMatch {
 			// Copy item: 16-bit little-endian offset-1, then length.
@@ -122,7 +144,7 @@ func (LZSS) Compress(dst, src []byte) []byte {
 			for p := pos + 1; p < end && p+lzssMinMatch <= len(src); p++ {
 				h := lzssHash(src[p:])
 				prev[p] = head[h]
-				head[h] = int32(p)
+				head[h] = int32(p) + 1
 			}
 			pos = end
 			control |= 1 << uint(nItems)

@@ -70,7 +70,11 @@ func DecompressStream(codec Codec, r io.Reader, w io.Writer) (in, out int64, err
 			return in, out, fmt.Errorf("compress: truncated stream header: %w", rerr)
 		}
 		n := getStreamLen(hdr[:])
-		if n == 0 || n > StreamMaxBlock+streamLenBytes {
+		// A block can legally be as large as the codec's own worst case for a
+		// maximal input — e.g. the Null codec's stored header makes that
+		// StreamMaxBlock+4, which the old StreamMaxBlock+streamLenBytes bound
+		// wrongly rejected on data CompressStream itself wrote.
+		if n == 0 || n > codec.MaxCompressedSize(StreamMaxBlock) {
 			return in, out, fmt.Errorf("%w: implausible stream block length %d", ErrCorrupt, n)
 		}
 		if cap(comp) < n {

@@ -35,6 +35,31 @@ func TestStreamRoundTripAllCodecs(t *testing.T) {
 	}
 }
 
+// TestStreamMaxBlockRoundTrip is a regression test for the framing asymmetry
+// where CompressStream happily wrote blocks up to the codec's worst case for
+// a StreamMaxBlock input but DecompressStream rejected lengths above
+// StreamMaxBlock+streamLenBytes. Incompressible data at exactly the maximum
+// block size forces every codec into its stored fallback — the Null codec's
+// StreamMaxBlock+4 block is the case the old bound refused to read back.
+func TestStreamMaxBlockRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src := make([]byte, StreamMaxBlock)
+	rng.Read(src)
+	for _, c := range allCodecs(t) {
+		var compressed bytes.Buffer
+		if _, _, err := CompressStream(c, StreamMaxBlock, bytes.NewReader(src), &compressed); err != nil {
+			t.Fatalf("%s: compress: %v", c.Name(), err)
+		}
+		var plain bytes.Buffer
+		if _, _, err := DecompressStream(c, &compressed, &plain); err != nil {
+			t.Fatalf("%s: decompress: %v", c.Name(), err)
+		}
+		if !bytes.Equal(plain.Bytes(), src) {
+			t.Fatalf("%s: max-block stream round trip mismatch", c.Name())
+		}
+	}
+}
+
 func TestStreamEmptyInput(t *testing.T) {
 	var c LZRW1
 	var compressed, plain bytes.Buffer

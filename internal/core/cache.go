@@ -93,7 +93,10 @@ func DefaultParams() Params {
 	}
 }
 
-// Entry is one compressed page in the cache.
+// Entry is one compressed page in the cache. Data always points into a
+// cache-owned slab (Insert copies at the boundary), recycled through the
+// cache's freelists when the entry dies, so the steady-state insert path
+// allocates nothing.
 type Entry struct {
 	Key    swap.PageKey
 	Data   []byte
@@ -102,6 +105,8 @@ type Entry struct {
 	dead   bool
 	insert sim.Time
 	frames []*ccFrame
+	refs   int // frames still holding this entry; 0 → recyclable
+	oidx   int // index of this entry's slot in the order deque
 }
 
 // footprint is the buffer space the entry occupies, including its header.
@@ -143,11 +148,24 @@ type Cache struct {
 
 	frames  []*ccFrame // ring order; frames[0] is the oldest
 	entries map[swap.PageKey]*Entry
-	order   []*Entry // insertion order; order[head:] are current
+	order   []*Entry // insertion order; order[head:] are current, nil = killed
 	head    int
 
 	dirtyBytes int
 	liveBytes  int
+
+	// Recycling freelists: dead entries' slabs return at kill time; Entry
+	// and ccFrame structs return when the last reference (ring frame) lets
+	// go. Together with the order-slot nil-out in kill they make the
+	// steady-state insert/kill cycle allocation-free. All bookkeeping is
+	// per-cache and single-goroutine, so recycling cannot perturb
+	// determinism.
+	slabs      [][]byte
+	entryPool  []*Entry
+	framePool  []*ccFrame
+	acqBuf     []mem.FrameID // Insert's frame-acquisition scratch
+	cleanBatch []*Entry      // Clean's batch scratch
+	cleanItems []swap.Item   // Clean's flush-item scratch
 
 	flush  FlushFunc
 	onDrop DropFunc
@@ -213,15 +231,52 @@ func (c *Cache) Has(key swap.PageKey) bool {
 // frameCap is the usable bytes per frame.
 func (c *Cache) frameCap() int { return c.pool.PageSize() - c.params.FrameHeaderBytes }
 
+// slabGet returns a cache-owned buffer of n bytes (n never exceeds the page
+// size, so every slab is allocated at full page capacity and any recycled
+// slab fits).
+func (c *Cache) slabGet(n int) []byte {
+	if k := len(c.slabs); k > 0 {
+		s := c.slabs[k-1]
+		c.slabs = c.slabs[:k-1]
+		return s[:n]
+	}
+	return make([]byte, n, c.pool.PageSize())
+}
+
+// newEntry returns a reset Entry, recycled when possible.
+func (c *Cache) newEntry() *Entry {
+	if k := len(c.entryPool); k > 0 {
+		e := c.entryPool[k-1]
+		c.entryPool = c.entryPool[:k-1]
+		return e
+	}
+	return &Entry{}
+}
+
+// newFrame returns an empty ccFrame for pool frame id, recycled when
+// possible.
+func (c *Cache) newFrame(id mem.FrameID) *ccFrame {
+	if k := len(c.framePool); k > 0 {
+		f := c.framePool[k-1]
+		c.framePool = c.framePool[:k-1]
+		f.id = id
+		f.used = c.params.FrameHeaderBytes
+		return f
+	}
+	return &ccFrame{id: id, used: c.params.FrameHeaderBytes}
+}
+
 // Insert adds a compressed page to the tail of the ring. It reports false —
 // without side effects — when the cache cannot obtain the frames it needs
 // (pool empty and nothing reclaimable, or MaxFrames reached); the caller
 // then sends the page to the backing store instead. Feasibility is
 // established before any destructive work, so a failed insert reclaims no
 // frames, drops no entries, fires no hooks, flushes nothing, and changes no
-// counters. Data is retained by the cache (callers must not reuse the
-// slice). The error reports a flush failure during at-cap recycling; the
-// insert is abandoned with any newly acquired frames returned to the pool.
+// counters. Data is COPIED into cache-owned storage: the caller keeps
+// ownership of the slice and may reuse it immediately, which is what lets
+// the machine hand every codec one per-machine scratch buffer. The error
+// reports a flush failure during at-cap recycling; the insert is abandoned
+// with any newly acquired frames returned to the pool.
 func (c *Cache) Insert(key swap.PageKey, data []byte, dirty bool) (bool, error) {
 	if len(data) > c.pool.PageSize() {
 		// Invariant: the machine stores a page raw when compression does not
@@ -250,7 +305,7 @@ func (c *Cache) Insert(key swap.PageKey, data []byte, dirty bool) (bool, error) 
 	if !c.canAcquire(newFrames, tailFrame != nil) {
 		return false, nil
 	}
-	acquired := make([]mem.FrameID, 0, newFrames)
+	acquired := c.acqBuf[:0]
 	for i := 0; i < newFrames; i++ {
 		if c.params.MaxFrames > 0 && len(c.frames)+len(acquired) >= c.params.MaxFrames {
 			// At the cap: rotate the ring by recycling the oldest
@@ -264,6 +319,7 @@ func (c *Cache) Insert(key swap.PageKey, data []byte, dirty bool) (bool, error) 
 					for _, id := range acquired {
 						c.pool.Release(id)
 					}
+					c.acqBuf = acquired[:0]
 					return false, err
 				}
 				if n == 0 {
@@ -287,7 +343,11 @@ func (c *Cache) Insert(key swap.PageKey, data []byte, dirty bool) (bool, error) 
 		c.kill(old)
 	}
 
-	e := &Entry{Key: key, Data: data, Dirty: dirty, Sum: Checksum(data), insert: c.clock.Now()}
+	buf := c.slabGet(len(data))
+	copy(buf, data)
+	e := c.newEntry()
+	*e = Entry{Key: key, Data: buf, Dirty: dirty, Sum: Checksum(buf),
+		insert: c.clock.Now(), frames: e.frames[:0]}
 	left := need
 	if rem > 0 {
 		tail := c.frames[len(c.frames)-1]
@@ -298,7 +358,7 @@ func (c *Cache) Insert(key swap.PageKey, data []byte, dirty bool) (bool, error) 
 		left -= take
 	}
 	for _, id := range acquired {
-		f := &ccFrame{id: id, used: c.params.FrameHeaderBytes}
+		f := c.newFrame(id)
 		take := min(c.pool.PageSize()-f.used, left)
 		f.used += take
 		f.entries = append(f.entries, e)
@@ -311,7 +371,10 @@ func (c *Cache) Insert(key swap.PageKey, data []byte, dirty bool) (bool, error) 
 		// Invariant: the frame-count arithmetic above exactly covers need.
 		panic("core: space accounting error during insert")
 	}
+	c.acqBuf = acquired[:0]
+	e.refs = len(e.frames)
 	c.entries[key] = e
+	e.oidx = len(c.order)
 	c.order = append(c.order, e)
 	c.liveBytes += need
 	if dirty {
@@ -390,7 +453,10 @@ func (c *Cache) canAcquire(n int, protectTail bool) bool {
 // whether the backing store lacks the contents. The entry is RETAINED: "the
 // compressed copy in memory can be freed at any time" (§4.1), and keeping it
 // means a later eviction of the still-unmodified page costs nothing — the
-// owner must Drop the entry when the page is modified.
+// owner must Drop the entry when the page is modified. The returned data is
+// cache-owned and valid only until the entry is dropped or superseded (its
+// slab is recycled at that point); callers consume it before the next cache
+// mutation and must not retain it.
 func (c *Cache) Fault(key swap.PageKey) (data []byte, sum uint32, dirty bool, ok bool) {
 	e, found := c.entries[key]
 	if !found {
@@ -434,7 +500,10 @@ func (c *Cache) Drop(key swap.PageKey) {
 	}
 }
 
-// kill marks an entry dead and removes it from the live index.
+// kill marks an entry dead and removes it from the live index. Its data
+// slab returns to the freelist immediately — nothing reads a dead entry's
+// Data — and its order slot is nilled so the Entry struct itself can be
+// recycled as soon as the last ring frame holding it is reclaimed.
 func (c *Cache) kill(e *Entry) {
 	if e.dead {
 		return
@@ -446,6 +515,9 @@ func (c *Cache) kill(e *Entry) {
 		e.Dirty = false
 	}
 	delete(c.entries, e.Key)
+	c.slabs = append(c.slabs, e.Data[:0])
+	e.Data = nil
+	c.order[e.oidx] = nil
 }
 
 // OldestAge reports the insertion time of the oldest live entry; ok is false
@@ -460,13 +532,26 @@ func (c *Cache) OldestAge() (sim.Time, bool) {
 }
 
 func (c *Cache) advanceHead() {
-	for c.head < len(c.order) && c.order[c.head].dead {
+	for c.head < len(c.order) && c.order[c.head] == nil {
 		c.head++
 	}
 	// Periodically compact the order slice so it does not grow without
-	// bound across a long run.
+	// bound across a long run. Dropping interior nil slots too keeps the
+	// deque's live density high; surviving entries are reindexed.
 	if c.head > 1024 && c.head*2 > len(c.order) {
-		c.order = append(c.order[:0], c.order[c.head:]...)
+		kept := c.order[:0]
+		for _, e := range c.order[c.head:] {
+			if e == nil {
+				continue
+			}
+			e.oidx = len(kept)
+			kept = append(kept, e)
+		}
+		// Clear the abandoned tail so it holds no stale pointers.
+		for i := len(kept); i < len(c.order); i++ {
+			c.order[i] = nil
+		}
+		c.order = kept
 		c.head = 0
 	}
 }
@@ -482,18 +567,19 @@ func (c *Cache) Clean() (int, error) {
 	// Skip (and periodically compact) the dead prefix once, instead of
 	// re-walking an arbitrarily long run of dropped entries on every pass.
 	c.advanceHead()
-	var batch []*Entry
-	var items []swap.Item
+	batch := c.cleanBatch[:0]
+	items := c.cleanItems[:0]
 	bytes := 0
 	for i := c.head; i < len(c.order) && bytes < c.params.CleanBatchBytes; i++ {
 		e := c.order[i]
-		if e.dead || !e.Dirty {
+		if e == nil || !e.Dirty {
 			continue
 		}
 		batch = append(batch, e)
 		items = append(items, swap.Item{Key: e.Key, Data: e.Data, Compressed: true, Sum: e.Sum})
 		bytes += e.footprint(c.params)
 	}
+	c.cleanBatch, c.cleanItems = batch[:0], items[:0]
 	if len(batch) == 0 {
 		return 0, nil
 	}
@@ -599,6 +685,18 @@ func (c *Cache) reclaimFirstExcept(skip *ccFrame) bool {
 		}
 		c.frames = append(c.frames[:i], c.frames[i+1:]...)
 		c.pool.Release(f.id)
+		// Every entry the frame held is now dead (live ones were killed just
+		// above). Dropping the frame's reference may free the Entry struct
+		// for recycling; the frame itself always recycles.
+		for j, e := range f.entries {
+			if e.refs--; e.refs == 0 {
+				e.frames = e.frames[:0]
+				c.entryPool = append(c.entryPool, e) //cclint:ignore maprange -- f.entries is a slice ([]*Entry); the syntactic check name-matches the Cache.entries map
+			}
+			f.entries[j] = nil
+		}
+		f.entries = f.entries[:0]
+		c.framePool = append(c.framePool, f)
 		c.st.FrameShrinks++
 		if i != 0 {
 			c.st.MidReclaims++
@@ -651,14 +749,16 @@ func (c *Cache) CheckConsistency() error {
 			}
 		}
 	}
-	// Every live entry must be reachable from the order deque.
-	reach := make(map[*Entry]bool)
-	for _, e := range c.order[min(c.head, len(c.order)):] {
-		reach[e] = true
-	}
+	// Every live entry must sit in its recorded order slot (dead entries'
+	// slots are nil).
 	for key, e := range c.entries {
-		if !reach[e] {
-			return fmt.Errorf("core: live entry %v unreachable from the ring order", key)
+		if e.oidx < 0 || e.oidx >= len(c.order) || c.order[e.oidx] != e {
+			return fmt.Errorf("core: live entry %v not at its order slot", key)
+		}
+	}
+	for i, e := range c.order {
+		if e != nil && e.oidx != i {
+			return fmt.Errorf("core: order slot %d holds entry %v with oidx %d", i, e.Key, e.oidx)
 		}
 	}
 	return nil

@@ -26,6 +26,12 @@ type Options struct {
 	// baseline). Negative selects the built-in rate ladder. Only the faults
 	// experiment reads it.
 	FaultRate float64
+
+	// HostTiming enables host-clock measurement columns (currently the codec
+	// sweep's ns/op). Host timings are inherently nondeterministic, so they
+	// are off by default and the affected columns print "-"; everything else
+	// in the tables stays byte-identical at any Parallelism.
+	HostTiming bool
 }
 
 // DefaultOptions returns the options every experiment documents: built-in
@@ -248,4 +254,8 @@ func init() {
 	tableExpNoPages("ext/multiprogramming", Multiprogramming)
 	tableExpNoPages("ext/model-validation", ModelValidation)
 	tableExpNoPages("ext/mobile", MobileScenario)
+	register("ext/codec-sweep", func(_ context.Context, o Options) (Result, error) {
+		memMB, pages := o.sizing()
+		return CodecSweep(memMB, pages, o.seed(), o.Parallelism, o.HostTiming)
+	})
 }

@@ -15,8 +15,8 @@ func TestNamesSortedAndComplete(t *testing.T) {
 	want := []string{
 		"ablation/bias", "ablation/codec", "ablation/fixed-size",
 		"ablation/partial-io", "ablation/spanning", "ablation/threshold",
-		"ext/backing-store", "ext/compression-speed", "ext/file-cache",
-		"ext/lfs", "ext/mobile", "ext/model-validation",
+		"ext/backing-store", "ext/codec-sweep", "ext/compression-speed",
+		"ext/file-cache", "ext/lfs", "ext/mobile", "ext/model-validation",
 		"ext/multiprogramming", "ext/pinning",
 		"faults", "fig1a", "fig1b", "fig3", "table1",
 	}

@@ -53,6 +53,16 @@ type Machine struct {
 	bus        *obs.Bus       // nil when Config.Obs is nil
 	compHist   *obs.Histogram // machine.compress_page — per-page compression time
 	decompHist *obs.Histogram // machine.decompress_page — per-page decompression time
+
+	// Hot-path scratch. The machine is single-goroutine, and both consumers
+	// of these buffers copy at the boundary before returning — core.Cache
+	// .Insert copies into a cache-owned slab, swap.Clustered.WriteCluster
+	// serializes into its own cluster buffer — so one compression buffer and
+	// one neighbor-staging buffer serve every PageOut/PageIn/Store without
+	// per-call allocation.
+	compBuf []byte       // codec.Compress destination, reused across calls
+	nbrBuf  []byte       // clustered-read neighbor staging (corrupt+verify)
+	itemBuf [1]swap.Item // single-item WriteCluster batches
 }
 
 // New builds a machine from the configuration.
@@ -128,6 +138,7 @@ func New(cfg Config) (*Machine, error) {
 		if err != nil {
 			return nil, err
 		}
+		m.compBuf = make([]byte, 0, m.codec.MaxCompressedSize(cfg.PageSize))
 		m.CC = core.New(cfg.CC.Core, m.Clock, m.Pool)
 		m.CC.SetHooks(m.flushEntries, m.entryDropped)
 		m.CC.SetObserver(m.bus)
@@ -349,6 +360,16 @@ func (m *Machine) allocFrame(owner mem.Owner) (mem.FrameID, error) {
 	return id, nil
 }
 
+// writeOne sends a single item to the clustered store through the reusable
+// one-item batch buffer, clearing the staged reference afterwards so the
+// machine never retains a caller's page buffer.
+func (m *Machine) writeOne(it swap.Item) error {
+	m.itemBuf[0] = it
+	err := m.clustered.WriteCluster(m.itemBuf[:], true)
+	m.itemBuf[0] = swap.Item{}
+	return err
+}
+
 // maybeClean runs the background cleaner: if the stock of immediately
 // usable frames (free plus clean-reclaimable) is below the reserve, write
 // out the oldest dirty compressed data in clustered batches. The write is
@@ -453,7 +474,11 @@ func (m *Machine) PageOut(p *vm.Page, data []byte) error {
 	m.compHist.Observe(m.cfg.Cost.CompressCost(len(data)))
 	m.comp.Compressions++
 	m.comp.BytesIn += uint64(len(data))
-	cdata := m.codecFor(p.Key.Seg).Compress(nil, data)
+	// Compress into the machine scratch buffer: Insert copies into a
+	// cache-owned slab and WriteCluster serializes before returning, so the
+	// buffer is free again by the time this call ends.
+	cdata := m.codecFor(p.Key.Seg).Compress(m.compBuf[:0], data)
+	m.compBuf = cdata[:0]
 	m.comp.BytesOut += uint64(len(cdata))
 
 	if len(cdata) <= m.cfg.keepThreshold() {
@@ -472,9 +497,9 @@ func (m *Machine) PageOut(p *vm.Page, data []byte) error {
 		// nothing). Send the compressed page to the backing store directly,
 		// still benefiting from the reduced transfer size.
 		if p.Dirty || !p.SwapValid {
-			err := m.clustered.WriteCluster([]swap.Item{{
+			err := m.writeOne(swap.Item{
 				Key: p.Key, Data: cdata, Compressed: true, Sum: core.Checksum(cdata),
-			}}, true)
+			})
 			if err != nil {
 				return &fault.UnrecoverableError{
 					Page:   p.Key.String(),
@@ -493,10 +518,12 @@ func (m *Machine) PageOut(p *vm.Page, data []byte) error {
 	// the page travels uncompressed.
 	m.comp.Incompressible++
 	if p.Dirty || !p.SwapValid {
-		raw := append([]byte(nil), data...)
-		err := m.clustered.WriteCluster([]swap.Item{{
-			Key: p.Key, Data: raw, Compressed: false, Sum: core.Checksum(raw),
-		}}, true)
+		// The page buffer goes straight to the store: WriteCluster copies
+		// into its own cluster buffer before returning, so no defensive copy
+		// is needed.
+		err := m.writeOne(swap.Item{
+			Key: p.Key, Data: data, Compressed: false, Sum: core.Checksum(data),
+		})
 		if err != nil {
 			return &fault.UnrecoverableError{
 				Page:   p.Key.String(),
@@ -637,7 +664,11 @@ func (m *Machine) insertNeighbors(neighbors []swap.Neighbor) {
 		if p.State != vm.Swapped || m.CC.Has(n.Key) {
 			continue
 		}
-		cdata := append([]byte(nil), n.Data...)
+		// Stage the neighbor in the machine scratch buffer so fault injection
+		// corrupts the staged copy, not the clustered read buffer; Insert
+		// below copies again into a cache-owned slab.
+		m.nbrBuf = append(m.nbrBuf[:0], n.Data...)
+		cdata := m.nbrBuf
 		m.faults.CorruptSwap(cdata)
 		if core.Checksum(cdata) != n.Sum {
 			m.fst.CorruptionsDetected++
@@ -712,7 +743,8 @@ func (f fsBlockCache) Store(fileID int32, block int64, data []byte) (bool, error
 	m.compHist.Observe(m.cfg.Cost.CompressCost(len(data)))
 	m.comp.Compressions++
 	m.comp.BytesIn += uint64(len(data))
-	cdata := m.codec.Compress(nil, data)
+	cdata := m.codec.Compress(m.compBuf[:0], data)
+	m.compBuf = cdata[:0]
 	m.comp.BytesOut += uint64(len(cdata))
 	if len(cdata) > m.cfg.keepThreshold() {
 		m.comp.Incompressible++

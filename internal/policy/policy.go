@@ -95,6 +95,27 @@ type Allocator struct {
 	// interleaved allocations (e.g. the compression cache growing while a
 	// page is mid-eviction) cannot deadlock. Zero disables the reserve.
 	Reserve int
+
+	// Per-call scratch, reused so the fault path does not allocate. The
+	// allocator is single-goroutine like the machine that owns it, and
+	// AllocFrame/Rebalance/FreeOne never recurse into each other.
+	excluded   []bool
+	noProgress []int
+}
+
+// scratch returns the per-consumer exclusion and progress counters, cleared.
+func (a *Allocator) scratch() (excluded []bool, noProgress []int) {
+	if cap(a.excluded) < len(a.consumers) {
+		a.excluded = make([]bool, len(a.consumers))
+		a.noProgress = make([]int, len(a.consumers))
+	}
+	excluded = a.excluded[:len(a.consumers)]
+	noProgress = a.noProgress[:len(a.consumers)]
+	for i := range excluded {
+		excluded[i] = false
+		noProgress[i] = 0
+	}
+	return excluded, noProgress
 }
 
 // NewAllocator creates an allocator over pool.
@@ -124,8 +145,7 @@ const noProgressLimit = 8
 // release's triggered work reports (writeback device error, fragment
 // verification failure).
 func (a *Allocator) AllocFrame(owner mem.Owner) (mem.FrameID, error) {
-	excluded := make([]bool, len(a.consumers))
-	noProgress := make([]int, len(a.consumers))
+	excluded, noProgress := a.scratch()
 	// Generous bound: 4x the pool is far beyond any legitimate reclaim chain.
 	maxTries := 4*a.pool.Total() + 16*(len(a.consumers)+1)
 	for try := 0; try < maxTries; try++ {
@@ -164,8 +184,7 @@ func (a *Allocator) Rebalance() error {
 	if a.Reserve <= 0 {
 		return nil
 	}
-	excluded := make([]bool, len(a.consumers))
-	noProgress := make([]int, len(a.consumers))
+	excluded, noProgress := a.scratch()
 	guard := 4*a.pool.Total() + 16
 	for a.pool.FreeCount() < a.Reserve && guard > 0 {
 		guard--
@@ -197,7 +216,7 @@ func (a *Allocator) Rebalance() error {
 // insertions — e.g. pages prefetched by a clustered swap read — use it
 // instead of AllocFrame so failure is non-fatal.
 func (a *Allocator) FreeOne() (bool, error) {
-	excluded := make([]bool, len(a.consumers))
+	excluded, _ := a.scratch()
 	for range a.consumers {
 		idx := a.pick(excluded)
 		if idx < 0 {

@@ -109,6 +109,11 @@ type Clustered struct {
 	bus   *obs.Bus
 	clock *sim.Clock // event timestamps only; the fs layer charges the I/O
 
+	// readBuf and readNbrs back the slices Read returns; they are reused on
+	// the next Read, which is why Read's results are borrow-only.
+	readBuf  []byte
+	readNbrs []Neighbor
+
 	st stats.Swap
 }
 
@@ -316,13 +321,18 @@ func (c *Clustered) alloc(n int32, blockAligned bool) int32 {
 	}
 }
 
-// Read fetches the page into a fresh buffer, honouring the whole-block rule:
-// in whole-block mode the device reads every block the page's fragments
-// touch, and every other page wholly contained in those blocks is returned
-// as a neighbor (the caller typically inserts neighbors into the compression
-// cache as clean pages). It reports ok=false if the page is not stored. The
-// returned sum is the integrity checksum recorded when the page was stored;
-// the caller verifies it after any decompression-side corruption checks.
+// Read fetches the page, honouring the whole-block rule: in whole-block mode
+// the device reads every block the page's fragments touch, and every other
+// page wholly contained in those blocks is returned as a neighbor (the
+// caller typically inserts neighbors into the compression cache as clean
+// pages). It reports ok=false if the page is not stored. The returned sum is
+// the integrity checksum recorded when the page was stored; the caller
+// verifies it after any decompression-side corruption checks.
+//
+// The returned data and neighbor Data slices are views into a per-device
+// read buffer that the next Read call reuses: callers must copy anything
+// they retain before reading again (they may mutate the views in place,
+// e.g. for fault injection, until then).
 func (c *Clustered) Read(key PageKey) (data []byte, sum uint32, compressed bool, neighbors []Neighbor, ok bool, err error) {
 	e, found := c.extents[key]
 	if !found {
@@ -333,7 +343,7 @@ func (c *Clustered) Read(key PageKey) (data []byte, sum uint32, compressed bool,
 	byteLen := int(e.nfrags) * c.cfg.FragSize
 
 	if c.fsys.AllowPartialIO() {
-		buf := make([]byte, byteLen)
+		buf := c.readBytes(byteLen)
 		if err := c.file.RawRead(buf, fragOff, byteLen); err != nil {
 			return nil, 0, false, nil, true, err
 		}
@@ -345,7 +355,7 @@ func (c *Clustered) Read(key PageKey) (data []byte, sum uint32, compressed bool,
 	bs := int64(c.blockSize)
 	b0 := fragOff / bs
 	b1 := (fragOff + int64(byteLen) + bs - 1) / bs
-	buf := make([]byte, (b1-b0)*bs)
+	buf := c.readBytes(int((b1 - b0) * bs))
 	if err := c.file.RawRead(buf, b0*bs, len(buf)); err != nil {
 		return nil, 0, false, nil, true, err
 	}
@@ -353,6 +363,7 @@ func (c *Clustered) Read(key PageKey) (data []byte, sum uint32, compressed bool,
 	data = buf[rel : rel+int64(e.length)]
 
 	// Collect neighbors: pages whose extents lie wholly inside [b0, b1).
+	neighbors = c.readNbrs[:0]
 	firstFrag := int32(b0 * bs / int64(c.cfg.FragSize))
 	lastFrag := int32(b1 * bs / int64(c.cfg.FragSize))
 	for f := firstFrag; f < lastFrag; f++ {
@@ -372,7 +383,19 @@ func (c *Clustered) Read(key PageKey) (data []byte, sum uint32, compressed bool,
 			Sum:        ne.sum,
 		})
 	}
+	c.readNbrs = neighbors
+	if len(neighbors) == 0 {
+		neighbors = nil
+	}
 	return data, e.sum, e.compressed, neighbors, true, nil
+}
+
+// readBytes returns the reusable read buffer grown to n bytes.
+func (c *Clustered) readBytes(n int) []byte {
+	if cap(c.readBuf) < n {
+		c.readBuf = make([]byte, n)
+	}
+	return c.readBuf[:n]
 }
 
 // maybeGC compacts the swap file when garbage (holes plus padding) exceeds
