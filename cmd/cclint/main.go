@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	cclint [-json] [-list] [-werror] [-baseline file] [-write-baseline] [packages...]
+//	cclint [-json] [-list] [-werror] [-baseline file] [-write-baseline]
+//	       [-effects file] [-write-effects] [packages...]
 //
 // Packages default to ./... . Patterns follow the go tool's shape
 // ("./...", "./internal/...", or plain directories); whatever the
@@ -20,6 +21,12 @@
 // or, for incremental adoption of a new analyzer, recorded wholesale with
 // -write-baseline into .cclint-baseline.json and burned down over time —
 // CI fails while the checked-in baseline is non-empty.
+//
+// -write-effects regenerates .cclint-effects.json, the manifest of every
+// exported function's inferred effect set; the effectdrift analyzer warns
+// when a function's effects grow beyond the recorded entry. The file is
+// byte-deterministic, so CI can regenerate it and fail on any diff
+// (a stale manifest means an unreviewed effect change).
 //
 // See internal/lint for the analyzers and DESIGN.md ("Static analysis
 // engine") for the call-graph machinery and why each rule exists.
@@ -41,6 +48,8 @@ func main() {
 	werror := flag.Bool("werror", false, "treat warn-severity findings as errors for the exit status")
 	baselinePath := flag.String("baseline", ".cclint-baseline.json", "baseline file (module-root-relative unless absolute); missing file = empty baseline")
 	writeBaseline := flag.Bool("write-baseline", false, "record current findings into the baseline file and exit 0")
+	effectsPath := flag.String("effects", lint.EffectsFile, "effects manifest (module-root-relative unless absolute); missing file = no drift checks")
+	writeEffects := flag.Bool("write-effects", false, "record the inferred effects of every exported function into the manifest and exit 0")
 	flag.Parse()
 
 	analyzers := lint.All()
@@ -73,6 +82,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cclint: no Go packages matched")
 		os.Exit(2)
 	}
+
+	ep := *effectsPath
+	if !filepath.IsAbs(ep) {
+		ep = filepath.Join(mod.Root, ep)
+	}
+	if *writeEffects {
+		if err := lint.WriteEffects(ep, mod); err != nil {
+			fmt.Fprintln(os.Stderr, "cclint:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "cclint: wrote effects manifest to %s\n", ep)
+		return
+	}
+	mod.EffectsPath = ep
 
 	diags := lint.Run(pkgs, analyzers)
 

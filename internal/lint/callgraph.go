@@ -36,6 +36,9 @@ type CallGraph struct {
 	// named lists every defined (non-alias) type in the module, in
 	// deterministic order, for method-set resolution.
 	named []*types.Named
+	// orderIdx maps each declared function to its position in order, the
+	// tie-break every deterministic traversal uses.
+	orderIdx map[*types.Func]int
 }
 
 // Node is one function or method in the graph.
@@ -111,7 +114,25 @@ func buildCallGraph(mod *Module) *CallGraph {
 			}
 		}
 	}
+	g.orderIdx = make(map[*types.Func]int, len(g.order))
+	for i, n := range g.order {
+		g.orderIdx[n.Fn] = i
+	}
 	return g
+}
+
+// before orders functions for tie-breaking: declared functions by their
+// position in g.order, external functions after them by full name.
+func (g *CallGraph) before(a, b *types.Func) bool {
+	ia, oka := g.orderIdx[a]
+	ib, okb := g.orderIdx[b]
+	if oka != okb {
+		return oka
+	}
+	if oka && ia != ib {
+		return ia < ib
+	}
+	return a.FullName() < b.FullName()
 }
 
 // resolve maps one call expression to its edges.
@@ -224,42 +245,46 @@ func (g *CallGraph) Reaches(pred func(*types.Func) bool) map[*types.Func]bool {
 }
 
 // Path returns a shortest call chain from `from` to a callee satisfying
-// pred: [from, ..., target]. It returns nil if no chain exists. Edges are
-// explored in source order, so the chain reported for a diagnostic is
-// deterministic.
+// pred: [from, ..., target]. It returns nil if no chain exists. The BFS is
+// level-synchronized and ties between same-length chains are broken by
+// g.order (each level's frontier is visited in declaration order, and the
+// first match wins), so the chain reported for a diagnostic is the same
+// on every run regardless of how the graph was assembled.
 func (g *CallGraph) Path(from *types.Func, pred func(*types.Func) bool) []*types.Func {
 	if pred(from) {
 		return []*types.Func{from}
 	}
-	type hop struct {
-		fn   *types.Func
-		prev *hop
-	}
-	unwind := func(h *hop) []*types.Func {
-		var out []*types.Func
-		for ; h != nil; h = h.prev {
-			out = append([]*types.Func{h.fn}, out...)
-		}
-		return out
-	}
-	seen := map[*types.Func]bool{from: true}
-	queue := []*hop{{fn: from}}
-	for len(queue) > 0 {
-		h := queue[0]
-		queue = queue[1:]
-		node := g.nodes[h.fn]
-		if node == nil {
-			continue
-		}
-		for _, e := range node.Out {
-			if pred(e.Callee) {
-				return append(unwind(h), e.Callee)
+	parent := map[*types.Func]*types.Func{from: nil}
+	frontier := []*types.Func{from}
+	for len(frontier) > 0 {
+		sort.Slice(frontier, func(i, j int) bool { return g.before(frontier[i], frontier[j]) })
+		var next []*types.Func
+		for _, fn := range frontier {
+			node := g.nodes[fn]
+			if node == nil {
+				continue
 			}
-			if !seen[e.Callee] {
-				seen[e.Callee] = true
-				queue = append(queue, &hop{fn: e.Callee, prev: h})
+			var target *types.Func
+			for _, e := range node.Out {
+				if pred(e.Callee) && (target == nil || g.before(e.Callee, target)) {
+					target = e.Callee
+				}
+			}
+			if target != nil {
+				chain := []*types.Func{target}
+				for f := fn; f != nil; f = parent[f] {
+					chain = append([]*types.Func{f}, chain...)
+				}
+				return chain
+			}
+			for _, e := range node.Out {
+				if _, ok := parent[e.Callee]; !ok {
+					parent[e.Callee] = fn
+					next = append(next, e.Callee)
+				}
 			}
 		}
+		frontier = next
 	}
 	return nil
 }

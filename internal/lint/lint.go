@@ -83,8 +83,9 @@ type Analyzer interface {
 }
 
 // All returns the full cclint analyzer suite, in stable order: the four
-// original syntactic analyzers, then the five call-graph analyzers added
-// with the cross-package engine.
+// original syntactic analyzers, the five call-graph analyzers added
+// with the cross-package engine, then the three effect-inference
+// analyzers (hotalloc, bufown, effectdrift).
 func All() []Analyzer {
 	return []Analyzer{
 		Walltime{},
@@ -96,6 +97,9 @@ func All() []Analyzer {
 		SharedWrite{},
 		FloatOrder{},
 		ObsCoverage{},
+		HotAlloc{},
+		BufOwn{},
+		EffectDrift{},
 	}
 }
 

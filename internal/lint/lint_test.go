@@ -140,6 +140,9 @@ func TestErrDropGolden(t *testing.T)     { runGolden(t, "testdata/src/errdrop") 
 func TestSharedWriteGolden(t *testing.T) { runGolden(t, "testdata/src/sharedwrite") }
 func TestFloatOrderGolden(t *testing.T)  { runGolden(t, "testdata/src/floatorder") }
 func TestObsCoverageGolden(t *testing.T) { runGolden(t, "testdata/src/obscoverage") }
+func TestHotAllocGolden(t *testing.T)    { runGolden(t, "testdata/src/hotalloc") }
+func TestBufOwnGolden(t *testing.T)      { runGolden(t, "testdata/src/bufown") }
+func TestEffectDriftGolden(t *testing.T) { runGolden(t, "testdata/src/effectdrift") }
 
 // findFn resolves a function or method by fixture package path suffix and
 // name, through the call graph's deterministic node order.

@@ -1,0 +1,48 @@
+// Package compress exercises the bufown ownership contracts on
+// codec-shaped functions: src is a read-only borrow of the caller's
+// page, dst is a recycled scratch buffer that may be appended to and
+// returned but never retained or read past len.
+package compress
+
+// Keeper retains the borrowed source page in a field.
+type Keeper struct{ last []byte }
+
+// Compress stores src past the call — the cache would then alias a page
+// the VM is about to reuse.
+func (k *Keeper) Compress(dst, src []byte) []byte {
+	k.last = src // want `Compress retains borrowed buffer src past the call`
+	return dst
+}
+
+// Aliaser returns src-derived memory instead of dst.
+type Aliaser struct{}
+
+// Compress aliases the caller's page into the compressed stream.
+func (Aliaser) Compress(dst, src []byte) []byte {
+	return src // want `Compress returns memory derived from borrowed buffer src`
+}
+
+// Scratcher reads dst beyond len: the recycled scratch buffer's
+// capacity holds garbage from the previous call.
+type Scratcher struct{}
+
+// Decompress reslices dst to cap before writing it.
+func (Scratcher) Decompress(dst, src []byte) ([]byte, error) {
+	grown := dst[:cap(dst)] // want `Decompress reslices borrowed buffer dst to cap`
+	n := copy(grown, src)
+	return grown[:n], nil
+}
+
+// RoundTrip follows the contract: dst is grown by append and returned,
+// src is only read. No findings.
+type RoundTrip struct{}
+
+// Compress is the contract-clean shape.
+func (RoundTrip) Compress(dst, src []byte) []byte {
+	return append(dst[:0], src...)
+}
+
+// Decompress is the contract-clean shape.
+func (RoundTrip) Decompress(dst, src []byte) ([]byte, error) {
+	return append(dst[:0], src...), nil
+}

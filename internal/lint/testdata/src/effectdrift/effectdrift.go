@@ -1,0 +1,30 @@
+// Package effectdrift exercises the manifest-drift analyzer. The
+// fixture tree's manifest (testdata/src/.cclint-effects.json) records
+// Drifted as effect-free, Stable as allocating, and Shrunk as
+// allocating: only Drifted — whose inferred effects exceed its
+// recorded entry — warns. Functions absent from the manifest
+// (Unlisted) never warn, and effect shrink (Shrunk) never warns.
+package effectdrift
+
+// Drifted gained an allocation its recorded (empty) effect set does not
+// admit.
+func Drifted() []byte { // want `effects of Drifted grew beyond the recorded manifest: inferred \{allocates\}, recorded \{none\}`
+	return make([]byte, 8)
+}
+
+// Stable allocates, and its manifest entry says so. Silent.
+func Stable() []byte {
+	return make([]byte, 8)
+}
+
+// Shrunk lost the allocation its entry records; shrink is progress, not
+// drift. Silent.
+func Shrunk(n int) int {
+	return n + 1
+}
+
+// Unlisted has no manifest entry; a fresh function is quiet until a
+// baseline is recorded for it. Silent.
+func Unlisted() []byte {
+	return make([]byte, 8)
+}

@@ -1,0 +1,30 @@
+// Package core holds the Cache.Insert hot-root fixture and exercises
+// the pooled-function table: slabGet is a recognized recycler, so its
+// make fallback is warm-up, not a steady-state violation.
+package core
+
+// Cache is a miniature compression cache with a slab freelist.
+type Cache struct {
+	slabs [][]byte
+	free  [][]byte
+}
+
+// Insert is a hot root (core Insert). It allocates nothing in steady
+// state: the slab comes from the freelist and the append to a field is
+// amortized.
+func (c *Cache) Insert(key int64, data []byte) {
+	b := c.slabGet(len(data))
+	copy(b, data)
+	c.slabs = append(c.slabs, b) // warm: append to a field
+}
+
+// slabGet is in the pooled-function table: the make fallback runs only
+// until the freelist warms up, so it is demoted to amortized.
+func (c *Cache) slabGet(n int) []byte {
+	if k := len(c.free); k > 0 {
+		b := c.free[k-1]
+		c.free = c.free[:k-1]
+		return b[:n]
+	}
+	return make([]byte, n) // warm: pooled recycler fallback
+}

@@ -1,0 +1,39 @@
+// Package machine holds the PageIn/PageOut hot-root fixtures for the
+// hotalloc analyzer. The acceptance case lives here: a make() buried in
+// a helper the fault-service path reaches must be reported with the full
+// call chain.
+package machine
+
+// Machine is a miniature of the real machine: a backing map standing in
+// for the swap store and a pooled scratch buffer.
+type Machine struct {
+	store   map[int64][]byte
+	scratch []byte
+}
+
+// PageIn is a hot root; everything it reaches must not allocate in
+// steady state. The violation is in decompressInto, one call down.
+func (m *Machine) PageIn(page int64, frame []byte) error {
+	return m.decompressInto(frame, m.store[page])
+}
+
+// PageOut stays on the clean path: the cap-guard growth of a pooled
+// field and the map write are both amortized, not steady-state.
+func (m *Machine) PageOut(page int64, frame []byte) error {
+	if cap(m.scratch) < len(frame) {
+		m.scratch = make([]byte, len(frame)) // warm: pooled field growth
+	}
+	buf := m.scratch[:len(frame)]
+	copy(buf, frame)
+	m.store[page] = buf // warm: map rehash is amortized
+	return nil
+}
+
+// decompressInto is the acceptance criterion's target: inserting a
+// make([]byte, n) here must be caught, with the chain from PageIn.
+func (m *Machine) decompressInto(dst, src []byte) error {
+	tmp := make([]byte, len(src)) // want `hot path PageIn.*decompressInto: make\(\[\]byte, len\(src\)\) allocates in steady state`
+	copy(tmp, src)
+	copy(dst, tmp)
+	return nil
+}

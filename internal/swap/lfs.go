@@ -2,7 +2,6 @@ package swap
 
 import (
 	"fmt"
-	"sort"
 
 	"compcache/internal/fs"
 	"compcache/internal/mem"
@@ -97,6 +96,13 @@ type LFS struct {
 	curUsed int   // pages staged in the buffer
 	inClean bool
 
+	// Cleaner scratch, reused across passes so steady-state cleaning
+	// allocates nothing: recycled segment bookkeeping objects and the
+	// page-copy/segment-sweep buffers.
+	segPool  []*lfsSegment
+	copyBuf  []byte
+	sweepBuf []byte
+
 	st stats.Swap
 }
 
@@ -151,12 +157,27 @@ func (l *LFS) Stats() stats.Swap {
 	return st
 }
 
+// newSegment returns segment bookkeeping, recycling an object the cleaner
+// freed when one is available; the make fallback runs only until the pool
+// warms up.
+func (l *LFS) newSegment() *lfsSegment {
+	if n := len(l.segPool); n > 0 {
+		s := l.segPool[n-1]
+		l.segPool[n-1] = nil
+		l.segPool = l.segPool[:n-1]
+		s.pages = s.pages[:0]
+		s.live = 0
+		return s
+	}
+	return &lfsSegment{pages: make([]PageKey, 0, l.pagesPerSeg)}
+}
+
 // allocSegment returns a free segment number, growing the log if allowed.
 func (l *LFS) allocSegment() (int32, error) {
 	if n := len(l.free); n > 0 {
 		seg := l.free[n-1]
 		l.free = l.free[:n-1]
-		l.segs[seg] = &lfsSegment{pages: make([]PageKey, 0, l.pagesPerSeg)}
+		l.segs[seg] = l.newSegment()
 		return seg, nil
 	}
 	if l.cfg.MaxSegments > 0 && len(l.segs) >= l.cfg.MaxSegments {
@@ -172,7 +193,7 @@ func (l *LFS) allocSegment() (int32, error) {
 		}
 		return l.allocSegment()
 	}
-	l.segs = append(l.segs, &lfsSegment{pages: make([]PageKey, 0, l.pagesPerSeg)})
+	l.segs = append(l.segs, l.newSegment())
 	return int32(len(l.segs) - 1), nil
 }
 
@@ -295,41 +316,49 @@ func (l *LFS) clean() (bool, error) {
 	defer func() { l.inClean = false }()
 	l.st.GCs++
 
-	// Pick victim segments: emptiest first, never the current one.
-	type cand struct {
-		seg  int32
-		live int
-	}
-	var cands []cand
+	// Pick up to two victim segments — emptiest first, lowest segment
+	// number on ties, never the current one. A selection scan replaces the
+	// old collect-and-sort so a steady-state cleaning pass allocates
+	// nothing.
+	v0, v1 := int32(-1), int32(-1)
 	for i, s := range l.segs {
 		if int32(i) == l.cur || s == nil || len(s.pages) == 0 {
 			continue
 		}
-		cands = append(cands, cand{int32(i), s.live})
+		switch {
+		case v0 < 0 || s.live < l.segs[v0].live:
+			v0, v1 = int32(i), v0
+		case v1 < 0 || s.live < l.segs[v1].live:
+			v1 = int32(i)
+		}
 	}
-	if len(cands) == 0 {
+	if v0 < 0 {
 		return false, nil
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].live < cands[j].live })
-	victims := cands
-	if len(victims) > 2 {
-		victims = victims[:2]
+	if cap(l.copyBuf) < l.cfg.PageSize {
+		l.copyBuf = make([]byte, l.cfg.PageSize)
 	}
-	buf := make([]byte, l.cfg.PageSize)
+	buf := l.copyBuf[:l.cfg.PageSize]
 	freed := false
-	for _, v := range victims {
-		seg := l.segs[v.seg]
+	for _, v := range [...]int32{v0, v1} {
+		if v < 0 {
+			continue
+		}
+		seg := l.segs[v]
 		if seg.live > 0 {
 			// One sequential sweep reads the whole victim segment.
-			if err := l.file.RawRead(make([]byte, len(seg.pages)*l.cfg.PageSize), l.segOff(v.seg, 0),
-				len(seg.pages)*l.cfg.PageSize); err != nil {
+			n := len(seg.pages) * l.cfg.PageSize
+			if cap(l.sweepBuf) < n {
+				l.sweepBuf = make([]byte, n)
+			}
+			if err := l.file.RawRead(l.sweepBuf[:n], l.segOff(v, 0), n); err != nil {
 				return freed, err
 			}
 			for idx, key := range seg.pages {
 				if key == lfsTombstone {
 					continue
 				}
-				l.file.ReadStaged(l.segOff(v.seg, int32(idx)), buf)
+				l.file.ReadStaged(l.segOff(v, int32(idx)), buf)
 				l.st.GCBytesCopied += uint64(l.cfg.PageSize)
 				// Rewriting moves the page into the current buffer.
 				if err := l.Write(key, buf); err != nil {
@@ -337,8 +366,9 @@ func (l *LFS) clean() (bool, error) {
 				}
 			}
 		}
-		l.segs[v.seg] = nil
-		l.free = append(l.free, v.seg)
+		l.segs[v] = nil
+		l.segPool = append(l.segPool, seg)
+		l.free = append(l.free, v)
 		freed = true
 	}
 	return freed, nil
