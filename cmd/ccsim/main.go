@@ -21,7 +21,10 @@ import (
 	"fmt"
 	"os"
 
+	"compcache/internal/fault"
 	"compcache/internal/machine"
+	"compcache/internal/obs"
+	"compcache/internal/swap"
 	"compcache/internal/workload"
 )
 
@@ -35,6 +38,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload random seed")
 	partialIO := flag.Bool("partialio", false, "allow sub-block backing-store transfers (ablation)")
 	span := flag.Bool("span", false, "let compressed pages span file blocks (ablation)")
+	crashAt := flag.Uint64("crash-at-write", 0, "cut power at the Nth device write, reboot from the torn media and report recovery (arms the durable store formats)")
+	eventsOut := flag.String("events", "", "export the run's observability events as JSONL to this file ('-' = stdout); with -crash-at-write, exports the reboot's recovery events")
 	flag.Parse()
 
 	cfg := machine.Default(int64(*memMB) << 20)
@@ -44,6 +49,17 @@ func main() {
 	}
 	cfg.FS.AllowPartialIO = *partialIO
 	cfg.Swap.SpanBlocks = *span
+	if *crashAt > 0 {
+		if !*useCC {
+			// The baseline's direct swap has no recoverable layout; crash
+			// testing the baseline means paging into the durable LFS.
+			cfg = cfg.WithLFS(swap.LFSConfig{Durable: true})
+		}
+		// Explicit rather than relying on the injector's auto-arming, so the
+		// fault-free reboot configuration reads the same media format.
+		cfg.Swap.CommitRecords = true
+		cfg = cfg.WithFaults(fault.Config{Seed: *seed, CrashAtWrite: *crashAt})
+	}
 
 	pages := int32(*sizeMB << 20 / 4096)
 	var w workload.Workload
@@ -81,15 +97,86 @@ func main() {
 		os.Exit(2)
 	}
 
-	st, err := workload.Measure(cfg, w)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ccsim:", err)
-		os.Exit(1)
+	if *eventsOut != "" && cfg.Obs == nil {
+		cfg = cfg.WithObs(obs.Options{})
 	}
 	mode := "baseline (no compression cache)"
 	if *useCC {
 		mode = fmt.Sprintf("compression cache on (%s)", *codec)
 	}
+	if *crashAt > 0 {
+		runCrash(cfg, w, *memMB, mode, *crashAt, *eventsOut)
+		return
+	}
+
+	m, st, err := workload.MeasureMachine(cfg, w)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccsim:", err)
+		os.Exit(1)
+	}
+	exportEvents(*eventsOut, m)
 	fmt.Printf("workload %s on %d MB, %s\n\n", w.Name(), *memMB, mode)
 	fmt.Print(st)
+}
+
+// exportEvents writes the machine's retained event window as JSONL; "" is
+// off, "-" is stdout.
+func exportEvents(path string, m *machine.Machine) {
+	if path == "" {
+		return
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := obs.WriteEventsJSONL(out, m.Events()); err != nil {
+		fmt.Fprintln(os.Stderr, "ccsim:", err)
+		os.Exit(1)
+	}
+}
+
+// runCrash runs the workload until the armed power cut fires, reboots a
+// machine from the torn media image, verifies the recovery, and prints the
+// recovery report plus the rebooted machine's view of the store.
+func runCrash(cfg machine.Config, w workload.Workload, memMB int, mode string, crashAt uint64, eventsOut string) {
+	m, _, err := workload.MeasureMachine(cfg, w)
+	if err != nil && !fault.IsCrash(err) {
+		fmt.Fprintln(os.Stderr, "ccsim:", err)
+		os.Exit(1)
+	}
+	if m == nil || m.Injector() == nil || !m.Injector().Crashed() {
+		fmt.Fprintf(os.Stderr, "ccsim: the run finished before device write %d; crash earlier\n", crashAt)
+		os.Exit(1)
+	}
+	fmt.Printf("workload %s on %d MB, %s\n", w.Name(), memMB, mode)
+	fmt.Printf("power cut at device write %d, %v into the run\n\n", crashAt, m.Elapsed())
+
+	reboot := cfg
+	reboot.Faults = nil
+	reborn, err := machine.NewFromMedia(reboot, m.FS.Image())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccsim: reboot failed:", err)
+		os.Exit(1)
+	}
+	exportEvents(eventsOut, reborn)
+	fmt.Println("reboot:", reborn.RecoveryReport())
+	switch {
+	case m.ClusteredStore() != nil:
+		err = reborn.ClusteredStore().VerifyRecovery(m.ClusteredStore())
+	case m.LFSStore() != nil:
+		err = reborn.LFSStore().VerifyRecovery(m.LFSStore())
+	default:
+		err = fmt.Errorf("no recoverable store")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccsim: recovery verification FAILED:", err)
+		os.Exit(1)
+	}
+	fmt.Println("recovery verified: no acknowledged-durable page lost, no torn fragment served")
 }

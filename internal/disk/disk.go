@@ -207,6 +207,9 @@ func (d *Disk) Write(addr int64, n int) error {
 	d.stats.BytesWritten += uint64(n)
 	d.observe(obs.ClassDiskWrite, n, wait, svc, done)
 	d.clock.AdvanceTo(done)
+	if err := d.faults.CrashWrite(n, d.params.SectorSize); err != nil {
+		return err
+	}
 	return d.faults.DiskWrite()
 }
 
@@ -226,6 +229,9 @@ func (d *Disk) WriteAsync(addr int64, n int) (sim.Time, error) {
 	d.stats.Writes++
 	d.stats.BytesWritten += uint64(n)
 	d.observe(obs.ClassDiskWrite, n, wait, svc, done)
+	if err := d.faults.CrashWrite(n, d.params.SectorSize); err != nil {
+		return done, err
+	}
 	return done, d.faults.DiskWrite()
 }
 

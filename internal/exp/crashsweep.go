@@ -1,0 +1,155 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+
+	"compcache/internal/compress"
+	"compcache/internal/fault"
+	"compcache/internal/machine"
+	"compcache/internal/runner"
+	"compcache/internal/swap"
+	"compcache/internal/workload"
+)
+
+// maxCrashPoints caps the trials per leg: each trial replays the whole run,
+// so sweeping every one of W writes costs O(W^2). Legs with more writes are
+// stride-sampled (first write onward, even stride) and the table reports the
+// sampled/total ratio rather than pretending the sweep was exhaustive.
+const maxCrashPoints = 64
+
+// CrashSweep crash-tests the recoverable backing-store formats. For each leg
+// — the durable log-structured baseline, then the compressed machine once
+// per registered codec — it first runs a write-heavy thrasher fault-free to
+// count the run's device writes, then replays the run with the power cut at
+// the k-th write (every write, stride-sampled past maxCrashPoints), reboots
+// a machine from the torn media image, and holds the recovery to the
+// crash-consistency oracle: no acknowledged-durable page lost, no torn
+// fragment served. Every sampled crash point of every leg must verify for
+// the experiment to produce a table at all; the table reports what recovery
+// saw along the way.
+func CrashSweep(ctx context.Context, memoryMB int, seed int64, workers int) (*Table, error) {
+	t := &Table{
+		Title:  "Extension: crash-point sweep (power cut at the k-th device write, reboot, recover, verify)",
+		Header: []string{"configuration", "crash points", "recovered pages", "stale", "torn discarded", "verified"},
+		Note: "Each crash point is one full run killed at its k-th device write; 'crash points' is\n" +
+			"sampled/total writes. 'recovered pages' sums the pages recovery reindexed across all crash\n" +
+			"points; 'torn discarded' counts checksum-failed records the scanner refused. A row only\n" +
+			"prints if every sampled crash point passed the oracle.",
+	}
+	// A quarter overcommit keeps the write count tractable (each write is a
+	// crash point, each crash point a full replay) while still paging.
+	// Near-incompressible pages force the compression cache to reject most
+	// of them to the clustered store — crash points need device writes to
+	// cut.
+	frames := int32(int64(memoryMB) << 20 / 4096)
+	pages := frames + frames/4
+	w := &workload.Thrasher{Pages: pages, Write: true, Passes: 1, CompressTarget: 0.85, Seed: seed}
+
+	type leg struct {
+		name string
+		cfg  machine.Config
+	}
+	base := machine.Default(int64(memoryMB) << 20)
+	legs := []leg{{"lfs (durable)", base.WithLFS(swap.LFSConfig{Durable: true, Paranoid: true})}}
+	for _, codec := range compress.Names() {
+		cfg := base.WithCC()
+		cfg.CC.Codec = codec
+		cfg.Swap.CommitRecords = true
+		cfg.Swap.Paranoid = true
+		legs = append(legs, leg{"cc/" + codec, cfg})
+	}
+	for _, l := range legs {
+		sampled, writes, rep, err := crashSweepLeg(ctx, l.cfg, w, seed, workers)
+		if err != nil {
+			return nil, fmt.Errorf("crash sweep %s: %w", l.name, err)
+		}
+		t.AddRow(l.name,
+			fmt.Sprintf("%d/%d", sampled, writes),
+			fmt.Sprintf("%d", rep.RecoveredPages),
+			fmt.Sprintf("%d", rep.StalePages),
+			fmt.Sprintf("%d", rep.TornDiscarded),
+			fmt.Sprintf("%d/%d ok", sampled, sampled))
+	}
+	return t, nil
+}
+
+// crashSweepLeg runs one configuration's sweep and returns the sampled and
+// total crash-point counts plus the summed recovery reports.
+func crashSweepLeg(ctx context.Context, cfg machine.Config, w workload.Workload, seed int64, workers int) (int, int, swap.RecoveryReport, error) {
+	// Fault-free run: count the device writes. Each is one crash point, and
+	// the crash replays are byte-identical up to their cut, so writes 1..W
+	// all occur in every replay.
+	st, err := workload.Measure(cfg, workload.Clone(w))
+	if err != nil {
+		return 0, 0, swap.RecoveryReport{}, err
+	}
+	writes := int(st.Disk.Writes)
+	stride := (writes + maxCrashPoints - 1) / maxCrashPoints
+	if stride < 1 {
+		stride = 1
+	}
+	points := make([]uint64, 0, maxCrashPoints)
+	for k := 1; k <= writes; k += stride {
+		points = append(points, uint64(k))
+	}
+
+	reps, err := runner.Map(ctx, runner.Parallelism(workers), len(points),
+		func(_ context.Context, i int) (swap.RecoveryReport, error) {
+			return crashTrial(cfg, workload.Clone(w), seed, points[i])
+		})
+	if err != nil {
+		return 0, 0, swap.RecoveryReport{}, err
+	}
+	var total swap.RecoveryReport
+	for _, rep := range reps {
+		total.ScannedSegments += rep.ScannedSegments
+		total.RecoveredSegments += rep.RecoveredSegments
+		total.RecoveredPages += rep.RecoveredPages
+		total.StalePages += rep.StalePages
+		total.TornDiscarded += rep.TornDiscarded
+	}
+	return len(points), writes, total, nil
+}
+
+// crashTrial kills one run at its k-th device write, reboots from the torn
+// media, and verifies the recovered store against the crashed machine's
+// in-memory state.
+func crashTrial(cfg machine.Config, w workload.Workload, seed int64, k uint64) (swap.RecoveryReport, error) {
+	crashed := cfg.WithFaults(fault.Config{Seed: seed, CrashAtWrite: k})
+	m, err := machine.New(crashed)
+	if err != nil {
+		return swap.RecoveryReport{}, err
+	}
+	// The dead machine's Space accessors are no-ops, so the workload runs to
+	// its natural end; any error it reports must trace back to the cut.
+	if err := w.Run(m); err != nil && !fault.IsCrash(err) {
+		return swap.RecoveryReport{}, fmt.Errorf("crash point %d: run failed before the cut: %w", k, err)
+	}
+	if !m.Injector().Crashed() {
+		return swap.RecoveryReport{}, fmt.Errorf("crash point %d: the cut never fired (run has fewer writes than the baseline)", k)
+	}
+	if merr := m.Err(); merr != nil && !fault.IsCrash(merr) {
+		return swap.RecoveryReport{}, fmt.Errorf("crash point %d: machine died of a non-crash error: %w", k, merr)
+	}
+
+	reborn, err := machine.NewFromMedia(cfg, m.FS.Image())
+	if err != nil {
+		return swap.RecoveryReport{}, fmt.Errorf("crash point %d: reboot failed: %w", k, err)
+	}
+	switch {
+	case m.ClusteredStore() != nil:
+		err = reborn.ClusteredStore().VerifyRecovery(m.ClusteredStore())
+	case m.LFSStore() != nil:
+		err = reborn.LFSStore().VerifyRecovery(m.LFSStore())
+	default:
+		err = fmt.Errorf("no recoverable store")
+	}
+	if err != nil {
+		return swap.RecoveryReport{}, fmt.Errorf("crash point %d: %w", k, err)
+	}
+	if err := reborn.CheckInvariants(); err != nil {
+		return swap.RecoveryReport{}, fmt.Errorf("crash point %d: rebooted machine fails invariants: %w", k, err)
+	}
+	return *reborn.RecoveryReport(), nil
+}

@@ -258,4 +258,8 @@ func init() {
 		memMB, pages := o.sizing()
 		return CodecSweep(memMB, pages, o.seed(), o.Parallelism, o.HostTiming)
 	})
+	register("ext/crash-sweep", func(ctx context.Context, o Options) (Result, error) {
+		memMB, _ := o.sizing()
+		return CrashSweep(ctx, memMB, o.seed(), o.Parallelism)
+	})
 }

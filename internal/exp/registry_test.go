@@ -16,6 +16,7 @@ func TestNamesSortedAndComplete(t *testing.T) {
 		"ablation/bias", "ablation/codec", "ablation/fixed-size",
 		"ablation/partial-io", "ablation/spanning", "ablation/threshold",
 		"ext/backing-store", "ext/codec-sweep", "ext/compression-speed",
+		"ext/crash-sweep",
 		"ext/file-cache", "ext/lfs", "ext/mobile", "ext/model-validation",
 		"ext/multiprogramming", "ext/pinning",
 		"faults", "fig1a", "fig1b", "fig3", "table1",

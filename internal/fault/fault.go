@@ -72,6 +72,31 @@ type Config struct {
 	// ActiveFor bounds the injection window; zero means faults stay active
 	// until the run ends.
 	ActiveFor time.Duration
+
+	// CrashRate is the probability a device write is a crash point: the
+	// machine loses power mid-transfer, the write is torn at sector
+	// granularity (a prefix reaches the media), and every later device
+	// operation fails with a *CrashError. Rate draws respect the activity
+	// window, like every other rate.
+	CrashRate float64
+
+	// CrashAtWrite crashes deterministically on the k-th device write of the
+	// run (1-based; 0 disables). This is the exhaustive-sweep knob: iterating
+	// k over every write of a workload visits every crash point exactly once.
+	// Deterministic crash points ignore the activity window.
+	CrashAtWrite uint64
+
+	// CrashAtTime crashes on the first device write at or after this virtual
+	// instant (0 disables). Injector.CrashAt schedules the same thing
+	// dynamically.
+	CrashAtTime time.Duration
+}
+
+// CrashConfigured reports whether any crash mode is armed. The machine uses
+// it to auto-enable the recoverable on-media swap formats: crashing a store
+// whose layout cannot be recovered only proves the layout is unrecoverable.
+func (c Config) CrashConfigured() bool {
+	return c.CrashRate > 0 || c.CrashAtWrite > 0 || c.CrashAtTime > 0
 }
 
 // Validate reports whether the configuration is usable.
@@ -85,6 +110,7 @@ func (c Config) Validate() error {
 		{"CacheCorruptionRate", c.CacheCorruptionRate},
 		{"SwapCorruptionRate", c.SwapCorruptionRate},
 		{"LatencySpikeRate", c.LatencySpikeRate},
+		{"CrashRate", c.CrashRate},
 	}
 	for _, r := range rates {
 		if math.IsNaN(r.v) || r.v < 0 || r.v > 1 {
@@ -100,6 +126,9 @@ func (c Config) Validate() error {
 	if c.ActiveAfter < 0 || c.ActiveFor < 0 {
 		return fmt.Errorf("fault: negative activity window (after %v, for %v)", c.ActiveAfter, c.ActiveFor)
 	}
+	if c.CrashAtTime < 0 {
+		return fmt.Errorf("fault: negative CrashAtTime %v", c.CrashAtTime)
+	}
 	return nil
 }
 
@@ -112,9 +141,34 @@ func (c Config) Validate() error {
 type Injector struct {
 	cfg   Config
 	clock *sim.Clock
+	src   countingSource
 	rng   *rand.Rand
 	bus   *obs.Bus
 	st    stats.Faults
+
+	writeSeq  uint64   // device writes seen (crash-point numbering)
+	crashAt   sim.Time // dynamically scheduled crash instant (0 = none)
+	crashed   bool     // the machine lost power; every device op now fails
+	crashTime sim.Time // virtual instant of the crash
+}
+
+// countingSource wraps a rand.Source and counts raw Int63 draws. rand.Rand's
+// derived methods (Float64, Intn) consume a variable number of raw draws via
+// rejection sampling, so replaying the generator exactly — which snapshot/
+// restore must do — requires counting at the source, not at the call sites.
+type countingSource struct {
+	src rand.Source
+	n   uint64
+}
+
+func (s *countingSource) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.n = 0
+	s.src.Seed(seed)
 }
 
 // New creates an injector on the given clock.
@@ -122,7 +176,10 @@ func New(cfg Config, clock *sim.Clock) (*Injector, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Injector{cfg: cfg, clock: clock, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+	in := &Injector{cfg: cfg, clock: clock}
+	in.src.src = rand.NewSource(cfg.Seed)
+	in.rng = rand.New(&in.src)
+	return in, nil
 }
 
 // SetObserver wires the injector to a machine's event bus; nil disables
@@ -171,9 +228,16 @@ func (in *Injector) draw(rate float64) bool {
 }
 
 // DiskRead decides whether the device read that just completed fails. It
-// returns a *DeviceError or nil.
+// returns a *DeviceError or nil; after a crash it returns the sticky
+// *CrashError (a dead machine's device answers nothing).
 func (in *Injector) DiskRead() error {
-	if in == nil || !in.draw(in.cfg.ReadErrorRate) {
+	if in == nil {
+		return nil
+	}
+	if in.crashed {
+		return &CrashError{Op: "read", At: in.crashTime}
+	}
+	if !in.draw(in.cfg.ReadErrorRate) {
 		return nil
 	}
 	in.st.InjectedReadErrors++
@@ -183,12 +247,76 @@ func (in *Injector) DiskRead() error {
 
 // DiskWrite decides whether the device write that just completed fails.
 func (in *Injector) DiskWrite() error {
-	if in == nil || !in.draw(in.cfg.WriteErrorRate) {
+	if in == nil {
+		return nil
+	}
+	if in.crashed {
+		return &CrashError{Op: "write", At: in.crashTime}
+	}
+	if !in.draw(in.cfg.WriteErrorRate) {
 		return nil
 	}
 	in.st.InjectedWriteErrors++
 	in.emit(obs.InjectWriteError)
 	return &DeviceError{Op: "write", At: in.clock.Now()}
+}
+
+// CrashAt schedules a crash at the first device write at or after virtual
+// instant t, overriding any Config.CrashAtTime. Zero cancels the schedule.
+func (in *Injector) CrashAt(t sim.Time) {
+	if in != nil {
+		in.crashAt = t
+	}
+}
+
+// Crashed reports whether the crash point has fired.
+func (in *Injector) Crashed() bool { return in != nil && in.crashed }
+
+// CrashWrite is the crash-point decision, made once per device write before
+// the write's own error draw. When the crash fires, the in-flight write is
+// torn: a whole-sector prefix of Survived bytes reaches the media (possibly
+// none, possibly all n), the injector goes sticky-crashed, and the returned
+// *CrashError reports the tear so the file system can apply exactly that
+// prefix. When no crash mode is configured the decision consumes no
+// randomness, so crash-capable runs are byte-identical to plain ones right
+// up to the crash point.
+func (in *Injector) CrashWrite(n, sectorSize int) error {
+	if in == nil {
+		return nil
+	}
+	if in.crashed {
+		return &CrashError{Op: "write", At: in.crashTime}
+	}
+	if !in.cfg.CrashConfigured() && in.crashAt == 0 {
+		return nil
+	}
+	in.writeSeq++
+	fire := in.cfg.CrashAtWrite > 0 && in.writeSeq == in.cfg.CrashAtWrite
+	if !fire && in.cfg.CrashAtTime > 0 && time.Duration(in.clock.Now()) >= in.cfg.CrashAtTime {
+		fire = true
+	}
+	if !fire && in.crashAt > 0 && in.clock.Now() >= in.crashAt {
+		fire = true
+	}
+	if !fire && !in.draw(in.cfg.CrashRate) {
+		return nil
+	}
+	sectors := 0
+	if sectorSize > 0 {
+		sectors = n / sectorSize
+	}
+	survived := 0
+	if sectors > 0 {
+		survived = in.rng.Intn(sectors+1) * sectorSize
+	}
+	if survived > n {
+		survived = n
+	}
+	in.crashed = true
+	in.crashTime = in.clock.Now()
+	in.st.InjectedCrashes++
+	in.emit(obs.InjectCrash)
+	return &CrashError{Op: "write", At: in.crashTime, Survived: survived}
 }
 
 // Latency reports the extra service time the current device operation pays
@@ -246,6 +374,32 @@ type DeviceError struct {
 // Error implements error.
 func (e *DeviceError) Error() string {
 	return fmt.Sprintf("fault: injected device %s error at %v", e.Op, e.At)
+}
+
+// CrashError is a power cut. The first one (Op "write") carries the tear:
+// Survived bytes of the in-flight write — a whole-sector prefix — reached
+// the media before power was lost. Every device operation after the crash
+// returns a CrashError with Survived 0 and the At of the original cut, so
+// the machine grinds to a sticky halt instead of quietly writing to a dead
+// device.
+type CrashError struct {
+	Op       string   // operation that observed the crash
+	At       sim.Time // virtual instant power was lost
+	Survived int      // bytes of the torn write that reached the media
+}
+
+// Error implements error.
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("fault: machine crashed at %v (device %s; %d bytes of the in-flight write survived)",
+		e.At, e.Op, e.Survived)
+}
+
+// IsCrash reports whether err contains a CrashError — the "this machine lost
+// power, recover it from its media image" signal the crash-sweep harness
+// tests for.
+func IsCrash(err error) bool {
+	var ce *CrashError
+	return errors.As(err, &ce)
 }
 
 // CorruptionError is a compressed fragment that failed integrity

@@ -19,9 +19,11 @@
 package fs
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
+	"compcache/internal/fault"
 	"compcache/internal/mem"
 	"compcache/internal/sim"
 	"compcache/internal/stats"
@@ -480,6 +482,7 @@ func (f *File) RawRead(p []byte, off int64, n int) error {
 func (f *File) RawWrite(p []byte, off int64, n int) error {
 	f.fs.checkRaw(off, n)
 	if err := f.fs.disk.Write(f.base+off, n); err != nil {
+		f.applyTorn(p, off, err)
 		return err
 	}
 	f.copyIn(p, off, n)
@@ -494,10 +497,27 @@ func (f *File) RawWriteAsync(p []byte, off int64, n int) (sim.Time, error) {
 	f.fs.checkRaw(off, n)
 	done, err := f.fs.disk.WriteAsync(f.base+off, n)
 	if err != nil {
+		f.applyTorn(p, off, err)
 		return done, err
 	}
 	f.copyIn(p, off, n)
 	return done, nil
+}
+
+// applyTorn applies the surviving prefix of a crash-torn write to the media
+// image: a power cut mid-transfer leaves exactly the whole-sector prefix the
+// device reported, and nothing else, on the platter. Every other write
+// failure leaves the old contents untouched.
+func (f *File) applyTorn(p []byte, off int64, err error) {
+	var ce *fault.CrashError
+	if !errors.As(err, &ce) || ce.Survived <= 0 {
+		return
+	}
+	n := ce.Survived
+	if n > len(p) {
+		n = len(p)
+	}
+	f.copyIn(p[:n], off, n)
 }
 
 // WriteStage stores bytes at off without charging any device cost: the data

@@ -1,0 +1,96 @@
+package fs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Image is a deep copy of the file system's media: every file's metadata and
+// platter blocks, in deterministic (name- and block-sorted) order. It is what
+// survives a crash — buffer-cache contents and in-memory staging do not.
+// machine.NewFromMedia boots a fresh machine from an Image and runs the swap
+// stores' mount-time recovery against it.
+type Image struct {
+	Files []FileImage
+}
+
+// FileImage is one file's on-media state.
+type FileImage struct {
+	Name   string
+	ID     int32
+	Base   int64
+	Size   int64
+	Blocks []BlockImage
+}
+
+// BlockImage is one written platter block.
+type BlockImage struct {
+	Block int64
+	Data  []byte
+}
+
+// Image captures the current media state. The copy is deep: mutating the
+// source file system afterwards does not change the image, so a crashed
+// machine's image can outlive the machine.
+func (fs *FS) Image() *Image {
+	img := &Image{}
+	names := make([]string, 0, len(fs.files))
+	for name := range fs.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fs.files[name]
+		fi := FileImage{Name: f.name, ID: f.id, Base: f.base, Size: f.size}
+		blocks := make([]int64, 0, len(f.platter))
+		for b := range f.platter {
+			blocks = append(blocks, b)
+		}
+		sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+		for _, b := range blocks {
+			data := make([]byte, len(f.platter[b]))
+			copy(data, f.platter[b])
+			fi.Blocks = append(fi.Blocks, BlockImage{Block: b, Data: data})
+		}
+		img.Files = append(img.Files, fi)
+	}
+	return img
+}
+
+// LoadImage installs a media image into a freshly created file system — the
+// reboot path. It must run before any file is created; the loaded files keep
+// their identities and disk extents so raw offsets resolve to the same media
+// addresses they did before the crash.
+func (fs *FS) LoadImage(img *Image) error {
+	if len(fs.files) != 0 {
+		return fmt.Errorf("fs: LoadImage on a file system that already has %d file(s)", len(fs.files))
+	}
+	for i := range img.Files {
+		fi := &img.Files[i]
+		f := &File{
+			fs:      fs,
+			name:    fi.Name,
+			id:      fi.ID,
+			base:    fi.Base,
+			size:    fi.Size,
+			platter: make(map[int64][]byte, len(fi.Blocks)),
+		}
+		for _, b := range fi.Blocks {
+			if len(b.Data) != fs.opts.BlockSize {
+				return fmt.Errorf("fs: image block %d of %q is %d bytes, want the %d-byte block size",
+					b.Block, fi.Name, len(b.Data), fs.opts.BlockSize)
+			}
+			data := make([]byte, len(b.Data))
+			copy(data, b.Data)
+			f.platter[b.Block] = data
+		}
+		fs.files[fi.Name] = f
+		if fi.ID >= fs.nextID {
+			fs.nextID = fi.ID + 1
+		}
+		if fi.Base >= fs.nextBase {
+			fs.nextBase = fi.Base + fileExtent
+		}
+	}
+	return nil
+}

@@ -158,8 +158,9 @@ func likelyStringConcat(n *ast.AssignStmt) bool {
 }
 
 // sortedLater reports whether the function body contains a sort call over
-// the named slice — sort.X(name, ...), sort.X(name), slices.Sort*(name,
-// ...) — anywhere, which is the collect-then-sort idiom.
+// the named slice — sort.X(name, ...), slices.Sort*(name, ...), or a
+// package-local helper whose name starts with "sort" (sortPageKeys(name)) —
+// anywhere, which is the collect-then-sort idiom.
 func sortedLater(fd *ast.FuncDecl, name string) bool {
 	found := false
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
@@ -167,12 +168,17 @@ func sortedLater(fd *ast.FuncDecl, name string) bool {
 		if !ok {
 			return true
 		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		pkgID, ok := sel.X.(*ast.Ident)
-		if !ok || (pkgID.Name != "sort" && pkgID.Name != "slices") {
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			pkgID, ok := fun.X.(*ast.Ident)
+			if !ok || (pkgID.Name != "sort" && pkgID.Name != "slices") {
+				return true
+			}
+		case *ast.Ident:
+			if !strings.HasPrefix(fun.Name, "sort") {
+				return true
+			}
+		default:
 			return true
 		}
 		for _, arg := range call.Args {

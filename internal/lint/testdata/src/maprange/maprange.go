@@ -83,6 +83,21 @@ func goodSortSlice(m map[string]int) []int {
 	return vals
 }
 
+// sortKeys stands in for a package-local sorting helper (the swap
+// package's sortPageKeys shape).
+func sortKeys(keys []string) { sort.Strings(keys) }
+
+// goodHelperSort collects keys and orders them through a local helper
+// whose name marks it as a sort.
+func goodHelperSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	return keys
+}
+
 // goodCount does commutative accumulation; order cannot matter.
 func goodCount(m map[string]int) int {
 	total := 0

@@ -233,6 +233,18 @@ func (c *Config) setDefaults() error {
 		if err := c.Faults.Validate(); err != nil {
 			return err
 		}
+		if c.Faults.CrashConfigured() {
+			// Crashing a store whose media layout cannot be recovered only
+			// proves the layout is unrecoverable, so arm the recoverable
+			// formats. The LFS config is copied before mutation — Config is
+			// passed by value but LFSSwap is a pointer the caller may share.
+			c.Swap.CommitRecords = true
+			if c.LFSSwap != nil && !c.LFSSwap.Durable {
+				lfsCfg := *c.LFSSwap
+				lfsCfg.Durable = true
+				c.LFSSwap = &lfsCfg
+			}
+		}
 	}
 	return nil
 }

@@ -36,11 +36,14 @@ type Machine struct {
 	VM     *vm.VM
 	CC     *core.Cache // nil when the compression cache is disabled
 
-	direct    rawStore        // baseline backing store (direct or LFS)
-	clustered *swap.Clustered // compressed backing store
-	alloc     *policy.Allocator
-	codec     compress.Codec
-	faults    *fault.Injector // nil when no fault config is given
+	direct      rawStore        // baseline backing store (direct or LFS)
+	directPlain *swap.Direct    // concrete direct store when that is the baseline
+	lfs         *swap.LFS       // concrete LFS store when that is the baseline
+	clustered   *swap.Clustered // compressed backing store
+	alloc       *policy.Allocator
+	codec       compress.Codec
+	faults      *fault.Injector      // nil when no fault config is given
+	recovery    *swap.RecoveryReport // mount-time recovery report (NewFromMedia only)
 
 	segByID     map[int32]*vm.Segment
 	segCodec    map[int32]compress.Codec // per-segment override (§3)
@@ -66,7 +69,25 @@ type Machine struct {
 }
 
 // New builds a machine from the configuration.
-func New(cfg Config) (*Machine, error) {
+func New(cfg Config) (*Machine, error) { return buildMachine(cfg, nil) }
+
+// NewFromMedia boots a machine from a media image — the reboot-after-crash
+// path. The image (captured with FS.Image() before or after the crash) is
+// loaded into the fresh file system and the backing store is mounted through
+// its recovery scanner instead of being created empty; the resulting
+// RecoveryReport is available from Machine.RecoveryReport and its counters
+// appear in Stats().Faults. The configuration must select a recoverable
+// on-media format (a compressed machine with Swap.CommitRecords, or a
+// durable LFS baseline) — both are enabled automatically when crash
+// injection is configured.
+func NewFromMedia(cfg Config, img *fs.Image) (*Machine, error) {
+	if img == nil {
+		return nil, fmt.Errorf("machine: NewFromMedia needs a media image")
+	}
+	return buildMachine(cfg, img)
+}
+
+func buildMachine(cfg Config, img *fs.Image) (*Machine, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}
@@ -118,6 +139,11 @@ func New(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if img != nil {
+		if err := m.FS.LoadImage(img); err != nil {
+			return nil, err
+		}
+	}
 	m.VM = vm.New(m.Clock, m.Pool, cfg.Cost)
 	m.VM.SetPager(m)
 	m.VM.SetObserver(m.bus)
@@ -143,9 +169,21 @@ func New(cfg Config) (*Machine, error) {
 		m.CC.SetHooks(m.flushEntries, m.entryDropped)
 		m.CC.SetObserver(m.bus)
 		m.alloc.Register(ccConsumer{m.CC}, bias("cc"))
-		m.clustered, err = swap.NewClustered(cfg.Swap, m.FS)
-		if err != nil {
-			return nil, err
+		if img != nil {
+			if !cfg.Swap.CommitRecords {
+				return nil, fmt.Errorf("machine: NewFromMedia on a compressed machine requires Swap.CommitRecords")
+			}
+			var rep *swap.RecoveryReport
+			m.clustered, rep, err = swap.RecoverClustered(cfg.Swap, m.FS, m.bus, m.Clock)
+			if err != nil {
+				return nil, err
+			}
+			m.recordRecovery(rep)
+		} else {
+			m.clustered, err = swap.NewClustered(cfg.Swap, m.FS)
+			if err != nil {
+				return nil, err
+			}
 		}
 		m.clustered.SetObserver(m.bus, m.Clock)
 		if cfg.CC.FixedFrames > 0 {
@@ -162,15 +200,32 @@ func New(cfg Config) (*Machine, error) {
 		if lfsCfg.PageSize == 0 {
 			lfsCfg.PageSize = cfg.PageSize
 		}
-		m.direct, err = swap.NewLFS(lfsCfg, m.FS, m.Pool)
-		if err != nil {
-			return nil, err
+		if img != nil {
+			if !lfsCfg.Durable {
+				return nil, fmt.Errorf("machine: NewFromMedia on an LFS machine requires LFSSwap.Durable")
+			}
+			var rep *swap.RecoveryReport
+			m.lfs, rep, err = swap.RecoverLFS(lfsCfg, m.FS, m.Pool, m.bus, m.Clock)
+			if err != nil {
+				return nil, err
+			}
+			m.recordRecovery(rep)
+		} else {
+			m.lfs, err = swap.NewLFS(lfsCfg, m.FS, m.Pool)
+			if err != nil {
+				return nil, err
+			}
 		}
+		m.direct = m.lfs
 	} else {
-		m.direct, err = swap.NewDirect(m.FS, cfg.PageSize)
+		if img != nil {
+			return nil, fmt.Errorf("machine: NewFromMedia requires a recoverable backing store (Swap.CommitRecords or a durable LFS)")
+		}
+		m.directPlain, err = swap.NewDirect(m.FS, cfg.PageSize)
 		if err != nil {
 			return nil, err
 		}
+		m.direct = m.directPlain
 	}
 
 	m.VM.SetFrameSource(m.allocFrame)
@@ -213,14 +268,41 @@ func (m *Machine) fail(err error) {
 	}
 }
 
-// Faults reports the machine-side fault counters (detections, recoveries)
-// merged with the injector's counters.
+// Faults reports the machine-side fault counters (detections, recoveries,
+// mount-time recovery results) merged with the injector's counters.
 func (m *Machine) Faults() stats.Faults {
 	f := m.faults.Stats()
 	f.CorruptionsDetected = m.fst.CorruptionsDetected
 	f.Recoveries = m.fst.Recoveries
+	f.RecoveredSegments = m.fst.RecoveredSegments
+	f.TornWritesDiscarded = m.fst.TornWritesDiscarded
 	return f
 }
+
+// recordRecovery folds a mount-time recovery report into the machine's fault
+// counters and keeps it for RecoveryReport.
+func (m *Machine) recordRecovery(rep *swap.RecoveryReport) {
+	m.recovery = rep
+	m.fst.RecoveredSegments += uint64(rep.RecoveredSegments)
+	m.fst.TornWritesDiscarded += uint64(rep.TornDiscarded)
+}
+
+// Injector returns the machine's fault injector, or nil when no fault
+// configuration was given. Harnesses use it to schedule crashes dynamically
+// (Injector().CrashAt) and to read injection counters.
+func (m *Machine) Injector() *fault.Injector { return m.faults }
+
+// LFSStore returns the log-structured backing store, or nil when the machine
+// does not page into one.
+func (m *Machine) LFSStore() *swap.LFS { return m.lfs }
+
+// ClusteredStore returns the clustered compressed backing store, or nil when
+// the compression cache is disabled.
+func (m *Machine) ClusteredStore() *swap.Clustered { return m.clustered }
+
+// RecoveryReport returns the mount-time recovery report for machines booted
+// with NewFromMedia, or nil for machines created empty.
+func (m *Machine) RecoveryReport() *swap.RecoveryReport { return m.recovery }
 
 // Bus returns the machine's event bus, or nil when observability is
 // disabled (Config.Obs == nil).

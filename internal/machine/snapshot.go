@@ -1,0 +1,299 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"compcache/internal/compress"
+	"compcache/internal/sim"
+	"compcache/internal/snap"
+)
+
+// Snapshot captures the machine's complete simulation state as one opaque
+// byte blob: clock, fault injector, disk timeline, frame pool contents, file
+// system (platter and buffer cache), page tables and LRU order, compression
+// cache ring, backing store, event bus and the machine's own counters.
+// Capture is non-perturbing — no virtual time passes and no subsystem state
+// changes — so a run that is snapshotted mid-flight continues byte-identical
+// to one that is not.
+//
+// Restore rebuilds a machine from the same configuration and a snapshot;
+// driving the restored machine produces exactly the virtual-time trace and
+// statistics the original would have produced. Snapshot refuses dead
+// machines (their simulated process is gone; boot from media instead) and
+// network-backed machines (the netdev has no snapshot support).
+func (m *Machine) Snapshot() ([]byte, error) {
+	if m.err != nil {
+		return nil, fmt.Errorf("machine: cannot snapshot a dead machine: %w", m.err)
+	}
+	if m.cfg.Net != nil {
+		return nil, fmt.Errorf("machine: snapshot of network-backed machines is not supported")
+	}
+	w := snap.NewWriter()
+	w.Section("machine")
+	m.cfg.fingerprintTo(w)
+
+	m.Clock.SnapshotTo(w)
+	w.Bool(m.faults != nil)
+	if m.faults != nil {
+		m.faults.SnapshotTo(w)
+	}
+	m.Disk.SnapshotTo(w)
+	m.Pool.SnapshotTo(w)
+	m.FS.SnapshotTo(w)
+	m.VM.SnapshotTo(w)
+	w.Bool(m.CC != nil)
+	if m.CC != nil {
+		m.CC.SnapshotTo(w)
+	}
+	switch {
+	case m.clustered != nil:
+		w.U8(storeClustered)
+		m.clustered.SnapshotTo(w)
+	case m.lfs != nil:
+		w.U8(storeLFS)
+		m.lfs.SnapshotTo(w)
+	default:
+		w.U8(storeDirect)
+		m.directPlain.SnapshotTo(w)
+	}
+	m.bus.SnapshotTo(w)
+
+	w.Section("machine.tail")
+	w.U64(m.comp.Compressions)
+	w.U64(m.comp.Decompressions)
+	w.U64(m.comp.BytesIn)
+	w.U64(m.comp.BytesOut)
+	w.U64(m.comp.Incompressible)
+	w.U64(m.comp.CompressibleIn)
+	w.U64(m.comp.CompressibleOut)
+	w.U64(m.fst.CorruptionsDetected)
+	w.U64(m.fst.Recoveries)
+	w.U64(m.fst.RecoveredSegments)
+	w.U64(m.fst.TornWritesDiscarded)
+	w.I64(int64(m.start))
+	w.Bool(m.startFrozen)
+	segs := make([]int32, 0, len(m.segCodec))
+	for seg := range m.segCodec {
+		segs = append(segs, seg)
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	w.Int(len(segs))
+	for _, seg := range segs {
+		w.I32(seg)
+		w.String(m.segCodec[seg].Name())
+	}
+	return w.Bytes()
+}
+
+// Store kind tags in the snapshot stream.
+const (
+	storeDirect uint8 = iota
+	storeLFS
+	storeClustered
+)
+
+// fingerprintTo writes the configuration facts a snapshot depends on; a
+// snapshot restored under a configuration with a different fingerprint would
+// silently mis-simulate, so Restore rejects it instead.
+func (c *Config) fingerprintTo(w *snap.Writer) {
+	w.Int(c.PageSize)
+	w.I64(c.MemoryBytes)
+	w.Int(c.FS.BlockSize)
+	w.Bool(c.CC.Enabled)
+	w.String(c.CC.Codec)
+	w.Bool(c.Swap.CommitRecords)
+	w.Bool(c.LFSSwap != nil)
+	w.Bool(c.LFSSwap != nil && c.LFSSwap.Durable)
+	w.Bool(c.Faults != nil)
+	w.Bool(c.Obs != nil)
+}
+
+// checkFingerprint validates a snapshot's fingerprint against this
+// (defaulted) configuration.
+func (c *Config) checkFingerprint(r *snap.Reader) error {
+	pageSize := r.Int()
+	memory := r.I64()
+	blockSize := r.Int()
+	ccEnabled := r.Bool()
+	codec := r.String()
+	commit := r.Bool()
+	lfsPresent := r.Bool()
+	lfsDurable := r.Bool()
+	faults := r.Bool()
+	obsPresent := r.Bool()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	switch {
+	case pageSize != c.PageSize:
+		return fmt.Errorf("machine: snapshot page size %d, config %d", pageSize, c.PageSize)
+	case memory != c.MemoryBytes:
+		return fmt.Errorf("machine: snapshot memory %d bytes, config %d", memory, c.MemoryBytes)
+	case blockSize != c.FS.BlockSize:
+		return fmt.Errorf("machine: snapshot block size %d, config %d", blockSize, c.FS.BlockSize)
+	case ccEnabled != c.CC.Enabled:
+		return fmt.Errorf("machine: snapshot compression cache %v, config %v", ccEnabled, c.CC.Enabled)
+	case ccEnabled && codec != c.CC.Codec:
+		return fmt.Errorf("machine: snapshot codec %q, config %q", codec, c.CC.Codec)
+	case commit != c.Swap.CommitRecords:
+		return fmt.Errorf("machine: snapshot commit records %v, config %v", commit, c.Swap.CommitRecords)
+	case lfsPresent != (c.LFSSwap != nil):
+		return fmt.Errorf("machine: snapshot LFS swap %v, config %v", lfsPresent, c.LFSSwap != nil)
+	case lfsDurable != (c.LFSSwap != nil && c.LFSSwap.Durable):
+		return fmt.Errorf("machine: snapshot LFS durability does not match the configuration")
+	case faults != (c.Faults != nil):
+		return fmt.Errorf("machine: snapshot fault injection %v, config %v", faults, c.Faults != nil)
+	case obsPresent != (c.Obs != nil):
+		return fmt.Errorf("machine: snapshot observability %v, config %v", obsPresent, c.Obs != nil)
+	}
+	return nil
+}
+
+// Restore builds a machine from a configuration and a snapshot previously
+// captured from a machine of the same configuration. The rebuilt machine
+// resumes exactly where the snapshot was taken: the same virtual clock, page
+// placement, cache contents, device timeline, PRNG position and counters.
+func Restore(cfg Config, data []byte) (*Machine, error) {
+	m, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r, err := snap.NewReader(data)
+	if err != nil {
+		return nil, err
+	}
+	r.Section("machine")
+	if err := m.cfg.checkFingerprint(r); err != nil {
+		return nil, err
+	}
+
+	if err := m.Clock.RestoreFrom(r); err != nil {
+		return nil, err
+	}
+	hasFaults := r.Bool()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if hasFaults {
+		if err := m.faults.RestoreFrom(r); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.Disk.RestoreFrom(r); err != nil {
+		return nil, err
+	}
+	if err := m.Pool.RestoreFrom(r); err != nil {
+		return nil, err
+	}
+	if err := m.FS.RestoreFrom(r); err != nil {
+		return nil, err
+	}
+	if err := m.VM.RestoreFrom(r); err != nil {
+		return nil, err
+	}
+	hasCC := r.Bool()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if hasCC != (m.CC != nil) {
+		return nil, fmt.Errorf("machine: snapshot cache presence does not match the configuration")
+	}
+	if hasCC {
+		if err := m.CC.RestoreFrom(r); err != nil {
+			return nil, err
+		}
+	}
+	kind := r.U8()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	switch kind {
+	case storeClustered:
+		if m.clustered == nil {
+			return nil, fmt.Errorf("machine: snapshot holds a clustered store, config builds none")
+		}
+		if err := m.clustered.RestoreFrom(r); err != nil {
+			return nil, err
+		}
+	case storeLFS:
+		if m.lfs == nil {
+			return nil, fmt.Errorf("machine: snapshot holds an LFS store, config builds none")
+		}
+		if err := m.lfs.RestoreFrom(r); err != nil {
+			return nil, err
+		}
+	case storeDirect:
+		if m.directPlain == nil {
+			return nil, fmt.Errorf("machine: snapshot holds a direct store, config builds none")
+		}
+		if err := m.directPlain.RestoreFrom(r); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("machine: snapshot names unknown store kind %d", kind)
+	}
+	if err := m.bus.RestoreFrom(r); err != nil {
+		return nil, err
+	}
+
+	r.Section("machine.tail")
+	m.comp.Compressions = r.U64()
+	m.comp.Decompressions = r.U64()
+	m.comp.BytesIn = r.U64()
+	m.comp.BytesOut = r.U64()
+	m.comp.Incompressible = r.U64()
+	m.comp.CompressibleIn = r.U64()
+	m.comp.CompressibleOut = r.U64()
+	m.fst.CorruptionsDetected = r.U64()
+	m.fst.Recoveries = r.U64()
+	m.fst.RecoveredSegments = r.U64()
+	m.fst.TornWritesDiscarded = r.U64()
+	m.start = sim.Time(r.I64())
+	m.startFrozen = r.Bool()
+	nseg := r.Int()
+	if r.Err() == nil && (nseg < 0 || nseg > 1<<20) {
+		return nil, fmt.Errorf("machine: snapshot claims %d segment codec overrides", nseg)
+	}
+	type segCodecPair struct {
+		seg  int32
+		name string
+	}
+	pairs := make([]segCodecPair, 0, nseg)
+	for i := 0; i < nseg && r.Err() == nil; i++ {
+		pairs = append(pairs, segCodecPair{seg: r.I32(), name: r.String()})
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	for _, p := range pairs {
+		codec, err := compress.Lookup(p.name)
+		if err != nil {
+			return nil, fmt.Errorf("machine: snapshot names codec %q for segment %d: %w", p.name, p.seg, err)
+		}
+		m.segCodec[p.seg] = codec
+	}
+
+	// Re-derive the segment index and validate the assembled machine end to
+	// end before handing it back.
+	for _, seg := range m.VM.Segments() {
+		m.segByID[seg.ID] = seg
+	}
+	if err := m.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("machine: restored state fails invariants: %w", err)
+	}
+	return m, nil
+}
+
+// SpaceFor returns the address-space handle for a named segment — how a
+// workload reattaches to its segments on a restored machine. It reports
+// false when no segment has that name; with duplicate names the
+// lowest-numbered segment wins (creation order).
+func (m *Machine) SpaceFor(name string) (*Space, bool) {
+	for _, seg := range m.VM.Segments() {
+		if seg.Name == name {
+			return &Space{m: m, seg: seg}, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,224 @@
+package machine
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"compcache/internal/fault"
+	"compcache/internal/obs"
+	"compcache/internal/swap"
+)
+
+// drivePhase applies a deterministic mixed read/write pattern to the space.
+// Two machines driven through the same phases must end in identical states.
+func drivePhase(m *Machine, s *Space, base int) {
+	npages := int64(s.Pages())
+	for i := 0; i < 4000; i++ {
+		page := (int64(base)*7 + int64(i)*31) % npages
+		off := page*4096 + int64(i%500)*8
+		if i%3 == 0 {
+			s.ReadWord(off)
+		} else {
+			s.WriteWord(off, uint64(base)*1_000_003+uint64(i))
+		}
+	}
+	m.Drain()
+}
+
+// snapshotConfigs are the machine shapes the byte-identity test covers: the
+// baseline direct swap, the durable log-structured swap, and the compression
+// cache with observability and an (idle) fault injector attached.
+func snapshotConfigs() map[string]Config {
+	small := Default(40 * 4096) // 40 frames against a 96-page working set
+	return map[string]Config{
+		"direct": small,
+		"lfs":    small.WithLFS(swap.LFSConfig{SegmentBytes: 8 * 4096, Durable: true, Paranoid: true}),
+		"cc": small.WithCC().WithObs(obs.Options{}).
+			WithFaults(fault.Config{Seed: 7}),
+	}
+}
+
+// TestSnapshotResumeByteIdentity is the tentpole determinism check: run
+// phase 1, snapshot mid-flight, resume both the original machine and a
+// restored copy through phase 2, and require byte-identical final snapshots
+// and identical statistics.
+func TestSnapshotResumeByteIdentity(t *testing.T) {
+	for name, cfg := range snapshotConfigs() {
+		t.Run(name, func(t *testing.T) {
+			m1 := newMachine(t, cfg)
+			s1 := m1.NewSegment("snap", 96*4096)
+			drivePhase(m1, s1, 1)
+
+			blob, err := m1.Snapshot()
+			if err != nil {
+				t.Fatalf("Snapshot: %v", err)
+			}
+			m2, err := Restore(cfg, blob)
+			if err != nil {
+				t.Fatalf("Restore: %v", err)
+			}
+			s2, ok := m2.SpaceFor("snap")
+			if !ok {
+				t.Fatal("restored machine lost the segment")
+			}
+
+			drivePhase(m1, s1, 2)
+			drivePhase(m2, s2, 2)
+
+			b1, err := m1.Snapshot()
+			if err != nil {
+				t.Fatalf("original re-snapshot: %v", err)
+			}
+			b2, err := m2.Snapshot()
+			if err != nil {
+				t.Fatalf("restored re-snapshot: %v", err)
+			}
+			if !bytes.Equal(b1, b2) {
+				t.Errorf("final snapshots differ: %d vs %d bytes", len(b1), len(b2))
+			}
+			st1, st2 := m1.Stats().String(), m2.Stats().String()
+			if st1 != st2 {
+				t.Errorf("statistics diverged:\noriginal:\n%s\nrestored:\n%s", st1, st2)
+			}
+			if m1.Elapsed() != m2.Elapsed() {
+				t.Errorf("virtual time diverged: %v vs %v", m1.Elapsed(), m2.Elapsed())
+			}
+		})
+	}
+}
+
+// TestSnapshotRestoreIsRerunnable restores the same blob twice and checks the
+// two copies agree — Restore must not consume or alias the snapshot.
+func TestSnapshotRestoreIsRerunnable(t *testing.T) {
+	cfg := snapshotConfigs()["cc"]
+	m := newMachine(t, cfg)
+	s := m.NewSegment("snap", 96*4096)
+	drivePhase(m, s, 3)
+	blob, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := Restore(cfg, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Restore(cfg, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, _ := ra.Snapshot()
+	bb, _ := rb.Snapshot()
+	if !bytes.Equal(ba, bb) {
+		t.Error("two restores of one blob disagree")
+	}
+	if !bytes.Equal(ba, blob) {
+		t.Error("restore-then-snapshot does not round-trip the blob")
+	}
+}
+
+// TestSnapshotConfigMismatchRejected feeds a snapshot to configurations it
+// was not captured under; Restore must refuse rather than mis-simulate.
+func TestSnapshotConfigMismatchRejected(t *testing.T) {
+	cfg := Default(40 * 4096)
+	m := newMachine(t, cfg)
+	s := m.NewSegment("snap", 96*4096)
+	drivePhase(m, s, 4)
+	blob, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := map[string]Config{
+		"memory": Default(64 * 4096),
+		"cc":     cfg.WithCC(),
+		"lfs":    cfg.WithLFS(swap.LFSConfig{}),
+		"faults": cfg.WithFaults(fault.Config{Seed: 1}),
+		"obs":    cfg.WithObs(obs.Options{}),
+	}
+	for name, c := range bad {
+		if _, err := Restore(c, blob); err == nil {
+			t.Errorf("%s mismatch accepted", name)
+		}
+	}
+	if _, err := Restore(cfg, blob[:len(blob)-1]); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+}
+
+// TestSnapshotDeadMachineRefused crashes a machine and checks Snapshot
+// declines — a dead machine's process is gone; reboot from media instead.
+func TestSnapshotDeadMachineRefused(t *testing.T) {
+	cfg := Default(40 * 4096).
+		WithLFS(swap.LFSConfig{SegmentBytes: 8 * 4096, Durable: true}).
+		WithFaults(fault.Config{Seed: 1, CrashAtWrite: 1})
+	m := newMachine(t, cfg)
+	s := m.NewSegment("snap", 96*4096)
+	drivePhase(m, s, 5)
+	if !m.Injector().Crashed() {
+		t.Skip("workload finished without a device write")
+	}
+	if _, err := m.Snapshot(); err == nil {
+		t.Error("snapshot of a crashed machine accepted")
+	}
+}
+
+// TestCrashRebootFromMedia cuts power at an early device write, reboots from
+// the torn media image, and verifies the recovered store against the crashed
+// machine's in-memory state — the machine-level version of the crash sweep.
+func TestCrashRebootFromMedia(t *testing.T) {
+	base := Default(40 * 4096)
+	cases := map[string]Config{
+		"lfs": base.WithLFS(swap.LFSConfig{SegmentBytes: 8 * 4096, Durable: true, Paranoid: true}),
+		"cc":  base.WithCC(),
+	}
+	for name, cfg := range cases {
+		t.Run(name, func(t *testing.T) {
+			cfg.Swap.CommitRecords = true
+			cfg.Swap.Paranoid = true
+			for _, k := range []uint64{1, 2, 5, 9} {
+				crashed := cfg.WithFaults(fault.Config{Seed: 3, CrashAtWrite: k})
+				m := newMachine(t, crashed)
+				s := m.NewSegment("snap", 96*4096)
+				drivePhase(m, s, 6)
+				if !m.Injector().Crashed() {
+					t.Fatalf("crash point %d never fired", k)
+				}
+				reborn, err := NewFromMedia(cfg, m.FS.Image())
+				if err != nil {
+					t.Fatalf("crash point %d: reboot: %v", k, err)
+				}
+				switch {
+				case m.ClusteredStore() != nil:
+					err = reborn.ClusteredStore().VerifyRecovery(m.ClusteredStore())
+				case m.LFSStore() != nil:
+					err = reborn.LFSStore().VerifyRecovery(m.LFSStore())
+				default:
+					t.Fatal("no recoverable store")
+				}
+				if err != nil {
+					t.Errorf("crash point %d: %v", k, err)
+				}
+				if reborn.RecoveryReport() == nil {
+					t.Errorf("crash point %d: reboot recorded no recovery report", k)
+				}
+				if err := reborn.CheckInvariants(); err != nil {
+					t.Errorf("crash point %d: %v", k, err)
+				}
+			}
+		})
+	}
+}
+
+// TestNewFromMediaRequiresImage pins the constructor's contract: a nil image
+// is a programming error, and the baseline direct swap has no recoverable
+// layout to boot from.
+func TestNewFromMediaRequiresImage(t *testing.T) {
+	if _, err := NewFromMedia(Default(mb), nil); err == nil {
+		t.Error("nil image accepted")
+	}
+	m := newMachine(t, Default(mb))
+	if _, err := NewFromMedia(Default(mb), m.FS.Image()); err == nil ||
+		!strings.Contains(err.Error(), "recoverable") {
+		t.Errorf("direct-swap boot from media: err = %v, want recoverable-store complaint", err)
+	}
+}

@@ -76,10 +76,13 @@ const (
 	ClassRetry
 	// ClassInject is a fault-injector decision that fired (fault). Aux is
 	// the injected kind: 1 read error, 2 write error, 3 cache corruption,
-	// 4 swap corruption, 5 latency spike.
+	// 4 swap corruption, 5 latency spike, 6 crash (power cut mid-write).
 	ClassInject
-	// ClassRecovery is a corrupt fragment recovered from a lower level of
-	// the hierarchy (machine).
+	// ClassRecovery is a recovery action: a corrupt fragment re-fetched from
+	// a lower level of the hierarchy (machine), or one log segment / cluster
+	// commit record revalidated during mount-time crash recovery (swap). For
+	// mount-time events Aux is the number of page copies recovered and Bytes
+	// their total size.
 	ClassRecovery
 
 	classCount = 14
@@ -204,6 +207,7 @@ const (
 	InjectCacheCorruption
 	InjectSwapCorruption
 	InjectLatencySpike
+	InjectCrash
 )
 
 // Options configures a Bus.

@@ -1,0 +1,20 @@
+package sim
+
+import "compcache/internal/snap"
+
+// SnapshotTo serializes the clock for a machine snapshot.
+func (c *Clock) SnapshotTo(w *snap.Writer) {
+	w.Section("sim.clock")
+	w.I64(int64(c.now))
+}
+
+// RestoreFrom rewinds (or advances) the clock to a snapshotted instant.
+func (c *Clock) RestoreFrom(r *snap.Reader) error {
+	r.Section("sim.clock")
+	now := Time(r.I64())
+	if err := r.Err(); err != nil {
+		return err
+	}
+	c.now = now
+	return nil
+}

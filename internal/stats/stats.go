@@ -77,6 +77,9 @@ type Faults struct {
 	InjectedSpikes      uint64 // operations that paid an injected latency spike
 	CorruptionsDetected uint64 // fragment checksum/codec verification failures
 	Recoveries          uint64 // corrupt fragments recovered from a lower level
+	InjectedCrashes     uint64 // power cuts injected mid device write
+	RecoveredSegments   uint64 // durable segments/commit records accepted at mount
+	TornWritesDiscarded uint64 // checksum-failed records discarded by recovery
 }
 
 // Any reports whether any fault activity was recorded.
@@ -179,6 +182,10 @@ func (r Run) String() string {
 		fmt.Fprintf(&b, "faults-injected %d read-err %d write-err %d corrupt %d spikes (detected %d, recovered %d)\n",
 			r.Faults.InjectedReadErrors, r.Faults.InjectedWriteErrors, r.Faults.InjectedCorruptions,
 			r.Faults.InjectedSpikes, r.Faults.CorruptionsDetected, r.Faults.Recoveries)
+	}
+	if r.Faults.InjectedCrashes > 0 || r.Faults.RecoveredSegments > 0 || r.Faults.TornWritesDiscarded > 0 {
+		fmt.Fprintf(&b, "crash           %d injected, %d segments recovered, %d torn writes discarded\n",
+			r.Faults.InjectedCrashes, r.Faults.RecoveredSegments, r.Faults.TornWritesDiscarded)
 	}
 	if len(r.Extra) > 0 {
 		keys := make([]string, 0, len(r.Extra))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"compcache/internal/fault"
 	"compcache/internal/fs"
 	"compcache/internal/obs"
 	"compcache/internal/sim"
@@ -35,6 +36,25 @@ type ClusterConfig struct {
 	// fragments) exceeds this fraction of the swap file's span and at least
 	// one cluster's worth of garbage exists. Zero selects the default 0.5.
 	GCTriggerFrac float64
+
+	// CommitRecords enables the recoverable on-media format: every clustered
+	// write appends a checksummed commit record (sequence number plus the
+	// batch's page identities, extents, and data checksums) in trailing
+	// fragments of the cluster, and garbage collection switches from the
+	// in-place dense rewrite to crash-safe relocation that never overwrites
+	// live data. RecoverClustered can then rebuild the page map from the
+	// media image. Records cost space and the relocating GC copies less
+	// densely, so the format is off by default; the machine enables it
+	// automatically when crash injection is configured.
+	//
+	// The format assumes Item.Sum is core.Checksum (CRC-32) of Item.Data,
+	// which is what the machine stores; recovery uses it to detect torn
+	// data.
+	CommitRecords bool
+
+	// Paranoid re-validates the fragment accounting after every garbage
+	// collection, turning silent drift into an immediate error.
+	Paranoid bool
 }
 
 func (c *ClusterConfig) setDefaults() {
@@ -106,6 +126,13 @@ type Clustered struct {
 	hint    int // first-fit search start
 	inGC    bool
 
+	// Commit-record state (CommitRecords mode): seq orders clusters for
+	// recovery; attempted remembers the item checksums of a crash-torn
+	// write, whose pages carry no durability promise (VerifyRecovery
+	// consults it).
+	seq       uint64
+	attempted map[PageKey]uint32
+
 	bus   *obs.Bus
 	clock *sim.Clock // event timestamps only; the fs layer charges the I/O
 
@@ -129,15 +156,25 @@ func NewClustered(cfg ClusterConfig, fsys *fs.FS) (*Clustered, error) {
 	if err := cfg.validate(fsys.BlockSize()); err != nil {
 		return nil, err
 	}
-	return &Clustered{
+	return makeClustered(cfg, fsys, fsys.Create("swap.clustered")), nil
+}
+
+// makeClustered builds the store around an existing file (recovery) or a
+// fresh one; cfg must already be defaulted and validated.
+func makeClustered(cfg ClusterConfig, fsys *fs.FS, file *fs.File) *Clustered {
+	c := &Clustered{
 		cfg:       cfg,
 		fsys:      fsys,
-		file:      fsys.Create("swap.clustered"),
+		file:      file,
 		blockSize: fsys.BlockSize(),
 		fragsPerB: fsys.BlockSize() / cfg.FragSize,
 		extents:   make(map[PageKey]extent),
 		byStart:   make(map[int32]PageKey),
-	}, nil
+	}
+	if cfg.CommitRecords {
+		c.seq = 1
+	}
+	return c
 }
 
 // SetObserver wires the store to a machine's event bus; nil disables
@@ -237,7 +274,16 @@ func (c *Clustered) WriteCluster(items []Item, async bool) error {
 		liveFrags += nf
 	}
 	c.placeBuf = placements
-	total := cursor
+	// In the recoverable format the cluster carries a trailing commit
+	// record; its fragments are cluster padding (never entered in byStart,
+	// so reads skip them) and travel in the same device transfer as the
+	// data, committing — or tearing — with it.
+	recRel := cursor
+	var recFrags int32
+	if c.cfg.CommitRecords {
+		recFrags = c.fragsFor(ccrFixed + ccrRecordBytes*len(items))
+	}
+	total := cursor + recFrags
 	wholeBlocks := !c.fsys.AllowPartialIO()
 	if wholeBlocks {
 		if rem := total % blockFrags; rem != 0 {
@@ -262,6 +308,9 @@ func (c *Clustered) WriteCluster(items []Item, async bool) error {
 	for _, p := range placements {
 		copy(buf[int(p.rel)*c.cfg.FragSize:], p.item.Data)
 	}
+	if c.cfg.CommitRecords {
+		ccrEncode(buf[int(recRel)*c.cfg.FragSize:], c.seq, start, recFrags, placements)
+	}
 	off := int64(start) * int64(c.cfg.FragSize)
 	var err error
 	if async {
@@ -276,6 +325,17 @@ func (c *Clustered) WriteCluster(items []Item, async bool) error {
 		}
 		if int(start) < c.hint {
 			c.hint = int(start)
+		}
+		if c.cfg.CommitRecords && fault.IsCrash(err) {
+			// The machine is dead; remember what was in flight so the
+			// recovery oracle knows these pages carry no durability promise
+			// (a fully-survived tear may still resurface them).
+			if c.attempted == nil {
+				c.attempted = make(map[PageKey]uint32, len(placements))
+			}
+			for _, p := range placements {
+				c.attempted[p.item.Key] = p.item.Sum
+			}
 		}
 		return err
 	}
@@ -297,6 +357,9 @@ func (c *Clustered) WriteCluster(items []Item, async bool) error {
 	}
 	c.liveFr += int(liveFrags)
 	c.padFr += int(total - liveFrags)
+	if c.cfg.CommitRecords {
+		c.seq++
+	}
 	if !c.inGC {
 		c.st.PagesOut += uint64(len(items))
 		if c.bus.Enabled(obs.ClassFlush) {
@@ -434,13 +497,28 @@ func (c *Clustered) maybeGC() error {
 	return c.GC()
 }
 
+// gcPage is one live extent captured by the GC read sweep.
+type gcPage struct {
+	key  PageKey
+	e    extent
+	data []byte
+}
+
 // GC compacts the swap file: every live extent is read (block-granular) and
-// rewritten densely from the start of the file. The I/O is charged to the
+// rewritten densely toward the start of the file. The I/O is charged to the
 // device like any other transfer — garbage collection of the backing store
 // is not free, which is the cost §4.3 warns about. A device error during the
 // read sweep aborts the pass with the page map untouched; an error during
 // the rewrite propagates from WriteCluster with the already-rewritten
 // extents recorded.
+//
+// The default rewrite resets the allocation bitmap and writes densely from
+// fragment zero — over media that still holds the only copy of not-yet-
+// rewritten pages, which a crash mid-pass would destroy. CommitRecords mode
+// therefore relocates instead: live pages move through ordinary clustered
+// writes into free space, each old copy freed only after its replacement's
+// device write (and commit record) succeeds, so every instant of the pass
+// leaves a recoverable image.
 func (c *Clustered) GC() error {
 	if c.inGC {
 		return nil
@@ -458,19 +536,33 @@ func (c *Clustered) GC() error {
 		}
 	}()
 
-	type livePage struct {
-		key  PageKey
-		e    extent
-		data []byte
+	pages, err := c.sweepLive()
+	if err != nil {
+		return err
 	}
-	pages := make([]livePage, 0, len(c.extents)) //cclint:ignore hotalloc -- compaction is rare and amortized; the live-page table is per-pass by design
+	if c.cfg.CommitRecords {
+		err = c.gcRelocate(pages)
+	} else {
+		err = c.gcRewrite(pages)
+	}
+	if err != nil {
+		return err
+	}
+	if c.cfg.Paranoid {
+		return c.CheckConsistency()
+	}
+	return nil
+}
+
+// sweepLive reads every live extent in one sequential sweep, block-granular
+// in whole-block mode, returning the pages sorted by media position.
+func (c *Clustered) sweepLive() ([]gcPage, error) {
+	pages := make([]gcPage, 0, len(c.extents)) //cclint:ignore hotalloc -- compaction is rare and amortized; the live-page table is per-pass by design
 	for key, e := range c.extents {
-		pages = append(pages, livePage{key: key, e: e}) //cclint:ignore hotalloc -- compaction is rare and amortized; the table was sized above, appends rarely grow it
+		pages = append(pages, gcPage{key: key, e: e}) //cclint:ignore hotalloc -- compaction is rare and amortized; the table was sized above, appends rarely grow it
 	}
 	sort.Slice(pages, func(i, j int) bool { return pages[i].e.start < pages[j].e.start }) //cclint:ignore hotalloc -- compaction is rare and amortized; sorting a per-pass table is fine
 
-	// One sequential sweep reading live data, block-granular in whole-block
-	// mode.
 	for i := range pages {
 		e := pages[i].e
 		fragOff := int64(e.start) * int64(c.cfg.FragSize)
@@ -478,7 +570,7 @@ func (c *Clustered) GC() error {
 		if c.fsys.AllowPartialIO() {
 			buf := make([]byte, byteLen) //cclint:ignore hotalloc -- compaction is rare; each live extent keeps its own copy until the rewrite
 			if err := c.file.RawRead(buf, fragOff, byteLen); err != nil {
-				return err
+				return nil, err
 			}
 			pages[i].data = buf[:e.length]
 			c.st.GCBytesCopied += uint64(byteLen)
@@ -489,21 +581,63 @@ func (c *Clustered) GC() error {
 		b1 := (fragOff + int64(byteLen) + bs - 1) / bs
 		buf := make([]byte, (b1-b0)*bs) //cclint:ignore hotalloc -- compaction is rare; each live extent keeps its own copy until the rewrite
 		if err := c.file.RawRead(buf, b0*bs, len(buf)); err != nil {
-			return err
+			return nil, err
 		}
 		rel := fragOff - b0*bs
 		pages[i].data = buf[rel : rel+int64(e.length)]
 		c.st.GCBytesCopied += uint64(len(buf))
 	}
+	return pages, nil
+}
 
-	// Reset allocation state and rewrite densely in cluster-sized batches.
+// gcRewrite is the in-place dense rewrite: reset the allocation state and
+// write everything back from fragment zero.
+func (c *Clustered) gcRewrite(pages []gcPage) error {
 	c.marked = c.marked[:0]
 	c.extents = make(map[PageKey]extent, len(pages))
 	c.byStart = make(map[int32]PageKey, len(pages))
 	c.liveFr = 0
 	c.padFr = 0
 	c.hint = 0
+	return c.writeBack(pages)
+}
 
+// gcRelocate is the crash-safe compaction: live pages are rewritten through
+// ordinary clustered writes (which only allocate free fragments and free
+// each old copy after its replacement commits), then the pre-pass padding —
+// old cluster padding and commit records, all of whose items the relocation
+// has superseded — is released in one sweep.
+func (c *Clustered) gcRelocate(pages []gcPage) error {
+	// Snapshot the pre-pass padding fragments: marked but covered by no
+	// extent. They stay marked for the whole pass (the allocator skips
+	// marked fragments), so the indices remain valid.
+	covered := make([]bool, len(c.marked)) //cclint:ignore hotalloc -- compaction is rare and amortized; the cover map is per-pass by design
+	for _, e := range c.extents {
+		for i := e.start; i < e.start+e.nfrags; i++ {
+			covered[i] = true
+		}
+	}
+	pad := make([]int32, 0, c.padFr) //cclint:ignore hotalloc -- compaction is rare and amortized; the pad list is per-pass by design
+	for i, m := range c.marked {
+		if m && !covered[i] {
+			pad = append(pad, int32(i)) //cclint:ignore hotalloc -- compaction is rare and amortized; the list was sized above, appends never grow it
+		}
+	}
+
+	c.hint = 0 // steer the relocation toward the lowest holes
+	if err := c.writeBack(pages); err != nil {
+		return err
+	}
+	for _, f := range pad {
+		c.marked[f] = false
+	}
+	c.padFr -= len(pad)
+	c.hint = 0
+	return nil
+}
+
+// writeBack rewrites the swept pages in cluster-sized batches.
+func (c *Clustered) writeBack(pages []gcPage) error {
 	batch := make([]Item, 0, 32) //cclint:ignore hotalloc -- compaction is rare and amortized; the rewrite batch is per-pass by design
 	batchBytes := 0
 	for _, p := range pages {
@@ -524,7 +658,7 @@ func (c *Clustered) GC() error {
 // compares it with the incremental counters; tests call it after stressing
 // the store.
 func (c *Clustered) CheckConsistency() error {
-	liveSet := make(map[int32]bool)
+	liveSet := make(map[int32]bool) //cclint:ignore hotalloc -- the paranoid audit is opt-in debugging, not the steady-state hot path
 	for key, e := range c.extents {
 		if got := c.byStart[e.start]; got != key {
 			return fmt.Errorf("swap: byStart[%d] = %v, want %v", e.start, got, key)

@@ -1,0 +1,155 @@
+package swap
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"compcache/internal/disk"
+	"compcache/internal/fs"
+	"compcache/internal/mem"
+	"compcache/internal/sim"
+)
+
+// fuzzLFSConfig is the geometry every fuzz input is mounted under: 4-page
+// segments keep images small enough for the fuzzer to mutate meaningfully.
+func fuzzLFSConfig() LFSConfig {
+	return LFSConfig{PageSize: 4096, SegmentBytes: 4 * 4096, Durable: true, Paranoid: true}
+}
+
+// durableLFSImage builds a genuine post-crash media image: a durable LFS
+// populated with overwrites and invalidations (so the log holds stale and
+// dead records), flushed mid-stage, with the raw swap file bytes returned.
+func durableLFSImage(tb testing.TB, npages int) []byte {
+	tb.Helper()
+	var clock sim.Clock
+	d, err := disk.New(disk.RZ57(), &clock)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	pool := mem.NewPool(64, 4096)
+	fsys, err := fs.New(fs.Options{BlockSize: 4096}, d, &clock, pool)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	l, err := NewLFS(fuzzLFSConfig(), fsys, pool)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < npages; i++ {
+		key := PageKey{Seg: 1, Page: int32(i % (npages/2 + 1))} // overwrites
+		if err := l.Write(key, page(int64(i), 4096)); err != nil {
+			tb.Fatal(err)
+		}
+		if i%7 == 3 {
+			l.Invalidate(PageKey{Seg: 1, Page: int32(i % 3)})
+		}
+	}
+	if err := l.Flush(); err != nil {
+		tb.Fatal(err)
+	}
+	file, err := fsys.Open("swap.lfs")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	img := make([]byte, file.Size())
+	if err := file.RawRead(img, 0, len(img)); err != nil {
+		tb.Fatal(err)
+	}
+	return img
+}
+
+// FuzzRecoverLFS feeds arbitrary bytes to the mount-time log scan as the
+// swap file's platter contents. Whatever the media holds — valid images,
+// torn tails, bit flips, garbage — recovery must not panic, and any store it
+// does return must pass the paranoid consistency check.
+func FuzzRecoverLFS(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("not a log segment"))
+	valid := durableLFSImage(f, 24)
+	f.Add(valid)
+	torn := append([]byte(nil), valid...)
+	f.Add(torn[:len(torn)/2])
+	flipped := append([]byte(nil), valid...)
+	for i := 128; i < len(flipped); i += 997 {
+		flipped[i] ^= 0x40
+	}
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, img []byte) {
+		if len(img) > 1<<20 {
+			t.Skip("image larger than the simulated platter budget")
+		}
+		var clock sim.Clock
+		d, err := disk.New(disk.RZ57(), &clock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool := mem.NewPool(64, 4096)
+		fsys, err := fs.New(fs.Options{BlockSize: 4096}, d, &clock, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(img) > 0 {
+			// Raw device transfers are block-granular; zero-pad the tail. The
+			// padding reads back as an unwritten region, like real media.
+			n := (len(img) + 4095) &^ 4095
+			buf := make([]byte, n)
+			copy(buf, img)
+			file := fsys.Create("swap.lfs")
+			if err := file.RawWrite(buf, 0, n); err != nil {
+				t.Fatal(err)
+			}
+		}
+		l, rep, err := RecoverLFS(fuzzLFSConfig(), fsys, pool, nil, &clock)
+		if err != nil {
+			return // rejecting the image is a valid outcome; panicking is not
+		}
+		if l == nil || rep == nil {
+			t.Fatal("nil store or report without an error")
+		}
+		if err := l.CheckConsistency(); err != nil {
+			t.Fatalf("recovered store inconsistent: %v", err)
+		}
+		if rep.RecoveredSegments > rep.ScannedSegments {
+			t.Fatalf("report claims %d recovered of %d scanned", rep.RecoveredSegments, rep.ScannedSegments)
+		}
+	})
+}
+
+// TestWriteFuzzCorpus regenerates the checked-in seed corpus when
+// WRITE_FUZZ_CORPUS=1 is set; it only verifies the corpus exists otherwise.
+func TestWriteFuzzCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzRecoverLFS")
+	if os.Getenv("WRITE_FUZZ_CORPUS") == "" {
+		ents, err := os.ReadDir(dir)
+		if err != nil || len(ents) == 0 {
+			t.Fatalf("seed corpus missing at %s (regenerate with WRITE_FUZZ_CORPUS=1): %v", dir, err)
+		}
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	valid := durableLFSImage(t, 24)
+	torn := valid[:len(valid)/2]
+	flipped := append([]byte(nil), valid...)
+	for i := 128; i < len(flipped); i += 997 {
+		flipped[i] ^= 0x40
+	}
+	seeds := map[string][]byte{
+		"empty":        {},
+		"garbage":      []byte("not a log segment"),
+		"valid-image":  valid,
+		"torn-half":    torn,
+		"bit-flipped":  flipped,
+		"short-header": valid[:100],
+	}
+	for name, data := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

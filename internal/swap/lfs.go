@@ -2,6 +2,7 @@ package swap
 
 import (
 	"fmt"
+	"hash/crc32"
 
 	"compcache/internal/fs"
 	"compcache/internal/mem"
@@ -41,6 +42,21 @@ type LFSConfig struct {
 	// CleanReserve is the number of free segments the cleaner tries to
 	// keep ready. Default 2.
 	CleanReserve int
+
+	// Durable enables the recoverable on-media format: each segment starts
+	// with a header block carrying a sequence number and a per-slot record
+	// table (PageKey, length, CRC-32), written atomically with the segment's
+	// data as one device transfer. RecoverLFS can then rebuild the store
+	// from the media image after a crash. The header block costs one file
+	// block of every segment and changes every write's size and timing, so
+	// the format is off by default; the machine enables it automatically
+	// when crash injection is configured.
+	Durable bool
+
+	// Paranoid re-validates the full location-map ↔ segment-table
+	// consistency after every cleaner pass, turning silent accounting drift
+	// into an immediate error. Debug builds and the crash harness set it.
+	Paranoid bool
 }
 
 func (c *LFSConfig) setDefaults() {
@@ -62,6 +78,16 @@ func (c LFSConfig) validate(blockSize int) error {
 	if c.MaxSegments < 0 || c.CleanReserve < 0 {
 		return fmt.Errorf("swap: negative lfs limit")
 	}
+	if c.Durable {
+		pages := (c.SegmentBytes - blockSize) / c.PageSize
+		if pages < 1 {
+			return fmt.Errorf("swap: lfs segment size %d leaves no room for pages after the %d-byte header block",
+				c.SegmentBytes, blockSize)
+		}
+		if lfsHeaderFixed+lfsRecordBytes*pages > blockSize {
+			return fmt.Errorf("swap: lfs header for %d pages does not fit one %d-byte block", pages, blockSize)
+		}
+	}
 	return nil
 }
 
@@ -74,11 +100,22 @@ type lfsLoc struct {
 // lfsSegment is the bookkeeping for one on-disk segment.
 type lfsSegment struct {
 	pages []PageKey // key per page slot; stale slots hold a tombstone
+	sums  []uint32  // CRC-32 per slot (durable format only)
 	live  int
+	seq   uint64 // sequence number stamped at flush (durable format only)
 }
 
 // lfsTombstone marks a dead slot.
 var lfsTombstone = PageKey{Seg: -1 << 30, Page: -1}
+
+// lfsPending is a cleaned victim segment awaiting its reuse barrier: it may
+// not be overwritten until the flush carrying the last of its forwarded live
+// pages has reached the media, or a crash in the window would lose
+// acknowledged-durable pages.
+type lfsPending struct {
+	seg      int32
+	afterSeq uint64 // reusable once this sequence number is durable
+}
 
 // LFS is the log-structured store.
 type LFS struct {
@@ -87,6 +124,7 @@ type LFS struct {
 	file         *fs.File
 	pool         *mem.Pool
 	pagesPerSeg  int
+	headerBytes  int           // media bytes reserved for the segment header (durable format)
 	bufferFrames []mem.FrameID // pinned segment buffer
 
 	segs    []*lfsSegment
@@ -95,6 +133,15 @@ type LFS struct {
 	cur     int32 // segment being filled (in the buffer)
 	curUsed int   // pages staged in the buffer
 	inClean bool
+
+	// Durable-format state: the open segment's full media image (header
+	// block plus staged pages) accumulates here and reaches the device as
+	// one write, so a crash tears it like the single transfer it is; seq
+	// numbers order segments for recovery; cleaned victims wait on pending
+	// until their forwarded pages are durable.
+	seq     uint64
+	stage   []byte
+	pending []lfsPending
 
 	// Cleaner scratch, reused across passes so steady-state cleaning
 	// allocates nothing: recycled segment bookkeeping objects and the
@@ -110,18 +157,42 @@ type LFS struct {
 // taken from pool immediately and never returned — the "significant memory
 // for buffers" the paper warns about.
 func NewLFS(cfg LFSConfig, fsys *fs.FS, pool *mem.Pool) (*LFS, error) {
+	l, err := makeLFS(cfg, fsys, pool, nil)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := l.allocSegment()
+	if err != nil {
+		return nil, err
+	}
+	l.cur = cur
+	if l.durable() {
+		l.seq = 1
+	}
+	return l, nil
+}
+
+// makeLFS builds the store around an existing file (recovery) or a fresh one.
+func makeLFS(cfg LFSConfig, fsys *fs.FS, pool *mem.Pool, file *fs.File) (*LFS, error) {
 	cfg.setDefaults()
 	if err := cfg.validate(fsys.BlockSize()); err != nil {
 		return nil, err
 	}
-	l := &LFS{
-		cfg:         cfg,
-		fsys:        fsys,
-		file:        fsys.Create("swap.lfs"),
-		pool:        pool,
-		pagesPerSeg: cfg.SegmentBytes / cfg.PageSize,
-		loc:         make(map[PageKey]lfsLoc),
+	if file == nil {
+		file = fsys.Create("swap.lfs")
 	}
+	l := &LFS{
+		cfg:  cfg,
+		fsys: fsys,
+		file: file,
+		pool: pool,
+		loc:  make(map[PageKey]lfsLoc),
+	}
+	if cfg.Durable {
+		l.headerBytes = fsys.BlockSize()
+		l.stage = make([]byte, cfg.SegmentBytes)
+	}
+	l.pagesPerSeg = (cfg.SegmentBytes - l.headerBytes) / cfg.PageSize
 	for i := 0; i < l.pagesPerSeg; i++ {
 		id, ok := pool.Alloc(mem.Kernel)
 		if !ok {
@@ -129,13 +200,10 @@ func NewLFS(cfg LFSConfig, fsys *fs.FS, pool *mem.Pool) (*LFS, error) {
 		}
 		l.bufferFrames = append(l.bufferFrames, id)
 	}
-	cur, err := l.allocSegment()
-	if err != nil {
-		return nil, err
-	}
-	l.cur = cur
 	return l, nil
 }
+
+func (l *LFS) durable() bool { return l.cfg.Durable }
 
 // BufferFrames reports how many page frames the segment buffer pins.
 func (l *LFS) BufferFrames() int { return len(l.bufferFrames) }
@@ -166,10 +234,16 @@ func (l *LFS) newSegment() *lfsSegment {
 		l.segPool[n-1] = nil
 		l.segPool = l.segPool[:n-1]
 		s.pages = s.pages[:0]
+		s.sums = s.sums[:0]
 		s.live = 0
+		s.seq = 0
 		return s
 	}
-	return &lfsSegment{pages: make([]PageKey, 0, l.pagesPerSeg)}
+	s := &lfsSegment{pages: make([]PageKey, 0, l.pagesPerSeg)}
+	if l.durable() {
+		s.sums = make([]uint32, 0, l.pagesPerSeg)
+	}
+	return s
 }
 
 // allocSegment returns a free segment number, growing the log if allowed.
@@ -181,20 +255,54 @@ func (l *LFS) allocSegment() (int32, error) {
 		return seg, nil
 	}
 	if l.cfg.MaxSegments > 0 && len(l.segs) >= l.cfg.MaxSegments {
-		// Force a synchronous clean; it must free at least one segment or
-		// the log is genuinely full (a sizing error surfaced as an error so
-		// the run dies cleanly rather than crashing the process).
-		freed, err := l.clean()
-		if err != nil {
-			return 0, err
+		// Log full. The live-copying cleaner cannot rescue us from here:
+		// allocSegment can run while the just-flushed segment is still
+		// current (Flush allocates its successor after writing it out), and
+		// a cleaning pass at that moment would copy live pages into the full
+		// current segment, overflowing its slot table onto its neighbour's
+		// media addresses — latent accounting drift that CheckConsistency
+		// cannot see because both tables stay self-consistent. Only segments
+		// with no live pages can be freed without copying; anything else is
+		// a genuine sizing error, surfaced as an error so the run dies
+		// cleanly.
+		if l.freeDead() {
+			return l.allocSegment()
 		}
-		if !freed {
-			return 0, fmt.Errorf("swap: LFS log full (%d segments) and nothing cleanable", len(l.segs))
-		}
-		return l.allocSegment()
+		return 0, fmt.Errorf("swap: LFS log full (%d segments) and nothing cleanable without copying", len(l.segs))
 	}
 	l.segs = append(l.segs, l.newSegment())
 	return int32(len(l.segs) - 1), nil
+}
+
+// freeDead frees on-disk segments with no live pages; they need no copying,
+// so this is safe at any point, including mid-flush.
+func (l *LFS) freeDead() bool {
+	freed := false
+	for i, s := range l.segs {
+		if int32(i) == l.cur || s == nil || s.live > 0 || len(s.pages) == 0 {
+			continue
+		}
+		l.segs[i] = nil
+		l.segPool = append(l.segPool, s)
+		l.free = append(l.free, int32(i))
+		freed = true
+	}
+	return freed
+}
+
+// promote moves cleaned victim segments whose reuse barrier has been reached
+// (every forwarded live page durable at or before sequence number upTo) onto
+// the free list.
+func (l *LFS) promote(upTo uint64) {
+	kept := l.pending[:0]
+	for _, p := range l.pending {
+		if p.afterSeq <= upTo {
+			l.free = append(l.free, p.seg)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	l.pending = kept
 }
 
 // Write appends a page to the log buffer; a full buffer is flushed to disk
@@ -204,15 +312,27 @@ func (l *LFS) Write(key PageKey, data []byte) error {
 		// Invariant: the VM layer always pages out whole pages.
 		panic(fmt.Sprintf("swap: LFS.Write of %d bytes, want a whole page", len(data)))
 	}
-	l.Invalidate(key) // supersede any previous copy (disk or staged)
 	seg := l.segs[l.cur]
+	if len(seg.pages) >= l.pagesPerSeg {
+		// The open segment's slot table is full but its flush failed (a
+		// failed flush leaves the buffer intact for the error to propagate);
+		// appending another slot would spill onto the next segment's media
+		// addresses.
+		return fmt.Errorf("swap: LFS segment buffer still full after a failed flush")
+	}
+	l.Invalidate(key) // supersede any previous copy (disk or staged)
 	idx := int32(len(seg.pages))
 	seg.pages = append(seg.pages, key)
 	seg.live++
 	l.loc[key] = lfsLoc{seg: l.cur, idx: idx}
-	// Store the bytes at their eventual on-disk position now (platter
-	// write-through); the device cost is charged at flush.
-	l.file.WriteStage(l.segOff(l.cur, idx), data)
+	if l.durable() {
+		seg.sums = append(seg.sums, crc32.ChecksumIEEE(data))
+		copy(l.stage[l.headerBytes+int(idx)*l.cfg.PageSize:], data)
+	} else {
+		// Store the bytes at their eventual on-disk position now (platter
+		// write-through); the device cost is charged at flush.
+		l.file.WriteStage(l.dataOff(l.cur, idx), data)
+	}
 	l.curUsed++
 	if l.curUsed >= l.pagesPerSeg {
 		if err := l.Flush(); err != nil {
@@ -226,14 +346,28 @@ func (l *LFS) Write(key PageKey, data []byte) error {
 }
 
 // Flush writes the partially or fully filled segment buffer to disk as one
-// asynchronous sequential operation and opens a new segment.
+// asynchronous sequential operation and opens a new segment. In the durable
+// format the transfer includes the segment's header block, so header and
+// data are committed — or torn — together.
 func (l *LFS) Flush() error {
 	if l.curUsed == 0 {
 		return nil
 	}
-	n := l.curUsed * l.cfg.PageSize
-	if _, err := l.file.RawWriteStaged(l.segOff(l.cur, 0), n); err != nil {
-		return err
+	if l.durable() {
+		seg := l.segs[l.cur]
+		seg.seq = l.seq
+		lfsEncodeHeader(l.stage[:l.headerBytes], l.seq, seg, l.cfg.PageSize)
+		n := l.headerBytes + l.curUsed*l.cfg.PageSize
+		if _, err := l.file.RawWriteAsync(l.stage[:n], l.segOff(l.cur), n); err != nil {
+			return err
+		}
+		l.promote(l.seq)
+		l.seq++
+	} else {
+		n := l.curUsed * l.cfg.PageSize
+		if _, err := l.file.RawWriteStaged(l.dataOff(l.cur, 0), n); err != nil {
+			return err
+		}
 	}
 	l.curUsed = 0
 	cur, err := l.allocSegment()
@@ -253,11 +387,16 @@ func (l *LFS) Read(key PageKey, buf []byte) (bool, error) {
 		return false, nil
 	}
 	if pos.seg == l.cur {
-		l.file.ReadStaged(l.segOff(pos.seg, pos.idx), buf)
+		if l.durable() {
+			off := l.headerBytes + int(pos.idx)*l.cfg.PageSize
+			copy(buf, l.stage[off:off+l.cfg.PageSize])
+		} else {
+			l.file.ReadStaged(l.dataOff(pos.seg, pos.idx), buf)
+		}
 		l.st.PagesIn++
 		return true, nil
 	}
-	if err := l.file.RawRead(buf, l.segOff(pos.seg, pos.idx), l.cfg.PageSize); err != nil {
+	if err := l.file.RawRead(buf, l.dataOff(pos.seg, pos.idx), l.cfg.PageSize); err != nil {
 		return false, err
 	}
 	l.st.PagesIn++
@@ -308,6 +447,11 @@ func (l *LFS) maybeClean() error {
 // concrete: swap segments stay relatively live, so cleaning copies a lot.
 // A device error aborts the pass: segments already processed stay freed,
 // the victim being copied keeps its remaining live pages.
+//
+// In the durable format a victim is not freed immediately: its media image
+// is the only durable copy of its forwarded pages until the flush carrying
+// them completes, so the victim parks on the pending list and is promoted to
+// the free list only once that flush's sequence number is on the media.
 func (l *LFS) clean() (bool, error) {
 	if l.inClean {
 		return false, nil
@@ -351,14 +495,14 @@ func (l *LFS) clean() (bool, error) {
 			if cap(l.sweepBuf) < n {
 				l.sweepBuf = make([]byte, n)
 			}
-			if err := l.file.RawRead(l.sweepBuf[:n], l.segOff(v, 0), n); err != nil {
+			if err := l.file.RawRead(l.sweepBuf[:n], l.dataOff(v, 0), n); err != nil {
 				return freed, err
 			}
 			for idx, key := range seg.pages {
 				if key == lfsTombstone {
 					continue
 				}
-				l.file.ReadStaged(l.segOff(v, int32(idx)), buf)
+				l.file.ReadStaged(l.dataOff(v, int32(idx)), buf)
 				l.st.GCBytesCopied += uint64(l.cfg.PageSize)
 				// Rewriting moves the page into the current buffer.
 				if err := l.Write(key, buf); err != nil {
@@ -368,15 +512,38 @@ func (l *LFS) clean() (bool, error) {
 		}
 		l.segs[v] = nil
 		l.segPool = append(l.segPool, seg)
-		l.free = append(l.free, v)
+		if l.durable() {
+			bar := l.seq
+			if l.curUsed == 0 && bar > 0 {
+				// Everything forwarded from this victim is already durable.
+				bar--
+			}
+			l.pending = append(l.pending, lfsPending{seg: v, afterSeq: bar})
+		} else {
+			l.free = append(l.free, v)
+		}
 		freed = true
+	}
+	if l.durable() {
+		l.promote(l.seq - 1)
+	}
+	if l.cfg.Paranoid {
+		if err := l.CheckConsistency(); err != nil {
+			return freed, err
+		}
 	}
 	return freed, nil
 }
 
-// segOff is the byte offset of page idx of segment seg in the swap file.
-func (l *LFS) segOff(seg, idx int32) int64 {
-	return int64(seg)*int64(l.cfg.SegmentBytes) + int64(idx)*int64(l.cfg.PageSize)
+// segOff is the media byte offset of segment seg in the swap file.
+func (l *LFS) segOff(seg int32) int64 {
+	return int64(seg) * int64(l.cfg.SegmentBytes)
+}
+
+// dataOff is the media byte offset of page idx of segment seg (past the
+// header block in the durable format).
+func (l *LFS) dataOff(seg, idx int32) int64 {
+	return l.segOff(seg) + int64(l.headerBytes) + int64(idx)*int64(l.cfg.PageSize)
 }
 
 // CheckConsistency validates the location map against the segment tables.
@@ -394,6 +561,12 @@ func (l *LFS) CheckConsistency() error {
 		if seg == nil {
 			continue
 		}
+		if len(seg.pages) > l.pagesPerSeg {
+			return fmt.Errorf("swap: lfs segment %d holds %d slots, capacity %d", i, len(seg.pages), l.pagesPerSeg)
+		}
+		if l.durable() && len(seg.sums) != len(seg.pages) {
+			return fmt.Errorf("swap: lfs segment %d has %d sums for %d slots", i, len(seg.sums), len(seg.pages))
+		}
 		live := 0
 		for _, key := range seg.pages {
 			if key == lfsTombstone {
@@ -406,6 +579,11 @@ func (l *LFS) CheckConsistency() error {
 		}
 		if live != seg.live {
 			return fmt.Errorf("swap: lfs segment %d live counter %d, recounted %d", i, seg.live, live)
+		}
+	}
+	for _, p := range l.pending {
+		if int(p.seg) < len(l.segs) && l.segs[p.seg] != nil {
+			return fmt.Errorf("swap: lfs pending segment %d still registered", p.seg)
 		}
 	}
 	return nil

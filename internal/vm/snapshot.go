@@ -1,0 +1,133 @@
+package vm
+
+import (
+	"fmt"
+
+	"compcache/internal/mem"
+	"compcache/internal/sim"
+	"compcache/internal/snap"
+	"compcache/internal/stats"
+	"compcache/internal/swap"
+)
+
+// SnapshotTo serializes the VM: every segment's page table and the resident
+// LRU list as an explicit key sequence (head to tail), so the restored
+// replacement order is exact. Frame IDs are recorded as-is — the pool is
+// restored verbatim, so they stay valid.
+func (v *VM) SnapshotTo(w *snap.Writer) {
+	w.Section("vm")
+	w.I32(v.nextSeg)
+	w.Int(len(v.segs))
+	for _, s := range v.segs {
+		w.I32(s.ID)
+		w.String(s.Name)
+		w.I32(s.NPages)
+		for i := range s.pages {
+			p := &s.pages[i]
+			w.U8(uint8(p.State))
+			w.I32(int32(p.Frame))
+			w.Bool(p.Dirty)
+			w.Bool(p.SwapValid)
+			w.Bool(p.EverWritten)
+			w.Bool(p.Pinned)
+			w.I64(int64(p.LastUse))
+		}
+	}
+	w.Int(v.resident)
+	for p := v.lruHead; p != nil; p = p.next {
+		w.I32(p.Key.Seg)
+		w.I32(p.Key.Page)
+	}
+	w.U64(v.st.Refs)
+	w.U64(v.st.Faults)
+	w.U64(v.st.ColdFaults)
+	w.U64(v.st.CacheHits)
+	w.U64(v.st.SwapIns)
+	w.U64(v.st.Evictions)
+	w.U64(v.st.WriteBacks)
+	w.U64(v.st.PinnedSkips)
+}
+
+// RestoreFrom rebuilds the VM's segments, page states and LRU list. The VM
+// must be freshly constructed (no segments).
+func (v *VM) RestoreFrom(r *snap.Reader) error {
+	r.Section("vm")
+	if len(v.segs) != 0 {
+		return fmt.Errorf("vm: restore into a VM that already has %d segment(s)", len(v.segs))
+	}
+	nextSeg := r.I32()
+	nsegs := r.Int()
+	if r.Err() == nil && (nsegs < 0 || nsegs > 1<<20) {
+		return fmt.Errorf("vm: snapshot claims %d segments", nsegs)
+	}
+	for si := 0; si < nsegs && r.Err() == nil; si++ {
+		id := r.I32()
+		name := r.String()
+		npages := r.I32()
+		if r.Err() != nil {
+			break
+		}
+		if npages <= 0 || npages > 1<<24 {
+			return fmt.Errorf("vm: snapshot segment %q claims %d pages", name, npages)
+		}
+		s := &Segment{ID: id, Name: name, NPages: npages, pages: make([]Page, npages)}
+		for i := range s.pages {
+			p := &s.pages[i]
+			p.Key = swap.PageKey{Seg: id, Page: int32(i)}
+			p.State = PageState(r.U8())
+			p.Frame = mem.FrameID(r.I32())
+			p.Dirty = r.Bool()
+			p.SwapValid = r.Bool()
+			p.EverWritten = r.Bool()
+			p.Pinned = r.Bool()
+			p.LastUse = sim.Time(r.I64())
+		}
+		v.segs = append(v.segs, s)
+	}
+	resident := r.Int()
+	if r.Err() == nil && resident < 0 {
+		return fmt.Errorf("vm: snapshot claims %d resident pages", resident)
+	}
+	segByID := make(map[int32]*Segment, len(v.segs))
+	for _, s := range v.segs {
+		segByID[s.ID] = s
+	}
+	var head, tail *Page
+	for i := 0; i < resident && r.Err() == nil; i++ {
+		seg := r.I32()
+		page := r.I32()
+		if r.Err() != nil {
+			break
+		}
+		s := segByID[seg]
+		if s == nil || page < 0 || page >= s.NPages {
+			return fmt.Errorf("vm: snapshot LRU entry %d/%d does not name a page", seg, page)
+		}
+		p := s.Page(page)
+		p.prev = tail
+		p.next = nil
+		if tail != nil {
+			tail.next = p
+		} else {
+			head = p
+		}
+		tail = p
+	}
+	var st stats.VM
+	st.Refs = r.U64()
+	st.Faults = r.U64()
+	st.ColdFaults = r.U64()
+	st.CacheHits = r.U64()
+	st.SwapIns = r.U64()
+	st.Evictions = r.U64()
+	st.WriteBacks = r.U64()
+	st.PinnedSkips = r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	v.nextSeg = nextSeg
+	v.lruHead, v.lruTail = head, tail
+	v.resident = resident
+	v.st = st
+	return v.CheckLRU()
+}
