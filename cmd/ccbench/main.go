@@ -42,6 +42,7 @@ func main() {
 	faultsFlag := flag.Bool("faults", false, "run the fault-injection sweep (overhead and survival vs fault rate); shorthand for -run faults")
 	faultRate := flag.Float64("fault-rate", -1, "restrict the fault sweep to a single rate (plus the fault-free baseline); default sweeps the built-in rates")
 	hostTiming := flag.Bool("host-timing", false, "measure host-clock columns (codec sweep ns/op); nondeterministic, off by default")
+	tracePath := flag.String("trace", "", "write a machine-readable JSONL trace of trace-capable experiments (ext/fleet-sweep) to this file")
 	flag.Parse()
 
 	if *listFlag {
@@ -97,6 +98,7 @@ func main() {
 	opts.Parallelism = *jobs
 	opts.FaultRate = *faultRate
 	opts.HostTiming = *hostTiming
+	opts.TracePath = *tracePath
 
 	emit := func(tab *exp.Table) {
 		if *format == "csv" {

@@ -97,19 +97,20 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *eventsOut != "" && cfg.Obs == nil {
-		cfg = cfg.WithObs(obs.Options{})
+	var opts []machine.Option
+	if *eventsOut != "" {
+		opts = append(opts, machine.WithObs(obs.Options{}))
 	}
 	mode := "baseline (no compression cache)"
 	if *useCC {
 		mode = fmt.Sprintf("compression cache on (%s)", *codec)
 	}
 	if *crashAt > 0 {
-		runCrash(cfg, w, *memMB, mode, *crashAt, *eventsOut)
+		runCrash(cfg, w, *memMB, mode, *crashAt, *eventsOut, opts)
 		return
 	}
 
-	m, st, err := workload.MeasureMachine(cfg, w)
+	m, st, err := workload.MeasureMachine(cfg, w, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccsim:", err)
 		os.Exit(1)
@@ -144,13 +145,13 @@ func exportEvents(path string, m *machine.Machine) {
 // runCrash runs the workload until the armed power cut fires, reboots a
 // machine from the torn media image, verifies the recovery, and prints the
 // recovery report plus the rebooted machine's view of the store.
-func runCrash(cfg machine.Config, w workload.Workload, memMB int, mode string, crashAt uint64, eventsOut string) {
-	m, _, err := workload.MeasureMachine(cfg, w)
+func runCrash(cfg machine.Config, w workload.Workload, memMB int, mode string, crashAt uint64, eventsOut string, opts []machine.Option) {
+	m, _, err := workload.MeasureMachine(cfg, w, opts...)
 	if err != nil && !fault.IsCrash(err) {
 		fmt.Fprintln(os.Stderr, "ccsim:", err)
 		os.Exit(1)
 	}
-	if m == nil || m.Injector() == nil || !m.Injector().Crashed() {
+	if m == nil || m.Introspect().Injector == nil || !m.Introspect().Injector.Crashed() {
 		fmt.Fprintf(os.Stderr, "ccsim: the run finished before device write %d; crash earlier\n", crashAt)
 		os.Exit(1)
 	}
@@ -159,18 +160,19 @@ func runCrash(cfg machine.Config, w workload.Workload, memMB int, mode string, c
 
 	reboot := cfg
 	reboot.Faults = nil
-	reborn, err := machine.NewFromMedia(reboot, m.FS.Image())
+	reborn, err := machine.NewFromMedia(reboot, m.FS.Image(), opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccsim: reboot failed:", err)
 		os.Exit(1)
 	}
 	exportEvents(eventsOut, reborn)
-	fmt.Println("reboot:", reborn.RecoveryReport())
+	fmt.Println("reboot:", reborn.Introspect().Recovery)
+	stores, rebornStores := m.Introspect(), reborn.Introspect()
 	switch {
-	case m.ClusteredStore() != nil:
-		err = reborn.ClusteredStore().VerifyRecovery(m.ClusteredStore())
-	case m.LFSStore() != nil:
-		err = reborn.LFSStore().VerifyRecovery(m.LFSStore())
+	case stores.Clustered != nil:
+		err = rebornStores.Clustered.VerifyRecovery(stores.Clustered)
+	case stores.LFS != nil:
+		err = rebornStores.LFS.VerifyRecovery(stores.LFS)
 	default:
 		err = fmt.Errorf("no recoverable store")
 	}

@@ -47,14 +47,15 @@ func (o obsOptions) enabled() bool {
 	return o.events != "" || o.timeline || o.summary
 }
 
-// apply attaches the bus configuration to cfg when any view is requested.
-func (o obsOptions) apply(cfg machine.Config) machine.Config {
+// options returns the machine options that attach the bus when any view is
+// requested.
+func (o obsOptions) options() []machine.Option {
 	if !o.enabled() {
-		return cfg
+		return nil
 	}
 	mask, err := obs.ParseClasses(o.classes)
 	fatal(err)
-	return cfg.WithObs(obs.Options{Classes: mask, RingSize: o.ring})
+	return []machine.Option{machine.WithObs(obs.Options{Classes: mask, RingSize: o.ring})}
 }
 
 // report prints the requested views of the machine's run.
@@ -78,7 +79,7 @@ func (o obsOptions) report(m *machine.Machine) {
 			fmt.Printf("wrote %d event(s) to %s\n", len(events), o.events)
 		}
 	}
-	if dropped := m.Bus().Dropped(); dropped > 0 {
+	if dropped := m.Introspect().Bus.Dropped(); dropped > 0 {
 		fmt.Printf("note: ring retained the last %d event(s); %d older one(s) dropped (raise -ring to keep more)\n",
 			len(events), dropped)
 	}
@@ -128,7 +129,7 @@ func main() {
 }
 
 func doRecord(path, name string, memMB, sizeMB int, seed int64, ob obsOptions) {
-	m, err := machine.New(ob.apply(machine.Default(int64(memMB) << 20)))
+	m, err := machine.New(machine.Default(int64(memMB)<<20), ob.options()...)
 	fatal(err)
 	var rec trace.Recorder
 	m.VM.SetTraceHook(rec.Note)
@@ -171,7 +172,7 @@ func doReplay(path string, memMB int, useCC bool, seed int64, ob obsOptions) {
 		cfg = cfg.WithCC()
 		mode = "compression cache"
 	}
-	m, st, err := workload.MeasureMachine(ob.apply(cfg), &workload.Replay{Refs: refs, Seed: seed})
+	m, st, err := workload.MeasureMachine(cfg, &workload.Replay{Refs: refs, Seed: seed}, ob.options()...)
 	fatal(err)
 	fmt.Printf("replayed %d references on %d MB (%s)\n\n", len(refs), memMB, mode)
 	fmt.Print(st)

@@ -44,7 +44,7 @@
 // machine work, attach the deterministic observability layer and read the
 // virtual-time event stream and metrics back:
 //
-//	m, _ := compcache.New(cfg.WithObs(compcache.ObsOptions{}))
+//	m, _ := compcache.New(cfg, compcache.WithObs(compcache.ObsOptions{}))
 //	... run a workload ...
 //	events, metrics := m.Events(), m.Metrics()
 //
@@ -183,7 +183,7 @@ func LookupExperiment(name string) (Experiment, bool) { return exp.Lookup(name) 
 func ResolveExperiments(names []string) ([]Experiment, error) { return exp.Resolve(names) }
 
 // Observability: the deterministic virtual-time event bus and metrics
-// registry (attach with Config.WithObs; see internal/obs).
+// registry (attach with the WithObs machine option; see internal/obs).
 type (
 	// ObsOptions selects event classes and the ring size.
 	ObsOptions = obs.Options
@@ -232,31 +232,41 @@ func Wireless2() NetParams { return netdev.Wireless2() }
 // ReadTrace loads a page-reference trace written by TraceRecorder.WriteTo.
 var ReadTrace = trace.ReadTrace
 
+// MachineOption attaches a machine to its surroundings at construction time
+// (observability, a shared discrete-event kernel, a remote page store); see
+// WithObs and internal/machine.
+type MachineOption = machine.Option
+
+// WithObs is the machine option that attaches the observability layer.
+func WithObs(o ObsOptions) MachineOption { return machine.WithObs(o) }
+
 // New builds a machine.
-func New(cfg Config) (*Machine, error) { return machine.New(cfg) }
+func New(cfg Config, opts ...MachineOption) (*Machine, error) { return machine.New(cfg, opts...) }
 
 // Measure runs a workload on a fresh machine built from cfg.
-func Measure(cfg Config, w Workload) (Stats, error) { return workload.Measure(cfg, w) }
+func Measure(cfg Config, w Workload, opts ...MachineOption) (Stats, error) {
+	return workload.Measure(cfg, w, opts...)
+}
 
 // MeasureMachine is Measure for callers that also need the machine after
 // the run — typically to read its event ring (Machine.Events) or metrics
-// snapshot (Machine.Metrics) when cfg carries observability options.
-func MeasureMachine(cfg Config, w Workload) (*Machine, Stats, error) {
-	return workload.MeasureMachine(cfg, w)
+// snapshot (Machine.Metrics) when the options attach observability.
+func MeasureMachine(cfg Config, w Workload, opts ...MachineOption) (*Machine, Stats, error) {
+	return workload.MeasureMachine(cfg, w, opts...)
 }
 
 // RunBoth measures a workload on the baseline and compression-cache
 // machines, producing one Table 1-style comparison.
-func RunBoth(base, cc Config, w Workload) (Comparison, error) {
-	return workload.RunBoth(base, cc, w)
+func RunBoth(base, cc Config, w Workload, opts ...MachineOption) (Comparison, error) {
+	return workload.RunBoth(base, cc, w, opts...)
 }
 
 // RunBothN is RunBoth with the two machines running concurrently on up to
 // workers goroutines (0 = one per core, 1 = serial). Each machine gets its
 // own clone of w and its own virtual clock, so the result is identical to
 // RunBoth at any parallelism.
-func RunBothN(ctx context.Context, base, cc Config, w Workload, workers int) (Comparison, error) {
-	return workload.RunBothN(ctx, base, cc, w, workers)
+func RunBothN(ctx context.Context, base, cc Config, w Workload, workers int, opts ...MachineOption) (Comparison, error) {
+	return workload.RunBothN(ctx, base, cc, w, workers, opts...)
 }
 
 // CloneWorkload returns an independent copy of a workload, safe to run on a

@@ -43,8 +43,8 @@ func TestFacadeExperiments(t *testing.T) {
 }
 
 func TestFacadeObservability(t *testing.T) {
-	cfg := Default(1 << 20).WithCC().WithObs(ObsOptions{})
-	m, err := New(cfg)
+	cfg := Default(1 << 20).WithCC()
+	m, err := New(cfg, WithObs(ObsOptions{}))
 	if err != nil {
 		t.Fatal(err)
 	}

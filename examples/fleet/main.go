@@ -1,0 +1,100 @@
+// Fleet: the paper's §1/§6 scenario scaled out — N diskless machines paging
+// over one link to a shared page server with its own compressed swap tier,
+// all co-advancing on one discrete-event kernel. Machines under memory
+// pressure migrate pages into siblings' donated memory before spilling to
+// the server, and the whole fleet queues on the server's serial timeline,
+// so contention shows up as a stretched fault-latency tail.
+//
+//	go run ./examples/fleet [-n machines] [-mem MB] [-wireless]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"compcache/internal/cluster"
+	"compcache/internal/machine"
+	"compcache/internal/netdev"
+	"compcache/internal/obs"
+)
+
+func main() {
+	n := flag.Int("n", 3, "fleet size")
+	memMB := flag.Int("mem", 1, "physical memory per machine in MB")
+	wireless := flag.Bool("wireless", false, "page over 2-Mbps wireless instead of 10-Mbps Ethernet")
+	flag.Parse()
+
+	link := netdev.Ethernet10()
+	if *wireless {
+		link = netdev.Wireless2()
+	}
+	c, err := cluster.New(cluster.Config{
+		Machines:       *n,
+		MemoryBytes:    int64(*memMB) << 20,
+		Link:           link,
+		Seed:           1,
+		DonationFrames: 16,
+		Obs:            &obs.Options{},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Each member writes a tagged working set ~3x its physical memory (so
+	// every eviction must leave the machine), then sweeps it back in a
+	// shuffled order, verifying every tag survived the trip through a
+	// sibling's memory or the server tier.
+	pages := int32(3 * (int64(*memMB) << 20) / 4096)
+	spaces := make([]*machine.Space, c.Size())
+	rngs := make([]*rand.Rand, c.Size())
+	for i := 0; i < c.Size(); i++ {
+		i := i
+		seed := c.SeedFor(i)
+		c.Go(i, func(m *machine.Machine) {
+			rng := rand.New(rand.NewSource(seed))
+			ps := int64(m.Config().PageSize)
+			s := m.NewSegment("fleet", int64(pages)*ps)
+			buf := make([]byte, ps)
+			for p := int32(0); p < pages; p++ {
+				rng.Read(buf)
+				s.Write(int64(p)*ps, buf)
+				s.WriteWord(int64(p)*ps, uint64(seed)^uint64(p))
+			}
+			spaces[i], rngs[i] = s, rng
+		})
+	}
+	c.Run()
+
+	for i := 0; i < c.Size(); i++ {
+		i := i
+		seed := c.SeedFor(i)
+		c.Go(i, func(m *machine.Machine) {
+			ps := int64(m.Config().PageSize)
+			for _, p := range rngs[i].Perm(int(pages)) {
+				if got := spaces[i].ReadWord(int64(p) * ps); got != uint64(seed)^uint64(p) && m.Err() == nil {
+					log.Fatalf("machine %d page %d corrupted: %#x", i, p, got)
+				}
+			}
+		})
+	}
+	c.Run()
+	if err := c.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	for i := 0; i < c.Size(); i++ {
+		m := c.Machine(i)
+		st := m.Stats()
+		fmt.Printf("machine %d: %d faults, %d served from fleet memory\n",
+			i, st.VM.Faults, st.VM.RemoteIns)
+		if h, ok := m.Metrics().Hist("vm.fault_service"); ok {
+			fmt.Printf("  fault service: count=%d mean=%v max=%v\n", h.Count, h.Mean(), h.Max)
+		}
+	}
+	srv := c.Server().Stats()
+	fmt.Printf("server: %d ops, %d forwards, %d tier hits, %d tier misses, %d demotions\n",
+		srv.Ops, srv.Forwards, srv.TierHits, srv.TierMiss, srv.Demotions)
+	fmt.Printf("fleet virtual time: %v\n", c.Kernel.Now())
+}

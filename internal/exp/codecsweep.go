@@ -47,13 +47,13 @@ func CodecSweep(memoryMB int, pages int32, seed int64, workers int, hostTiming b
 	w := &workload.Thrasher{Pages: pages, Write: true, Passes: 2, Seed: seed}
 	var jobs []job
 	for _, v := range variants {
-		cfg := machine.Default(int64(memoryMB) << 20).WithCC().WithObs(obs.Options{})
+		cfg := machine.Default(int64(memoryMB) << 20).WithCC()
 		cfg.CC.Codec = v.codec
 		cfg.Cost.CompressBW = v.compBW
 		cfg.Cost.DecompressBW = v.decompBW
 		jobs = append(jobs, job{cfg, w})
 	}
-	runs, err := measureAll(workers, jobs)
+	runs, err := measureAll(workers, jobs, machine.WithObs(obs.Options{}))
 	if err != nil {
 		return nil, err
 	}

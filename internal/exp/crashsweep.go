@@ -126,7 +126,7 @@ func crashTrial(cfg machine.Config, w workload.Workload, seed int64, k uint64) (
 	if err := w.Run(m); err != nil && !fault.IsCrash(err) {
 		return swap.RecoveryReport{}, fmt.Errorf("crash point %d: run failed before the cut: %w", k, err)
 	}
-	if !m.Injector().Crashed() {
+	if !m.Introspect().Injector.Crashed() {
 		return swap.RecoveryReport{}, fmt.Errorf("crash point %d: the cut never fired (run has fewer writes than the baseline)", k)
 	}
 	if merr := m.Err(); merr != nil && !fault.IsCrash(merr) {
@@ -137,11 +137,12 @@ func crashTrial(cfg machine.Config, w workload.Workload, seed int64, k uint64) (
 	if err != nil {
 		return swap.RecoveryReport{}, fmt.Errorf("crash point %d: reboot failed: %w", k, err)
 	}
+	stores, rebornStores := m.Introspect(), reborn.Introspect()
 	switch {
-	case m.ClusteredStore() != nil:
-		err = reborn.ClusteredStore().VerifyRecovery(m.ClusteredStore())
-	case m.LFSStore() != nil:
-		err = reborn.LFSStore().VerifyRecovery(m.LFSStore())
+	case stores.Clustered != nil:
+		err = rebornStores.Clustered.VerifyRecovery(stores.Clustered)
+	case stores.LFS != nil:
+		err = rebornStores.LFS.VerifyRecovery(stores.LFS)
 	default:
 		err = fmt.Errorf("no recoverable store")
 	}
@@ -151,5 +152,5 @@ func crashTrial(cfg machine.Config, w workload.Workload, seed int64, k uint64) (
 	if err := reborn.CheckInvariants(); err != nil {
 		return swap.RecoveryReport{}, fmt.Errorf("crash point %d: rebooted machine fails invariants: %w", k, err)
 	}
-	return *reborn.RecoveryReport(), nil
+	return *rebornStores.Recovery, nil
 }

@@ -32,6 +32,12 @@ type Options struct {
 	// are off by default and the affected columns print "-"; everything else
 	// in the tables stays byte-identical at any Parallelism.
 	HostTiming bool
+
+	// TracePath, when non-empty, makes experiments that support a
+	// machine-readable trace write one there (currently ext/fleet-sweep:
+	// one JSON record per grid cell). The file contents are deterministic —
+	// cells are written in grid order at any Parallelism.
+	TracePath string
 }
 
 // DefaultOptions returns the options every experiment documents: built-in
@@ -257,6 +263,10 @@ func init() {
 	register("ext/codec-sweep", func(_ context.Context, o Options) (Result, error) {
 		memMB, pages := o.sizing()
 		return CodecSweep(memMB, pages, o.seed(), o.Parallelism, o.HostTiming)
+	})
+	register("ext/fleet-sweep", func(_ context.Context, o Options) (Result, error) {
+		memMB, pages := o.sizing()
+		return FleetSweep(memMB, pages, o.seed(), o.Parallelism, o.TracePath)
 	})
 	register("ext/crash-sweep", func(ctx context.Context, o Options) (Result, error) {
 		memMB, _ := o.sizing()

@@ -17,7 +17,7 @@ func TestNamesSortedAndComplete(t *testing.T) {
 		"ablation/partial-io", "ablation/spanning", "ablation/threshold",
 		"ext/backing-store", "ext/codec-sweep", "ext/compression-speed",
 		"ext/crash-sweep",
-		"ext/file-cache", "ext/lfs", "ext/mobile", "ext/model-validation",
+		"ext/file-cache", "ext/fleet-sweep", "ext/lfs", "ext/mobile", "ext/model-validation",
 		"ext/multiprogramming", "ext/pinning",
 		"faults", "fig1a", "fig1b", "fig3", "table1",
 	}

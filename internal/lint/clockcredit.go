@@ -44,8 +44,11 @@ var storeOps = map[string]bool{"Read": true, "Write": true, "WriteCluster": true
 // deviceFields are the machine fields that reach the simulated device.
 var deviceFields = map[string]bool{"direct": true, "clustered": true, "Device": true, "Disk": true}
 
-// advanceOps are the virtual-clock charging calls.
-var advanceOps = map[string]bool{"Advance": true, "AdvanceTo": true}
+// advanceOps are the virtual-clock charging calls. Advance/AdvanceTo are the
+// clock's own methods; Wait/Schedule are the kernel's — on an attached clock
+// every Advance is a kernel-mediated Wait, so a method reaching the kernel
+// API directly has charged its actor's clock just the same.
+var advanceOps = map[string]bool{"Advance": true, "AdvanceTo": true, "Wait": true, "Schedule": true}
 
 // funcFacts records what one function body does directly.
 type funcFacts struct {

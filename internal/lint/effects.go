@@ -199,9 +199,10 @@ func (f *EffectFacts) Of(fn *types.Func) *FnEffects { return f.fns[fn] }
 // their internal make/new fallbacks run only until the freelist warms up,
 // so every steady site in them is demoted to warm.
 var pooledAllocFns = map[string]map[string]bool{
-	"internal/core":   {"slabGet": true, "newEntry": true, "newFrame": true},
-	"internal/policy": {"scratch": true},
-	"internal/swap":   {"newSegment": true},
+	"internal/cluster": {"newEntry": true, "newTier": true},
+	"internal/core":    {"slabGet": true, "newEntry": true, "newFrame": true},
+	"internal/policy":  {"scratch": true},
+	"internal/swap":    {"newSegment": true},
 }
 
 // knownAllocExternals flags standard-library callees that always (or

@@ -24,11 +24,6 @@ import (
 //   - an error variable assigned from a call and then overwritten by a
 //     sibling statement before anything reads it (the classic copy-paste
 //     shadowing bug).
-//
-// Module-wide (not just on the paged paths) it also flags reads of the
-// deprecated flat fault-counter field stats.Run.Fault: the nested Faults
-// view is the real one, and the shim's eventual removal is enforced here
-// rather than remembered.
 type ErrDrop struct{}
 
 // Name implements Analyzer.
@@ -55,7 +50,6 @@ func (e ErrDrop) Check(pkg *Package) []Diagnostic {
 		return nil
 	}
 	var out []Diagnostic
-	out = append(out, e.checkDeprecatedFault(pkg)...)
 	if !inScopes(pkg.Path, errDropScopes) {
 		return out
 	}
@@ -219,49 +213,6 @@ func readsObject(info *types.Info, stmt ast.Stmt, obj types.Object, writeSite as
 		return !found
 	})
 	return found
-}
-
-// checkDeprecatedFault flags reads of the deprecated stats.Run.Fault
-// shim anywhere in the module. Writes are exempt — the shim is populated
-// by exactly one assignment in internal/machine until its removal.
-func (e ErrDrop) checkDeprecatedFault(pkg *Package) []Diagnostic {
-	info := pkg.Mod.Info
-	var out []Diagnostic
-	for _, f := range pkg.Files {
-		// Pre-collect selectors that are pure assignment targets.
-		writeTargets := make(map[*ast.SelectorExpr]bool)
-		ast.Inspect(f, func(n ast.Node) bool {
-			if as, ok := n.(*ast.AssignStmt); ok {
-				for _, lhs := range as.Lhs {
-					if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
-						writeTargets[sel] = true
-					}
-				}
-			}
-			return true
-		})
-		ast.Inspect(f, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok || sel.Sel.Name != "Fault" || writeTargets[sel] {
-				return true
-			}
-			s, ok := info.Selections[sel]
-			if !ok || s.Kind() != types.FieldVal {
-				return true
-			}
-			v, ok := s.Obj().(*types.Var)
-			if !ok || v.Pkg() == nil || !pathHasSuffix(v.Pkg().Path(), "internal/stats") {
-				return true
-			}
-			if named, ok := deref(s.Recv()).(*types.Named); !ok || named.Obj().Name() != "Run" {
-				return true
-			}
-			out = append(out, diag(pkg, e.Name(), sel.Sel,
-				"reads deprecated flat fault-counter field stats.Run.Fault; use the nested Faults view"))
-			return true
-		})
-	}
-	return out
 }
 
 // deref unwraps one level of pointer.

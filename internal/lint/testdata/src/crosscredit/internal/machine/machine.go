@@ -31,5 +31,20 @@ func (m *Machine) BadIface(c pipeline.Codec, p []byte) []byte { // want `BadIfac
 	return pipeline.Apply(c, p)
 }
 
+// GoodKernelWait reaches the same cross-package codec work, but the
+// kernel-mediated wait is the credit: Kernel.Wait is how an attached
+// clock advances.
+func (m *Machine) GoodKernelWait(k *sim.Kernel, p []byte) []byte {
+	k.Wait(0, sim.Time(len(p)))
+	return pipeline.Process(p)
+}
+
+// GoodKernelSchedule credits through the kernel timer API on the way to
+// the uncharged pipeline.
+func (m *Machine) GoodKernelSchedule(k *sim.Kernel, p []byte) []byte {
+	k.Schedule(10, 0)
+	return pipeline.Process(p)
+}
+
 // Idle does no chargeable work at all; silent.
 func (m *Machine) Idle() sim.Time { return m.clock.Now() }

@@ -22,3 +22,23 @@ func (c *Clock) AdvanceTo(t Time) {
 		c.now = t
 	}
 }
+
+// Kernel is the fixture's discrete-event kernel: on an attached clock every
+// Advance resolves to a kernel-mediated Wait, so Wait and Schedule are
+// charging calls exactly like the clock's own methods.
+type Kernel struct{ now Time }
+
+// Wait parks the calling actor until instant until and reports it.
+func (k *Kernel) Wait(id int32, until Time) Time {
+	if until > k.now {
+		k.now = until
+	}
+	return k.now
+}
+
+// Schedule books a wake-up for actor id at instant at.
+func (k *Kernel) Schedule(at Time, id int32) {
+	if at > k.now {
+		k.now = at
+	}
+}

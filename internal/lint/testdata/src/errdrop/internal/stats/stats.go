@@ -1,6 +1,5 @@
 // Package stats is the errdrop fixture's miniature of the real stats
-// package: the nested Faults view plus the deprecated flat shim whose
-// reads the analyzer flags module-wide.
+// package: the nested Faults view the paged-data paths report into.
 package stats
 
 // Faults is the nested per-class fault-counter view.
@@ -16,9 +15,4 @@ func (f Faults) Any() bool { return f.DiskRead+f.DiskWrite > 0 }
 type Run struct {
 	// Faults is the real, nested view.
 	Faults Faults
-
-	// Fault is the flat alias kept only while callers migrate.
-	//
-	// Deprecated: read Faults instead; errdrop flags every read.
-	Fault Faults
 }

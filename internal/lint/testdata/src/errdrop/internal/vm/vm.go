@@ -90,15 +90,5 @@ func (p *Pager) goodIgnored(addr int) {
 	p.read(addr) //cclint:ignore errdrop -- fixture: prefetch probe, a miss here is re-fetched on the fault path
 }
 
-// Report reads the deprecated flat view.
-func (p *Pager) Report() bool {
-	return p.run.Fault.Any() // want `reads deprecated flat fault-counter field stats\.Run\.Fault`
-}
-
-// Sync populates the shim the one legal way: a pure write is exempt.
-func (p *Pager) Sync() {
-	p.run.Fault = p.run.Faults
-}
-
 // Healthy reads the nested view, which is always fine.
 func (p *Pager) Healthy() bool { return !p.run.Faults.Any() }

@@ -7,6 +7,14 @@ type clock struct{}
 
 func (clock) Advance(d int64) {}
 
+// kernel shadows the discrete-event kernel: Wait and Schedule are the
+// kernel-side charging calls an attached clock's Advance resolves to.
+type kernel struct{}
+
+func (kernel) Wait(id int32, until int64) int64 { return until }
+
+func (kernel) Schedule(at int64, id int32) {}
+
 type codec struct{}
 
 func (codec) Compress(dst, src []byte) []byte { return src }
@@ -22,6 +30,7 @@ func (store) Read(key int, buf []byte) bool { return false }
 // Machine mirrors the real struct's device fields.
 type Machine struct {
 	Clock  *clock
+	kern   *kernel
 	codec  codec
 	direct store
 }
@@ -65,3 +74,16 @@ func (m *Machine) chargedWrite(data []byte) {
 
 // GoodNoOps does no chargeable work at all; nothing to flag.
 func (m *Machine) GoodNoOps() int { return 0 }
+
+// GoodKernelWait charges through the kernel API: a kernel-mediated wait is
+// how an attached clock advances, so it credits exactly like Advance.
+func (m *Machine) GoodKernelWait(data []byte) []byte {
+	m.kern.Wait(0, int64(len(data)))
+	return m.codec.Compress(nil, data)
+}
+
+// GoodKernelSchedule credits through the kernel's timer API.
+func (m *Machine) GoodKernelSchedule(data []byte) {
+	m.kern.Schedule(10, 0)
+	m.direct.Write(0, data)
+}

@@ -15,7 +15,6 @@ import (
 	"compcache/internal/fault"
 	"compcache/internal/fs"
 	"compcache/internal/netdev"
-	"compcache/internal/obs"
 	"compcache/internal/policy"
 	"compcache/internal/sim"
 	"compcache/internal/swap"
@@ -118,12 +117,6 @@ type Config struct {
 	// corruption per the rates in the config. Nil injects nothing and adds
 	// no overhead.
 	Faults *fault.Config
-
-	// Obs, when non-nil, attaches the observability layer: every subsystem
-	// emits virtual-time events onto the machine's bus and feeds the metrics
-	// registry. Nil (the default) disables observation entirely — each probe
-	// site then costs one nil test.
-	Obs *obs.Options
 
 	// Biases configures the three-way memory trade; keys "vm", "fs", "cc".
 	// Defaults to policy.DefaultBiases.
@@ -253,13 +246,6 @@ func (c *Config) setDefaults() error {
 // attached.
 func (c Config) WithFaults(f fault.Config) Config {
 	c.Faults = &f
-	return c
-}
-
-// WithObs returns a copy of the configuration with the observability layer
-// attached (the zero obs.Options traces every class into the default ring).
-func (c Config) WithObs(o obs.Options) Config {
-	c.Obs = &o
 	return c
 }
 

@@ -53,9 +53,11 @@ type Machine struct {
 	start       sim.Time
 	startFrozen bool
 
-	bus        *obs.Bus       // nil when Config.Obs is nil
+	bus        *obs.Bus       // nil without WithObs
 	compHist   *obs.Histogram // machine.compress_page — per-page compression time
 	decompHist *obs.Histogram // machine.decompress_page — per-page decompression time
+
+	remote RemoteStore // nil without WithRemote; fleet-level page placement
 
 	// Hot-path scratch. The machine is single-goroutine, and both consumers
 	// of these buffers copy at the boundary before returning — core.Cache
@@ -68,41 +70,53 @@ type Machine struct {
 	itemBuf [1]swap.Item // single-item WriteCluster batches
 }
 
-// New builds a machine from the configuration.
-func New(cfg Config) (*Machine, error) { return buildMachine(cfg, nil) }
+// New builds a machine from the configuration. Options attach the machine to
+// its surroundings — observability, a shared discrete-event kernel, a remote
+// page store; see Option.
+func New(cfg Config, opts ...Option) (*Machine, error) { return buildMachine(cfg, nil, opts) }
 
 // NewFromMedia boots a machine from a media image — the reboot-after-crash
 // path. The image (captured with FS.Image() before or after the crash) is
 // loaded into the fresh file system and the backing store is mounted through
 // its recovery scanner instead of being created empty; the resulting
-// RecoveryReport is available from Machine.RecoveryReport and its counters
+// RecoveryReport is available from Introspect().Recovery and its counters
 // appear in Stats().Faults. The configuration must select a recoverable
 // on-media format (a compressed machine with Swap.CommitRecords, or a
 // durable LFS baseline) — both are enabled automatically when crash
 // injection is configured.
-func NewFromMedia(cfg Config, img *fs.Image) (*Machine, error) {
+func NewFromMedia(cfg Config, img *fs.Image, opts ...Option) (*Machine, error) {
 	if img == nil {
 		return nil, fmt.Errorf("machine: NewFromMedia needs a media image")
 	}
-	return buildMachine(cfg, img)
+	return buildMachine(cfg, img, opts)
 }
 
-func buildMachine(cfg Config, img *fs.Image) (*Machine, error) {
+func buildMachine(cfg Config, img *fs.Image, opts []Option) (*Machine, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
+	}
+	var b buildOpts
+	for _, o := range opts {
+		o(&b)
 	}
 	m := &Machine{
 		cfg:      cfg,
 		Clock:    &sim.Clock{},
+		remote:   b.remote,
 		segByID:  make(map[int32]*vm.Segment),
 		segCodec: make(map[int32]compress.Codec),
+	}
+	if b.kernel != nil {
+		// Attach before any subsystem exists so construction-time charges land
+		// on the actor clock; see the WithKernel contract.
+		b.kernel.Attach(m.Clock, b.actor)
 	}
 
 	frames := int(cfg.MemoryBytes / int64(cfg.PageSize))
 	m.Pool = mem.NewPool(frames, cfg.PageSize)
 
-	if cfg.Obs != nil {
-		m.bus = obs.NewBus(*cfg.Obs)
+	if b.obs != nil {
+		m.bus = obs.NewBus(*b.obs)
 	}
 	// Probe handles are nil-safe, so they are cached unconditionally.
 	m.compHist = m.bus.Histogram("machine.compress_page")
@@ -287,27 +301,6 @@ func (m *Machine) recordRecovery(rep *swap.RecoveryReport) {
 	m.fst.TornWritesDiscarded += uint64(rep.TornDiscarded)
 }
 
-// Injector returns the machine's fault injector, or nil when no fault
-// configuration was given. Harnesses use it to schedule crashes dynamically
-// (Injector().CrashAt) and to read injection counters.
-func (m *Machine) Injector() *fault.Injector { return m.faults }
-
-// LFSStore returns the log-structured backing store, or nil when the machine
-// does not page into one.
-func (m *Machine) LFSStore() *swap.LFS { return m.lfs }
-
-// ClusteredStore returns the clustered compressed backing store, or nil when
-// the compression cache is disabled.
-func (m *Machine) ClusteredStore() *swap.Clustered { return m.clustered }
-
-// RecoveryReport returns the mount-time recovery report for machines booted
-// with NewFromMedia, or nil for machines created empty.
-func (m *Machine) RecoveryReport() *swap.RecoveryReport { return m.recovery }
-
-// Bus returns the machine's event bus, or nil when observability is
-// disabled (Config.Obs == nil).
-func (m *Machine) Bus() *obs.Bus { return m.bus }
-
 // Events returns the retained event window in emission order (nil when
 // observability is disabled).
 func (m *Machine) Events() []obs.Event { return m.bus.Events() }
@@ -482,7 +475,7 @@ func (m *Machine) maybeClean() {
 // Stats assembles the full statistics block: nested per-subsystem views
 // (VM, Comp, Disk, CC, Swap, Faults) plus — when the machine carries an
 // observability bus — a deterministic snapshot of its metrics registry in
-// Metrics. The deprecated flat Fault field stays populated.
+// Metrics.
 func (m *Machine) Stats() stats.Run {
 	r := stats.Run{
 		VM:     m.VM.Stats(),
@@ -491,7 +484,6 @@ func (m *Machine) Stats() stats.Run {
 		Faults: m.Faults(),
 		Time:   m.Elapsed(),
 	}
-	r.Fault = r.Faults
 	if m.CC != nil {
 		r.CC = m.CC.Stats()
 	}
@@ -576,20 +568,26 @@ func (m *Machine) PageOut(p *vm.Page, data []byte) error {
 		// The cache could not take the page: no memory, or the flush that
 		// would have made room failed (insErr — the flushed batch stays
 		// dirty in the cache and is retried later, so insErr alone loses
-		// nothing). Send the compressed page to the backing store directly,
-		// still benefiting from the reduced transfer size.
+		// nothing). Offer the compressed page to the fleet first — remote
+		// memory is faster than the local backing store — then fall back to
+		// a direct backing-store write, still benefiting from the reduced
+		// transfer size.
 		if p.Dirty || !p.SwapValid {
-			err := m.writeOne(swap.Item{
-				Key: p.Key, Data: cdata, Compressed: true, Sum: core.Checksum(cdata),
-			})
-			if err != nil {
-				return &fault.UnrecoverableError{
-					Page:   p.Key.String(),
-					Reason: "backing-store write failed for the only copy",
-					Err:    errors.Join(insErr, err),
+			if m.remote != nil && m.remote.Offer(p.Key, cdata, true, core.Checksum(cdata)) {
+				p.SwapValid = true
+			} else {
+				err := m.writeOne(swap.Item{
+					Key: p.Key, Data: cdata, Compressed: true, Sum: core.Checksum(cdata),
+				})
+				if err != nil {
+					return &fault.UnrecoverableError{
+						Page:   p.Key.String(),
+						Reason: "backing-store write failed for the only copy",
+						Err:    errors.Join(insErr, err),
+					}
 				}
+				p.SwapValid = true
 			}
-			p.SwapValid = true
 		}
 		p.Dirty = false
 		p.State = vm.Swapped
@@ -600,20 +598,24 @@ func (m *Machine) PageOut(p *vm.Page, data []byte) error {
 	// the page travels uncompressed.
 	m.comp.Incompressible++
 	if p.Dirty || !p.SwapValid {
-		// The page buffer goes straight to the store: WriteCluster copies
-		// into its own cluster buffer before returning, so no defensive copy
-		// is needed.
-		err := m.writeOne(swap.Item{
-			Key: p.Key, Data: data, Compressed: false, Sum: core.Checksum(data),
-		})
-		if err != nil {
-			return &fault.UnrecoverableError{
-				Page:   p.Key.String(),
-				Reason: "backing-store write failed for the only copy",
-				Err:    err,
+		if m.remote != nil && m.remote.Offer(p.Key, data, false, core.Checksum(data)) {
+			p.SwapValid = true
+		} else {
+			// The page buffer goes straight to the store: WriteCluster copies
+			// into its own cluster buffer before returning, so no defensive
+			// copy is needed.
+			err := m.writeOne(swap.Item{
+				Key: p.Key, Data: data, Compressed: false, Sum: core.Checksum(data),
+			})
+			if err != nil {
+				return &fault.UnrecoverableError{
+					Page:   p.Key.String(),
+					Reason: "backing-store write failed for the only copy",
+					Err:    err,
+				}
 			}
+			p.SwapValid = true
 		}
-		p.SwapValid = true
 	}
 	p.Dirty = false
 	p.State = vm.Swapped
@@ -641,10 +643,11 @@ func (m *Machine) PageIn(p *vm.Page, data []byte) (vm.Source, error) {
 				return vm.SrcCC, nil
 			}
 			// The in-memory fragment is corrupt. Drop the entry; if the
-			// backing store has a clean copy of the same contents, recover
-			// from it below at the usual swap-in cost.
+			// backing store (or the fleet) has a clean copy of the same
+			// contents, recover from it below at the usual swap-in cost.
 			m.CC.Drop(p.Key)
-			if entryDirty || !m.clustered.Has(p.Key) {
+			hasCopy := m.clustered.Has(p.Key) || (m.remote != nil && m.remote.Has(p.Key))
+			if entryDirty || !hasCopy {
 				return 0, &fault.UnrecoverableError{
 					Page:   p.Key.String(),
 					Reason: "corrupt cache entry with no backing copy",
@@ -680,6 +683,43 @@ func (m *Machine) PageIn(p *vm.Page, data []byte) (vm.Source, error) {
 		p.Dirty = false
 		p.SwapValid = true
 		return vm.SrcSwap, nil
+	}
+
+	// Fleet memory first: a remotely placed page comes back over the network
+	// far faster than a backing-store extent. Dirtied invalidates the remote
+	// copy, so whatever the fleet holds is current.
+	if m.remote != nil && m.remote.Has(p.Key) {
+		payload, compressed, sum, _, ferr := m.remote.Fetch(p.Key)
+		if ferr != nil {
+			return 0, &fault.UnrecoverableError{
+				Page:   p.Key.String(),
+				Reason: "remote fetch failed",
+				Err:    ferr,
+			}
+		}
+		if compressed {
+			if derr := m.decompressInto(data, payload, sum, p.Key); derr != nil {
+				return 0, &fault.UnrecoverableError{
+					Page:   p.Key.String(),
+					Reason: "corrupt remote fragment",
+					Err:    derr,
+				}
+			}
+		} else {
+			m.Clock.Advance(m.cfg.Cost.PageCopy)
+			if core.Checksum(payload) != sum {
+				m.fst.CorruptionsDetected++
+				return 0, &fault.UnrecoverableError{
+					Page:   p.Key.String(),
+					Reason: "corrupt remote page",
+					Err:    &fault.CorruptionError{Page: p.Key.String(), Reason: "checksum mismatch on remote page"},
+				}
+			}
+			copy(data, payload)
+		}
+		p.Dirty = false
+		p.SwapValid = true
+		return vm.SrcRemote, nil
 	}
 
 	payload, sum, compressed, neighbors, ok, err := m.clustered.Read(p.Key)
@@ -789,6 +829,9 @@ func (m *Machine) Dirtied(p *vm.Page) {
 	}
 	if m.direct != nil {
 		m.direct.Invalidate(p.Key)
+	}
+	if m.remote != nil {
+		m.remote.Invalidate(p.Key)
 	}
 }
 
@@ -949,7 +992,8 @@ func (m *Machine) CheckInvariants() error {
 				}
 			case vm.Swapped:
 				hasBacking := (m.direct != nil && m.direct.Has(p.Key)) ||
-					(m.clustered != nil && m.clustered.Has(p.Key))
+					(m.clustered != nil && m.clustered.Has(p.Key)) ||
+					(m.remote != nil && m.remote.Has(p.Key))
 				if !hasBacking {
 					return fmt.Errorf("machine: page %v marked swapped but absent from backing store", p.Key)
 				}

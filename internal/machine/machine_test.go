@@ -15,9 +15,9 @@ import (
 
 const mb = 1 << 20
 
-func newMachine(t *testing.T, cfg Config) *Machine {
+func newMachine(t *testing.T, cfg Config, opts ...Option) *Machine {
 	t.Helper()
-	m, err := New(cfg)
+	m, err := New(cfg, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,124 @@
+package machine
+
+import (
+	"compcache/internal/fault"
+	"compcache/internal/obs"
+	"compcache/internal/sim"
+	"compcache/internal/swap"
+)
+
+// Option customizes machine assembly beyond the value-typed Config. The
+// options path is the one place cross-cutting attachments land — the
+// observability bus, the discrete-event kernel, the fleet's remote page
+// store — so Config stays a plain, comparable description of the simulated
+// hardware while everything that wires the machine into a larger harness
+// arrives explicitly at construction:
+//
+//	m, err := machine.New(cfg, machine.WithObs(obs.Options{}), machine.WithKernel(k, 3))
+type Option func(*buildOpts)
+
+// buildOpts collects every Option before assembly.
+type buildOpts struct {
+	obs    *obs.Options
+	kernel *sim.Kernel
+	actor  sim.ActorID
+	remote RemoteStore
+}
+
+// WithObs attaches the observability layer: every subsystem emits
+// virtual-time events onto the machine's bus and feeds the metrics registry
+// (the zero obs.Options traces every class into the default ring). Without
+// this option observation is disabled entirely — each probe site then costs
+// one nil test.
+func WithObs(o obs.Options) Option {
+	return func(b *buildOpts) { b.obs = &o }
+}
+
+// WithKernel attaches the machine's clock to a shared discrete-event kernel
+// as actor id, making the machine one actor of a co-advancing fleet.
+//
+// Kernel-attachment contract: the attachment happens once, at construction
+// time, before any virtual time passes — construction charges accrue while
+// the kernel is not yet running and land directly on the actor's clock.
+// After construction the machine's program (the workload driving it) must
+// run inside kernel.Go/Run, where every Clock.Advance/AdvanceTo becomes a
+// kernel-mediated wait; driving an attached machine outside the kernel's
+// scheduler panics on the first wait. Each machine of a fleet needs a
+// distinct actor id, and the id doubles as the event tie-breaker, so fleet
+// composition — not attachment order — determines the schedule. Attached
+// machines cannot use Machine.Snapshot (the kernel snapshots instead; see
+// sim.Kernel.SnapshotTo).
+func WithKernel(k *sim.Kernel, id sim.ActorID) Option {
+	return func(b *buildOpts) {
+		b.kernel = k
+		b.actor = id
+	}
+}
+
+// WithRemote attaches a remote page store: fleet-level memory the paging
+// policy offers evicted pages to before falling back to the local backing
+// store, and consults first on faults. The cluster package implements it
+// with sibling-machine memory and a shared page server.
+func WithRemote(r RemoteStore) Option {
+	return func(b *buildOpts) { b.remote = r }
+}
+
+// RemoteStore is the machine's hook into fleet-level page placement. All
+// methods are called on the machine's own actor goroutine; implementations
+// charge transfer costs through the machine's devices (so virtual time and
+// contention stay honest) and must copy payloads they retain — the machine
+// reuses its scratch buffers immediately after each call.
+type RemoteStore interface {
+	// Offer proposes an evicted page for remote placement. payload is the
+	// page's travel form (compressed when compressed is true), sum its
+	// checksum. Offer reports whether the remote store took responsibility
+	// for the copy; false means the caller must place the page locally.
+	Offer(key swap.PageKey, payload []byte, compressed bool, sum uint32) bool
+
+	// Fetch returns the remotely held copy of a page. ok reports whether
+	// the store holds the page at all; err reports a transfer failure for
+	// a page the store does hold.
+	Fetch(key swap.PageKey) (payload []byte, compressed bool, sum uint32, ok bool, err error)
+
+	// Has reports whether the store holds a current copy of the page.
+	Has(key swap.PageKey) bool
+
+	// Invalidate discards the remote copy (the page was modified locally).
+	Invalidate(key swap.PageKey)
+}
+
+// Introspection bundles the read-only wiring handles a harness occasionally
+// needs after construction — the event bus, the fault injector, the concrete
+// backing stores, and the mount-time recovery report. Each field is nil when
+// the corresponding subsystem is absent. Machine.Introspect replaces the
+// former per-handle accessor sprawl (Bus, Injector, LFSStore,
+// ClusteredStore, RecoveryReport) with one documented view; the measurement
+// API (Stats, Events, Metrics, Faults, Err) stays on Machine itself.
+type Introspection struct {
+	// Bus is the machine's event bus (nil without WithObs).
+	Bus *obs.Bus
+	// Injector is the deterministic fault injector (nil without
+	// Config.Faults). Harnesses use it to schedule crashes dynamically
+	// (Injector.CrashAt) and to read injection counters.
+	Injector *fault.Injector
+	// LFS is the log-structured backing store, when the machine pages into
+	// one.
+	LFS *swap.LFS
+	// Clustered is the compressed clustered backing store, when the
+	// compression cache is enabled.
+	Clustered *swap.Clustered
+	// Recovery is the mount-time recovery report for machines booted with
+	// NewFromMedia.
+	Recovery *swap.RecoveryReport
+}
+
+// Introspect returns the machine's wiring handles. See Introspection.
+func (m *Machine) Introspect() Introspection {
+	return Introspection{
+		Bus:       m.bus,
+		Injector:  m.faults,
+		LFS:       m.lfs,
+		Clustered: m.clustered,
+		Recovery:  m.recovery,
+	}
+}

@@ -20,8 +20,10 @@ import (
 // Restore rebuilds a machine from the same configuration and a snapshot;
 // driving the restored machine produces exactly the virtual-time trace and
 // statistics the original would have produced. Snapshot refuses dead
-// machines (their simulated process is gone; boot from media instead) and
-// network-backed machines (the netdev has no snapshot support).
+// machines (their simulated process is gone; boot from media instead),
+// network-backed machines (the netdev has no snapshot support), and
+// kernel-attached machines (the kernel owns the schedule; snapshot the fleet
+// through sim.Kernel.SnapshotTo instead).
 func (m *Machine) Snapshot() ([]byte, error) {
 	if m.err != nil {
 		return nil, fmt.Errorf("machine: cannot snapshot a dead machine: %w", m.err)
@@ -29,9 +31,12 @@ func (m *Machine) Snapshot() ([]byte, error) {
 	if m.cfg.Net != nil {
 		return nil, fmt.Errorf("machine: snapshot of network-backed machines is not supported")
 	}
+	if m.Clock.Attached() {
+		return nil, fmt.Errorf("machine: snapshot of kernel-attached machines goes through the kernel")
+	}
 	w := snap.NewWriter()
 	w.Section("machine")
-	m.cfg.fingerprintTo(w)
+	m.cfg.fingerprintTo(w, m.bus != nil)
 
 	m.Clock.SnapshotTo(w)
 	w.Bool(m.faults != nil)
@@ -93,10 +98,11 @@ const (
 	storeClustered
 )
 
-// fingerprintTo writes the configuration facts a snapshot depends on; a
-// snapshot restored under a configuration with a different fingerprint would
+// fingerprintTo writes the configuration facts a snapshot depends on —
+// including whether an event bus was attached, which lives in the options,
+// not the Config — a snapshot restored under a different fingerprint would
 // silently mis-simulate, so Restore rejects it instead.
-func (c *Config) fingerprintTo(w *snap.Writer) {
+func (c *Config) fingerprintTo(w *snap.Writer, obsAttached bool) {
 	w.Int(c.PageSize)
 	w.I64(c.MemoryBytes)
 	w.Int(c.FS.BlockSize)
@@ -106,12 +112,12 @@ func (c *Config) fingerprintTo(w *snap.Writer) {
 	w.Bool(c.LFSSwap != nil)
 	w.Bool(c.LFSSwap != nil && c.LFSSwap.Durable)
 	w.Bool(c.Faults != nil)
-	w.Bool(c.Obs != nil)
+	w.Bool(obsAttached)
 }
 
 // checkFingerprint validates a snapshot's fingerprint against this
-// (defaulted) configuration.
-func (c *Config) checkFingerprint(r *snap.Reader) error {
+// (defaulted) configuration and the rebuilt machine's attachments.
+func (c *Config) checkFingerprint(r *snap.Reader, obsAttached bool) error {
 	pageSize := r.Int()
 	memory := r.I64()
 	blockSize := r.Int()
@@ -144,18 +150,20 @@ func (c *Config) checkFingerprint(r *snap.Reader) error {
 		return fmt.Errorf("machine: snapshot LFS durability does not match the configuration")
 	case faults != (c.Faults != nil):
 		return fmt.Errorf("machine: snapshot fault injection %v, config %v", faults, c.Faults != nil)
-	case obsPresent != (c.Obs != nil):
-		return fmt.Errorf("machine: snapshot observability %v, config %v", obsPresent, c.Obs != nil)
+	case obsPresent != obsAttached:
+		return fmt.Errorf("machine: snapshot observability %v, rebuilt machine %v", obsPresent, obsAttached)
 	}
 	return nil
 }
 
 // Restore builds a machine from a configuration and a snapshot previously
-// captured from a machine of the same configuration. The rebuilt machine
-// resumes exactly where the snapshot was taken: the same virtual clock, page
-// placement, cache contents, device timeline, PRNG position and counters.
-func Restore(cfg Config, data []byte) (*Machine, error) {
-	m, err := New(cfg)
+// captured from a machine of the same configuration (pass the same Options
+// the original was built with — attachment presence is fingerprinted). The
+// rebuilt machine resumes exactly where the snapshot was taken: the same
+// virtual clock, page placement, cache contents, device timeline, PRNG
+// position and counters.
+func Restore(cfg Config, data []byte, opts ...Option) (*Machine, error) {
+	m, err := New(cfg, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -164,7 +172,7 @@ func Restore(cfg Config, data []byte) (*Machine, error) {
 		return nil, err
 	}
 	r.Section("machine")
-	if err := m.cfg.checkFingerprint(r); err != nil {
+	if err := m.cfg.checkFingerprint(r, m.bus != nil); err != nil {
 		return nil, err
 	}
 

@@ -26,16 +26,25 @@ func drivePhase(m *Machine, s *Space, base int) {
 	m.Drain()
 }
 
+// snapCase pairs a configuration with the machine options it is built with;
+// Restore needs the same options to reproduce the fingerprint.
+type snapCase struct {
+	cfg  Config
+	opts []Option
+}
+
 // snapshotConfigs are the machine shapes the byte-identity test covers: the
 // baseline direct swap, the durable log-structured swap, and the compression
 // cache with observability and an (idle) fault injector attached.
-func snapshotConfigs() map[string]Config {
+func snapshotConfigs() map[string]snapCase {
 	small := Default(40 * 4096) // 40 frames against a 96-page working set
-	return map[string]Config{
-		"direct": small,
-		"lfs":    small.WithLFS(swap.LFSConfig{SegmentBytes: 8 * 4096, Durable: true, Paranoid: true}),
-		"cc": small.WithCC().WithObs(obs.Options{}).
-			WithFaults(fault.Config{Seed: 7}),
+	return map[string]snapCase{
+		"direct": {cfg: small},
+		"lfs":    {cfg: small.WithLFS(swap.LFSConfig{SegmentBytes: 8 * 4096, Durable: true, Paranoid: true})},
+		"cc": {
+			cfg:  small.WithCC().WithFaults(fault.Config{Seed: 7}),
+			opts: []Option{WithObs(obs.Options{})},
+		},
 	}
 }
 
@@ -44,9 +53,9 @@ func snapshotConfigs() map[string]Config {
 // restored copy through phase 2, and require byte-identical final snapshots
 // and identical statistics.
 func TestSnapshotResumeByteIdentity(t *testing.T) {
-	for name, cfg := range snapshotConfigs() {
+	for name, tc := range snapshotConfigs() {
 		t.Run(name, func(t *testing.T) {
-			m1 := newMachine(t, cfg)
+			m1 := newMachine(t, tc.cfg, tc.opts...)
 			s1 := m1.NewSegment("snap", 96*4096)
 			drivePhase(m1, s1, 1)
 
@@ -54,7 +63,7 @@ func TestSnapshotResumeByteIdentity(t *testing.T) {
 			if err != nil {
 				t.Fatalf("Snapshot: %v", err)
 			}
-			m2, err := Restore(cfg, blob)
+			m2, err := Restore(tc.cfg, blob, tc.opts...)
 			if err != nil {
 				t.Fatalf("Restore: %v", err)
 			}
@@ -91,19 +100,19 @@ func TestSnapshotResumeByteIdentity(t *testing.T) {
 // TestSnapshotRestoreIsRerunnable restores the same blob twice and checks the
 // two copies agree — Restore must not consume or alias the snapshot.
 func TestSnapshotRestoreIsRerunnable(t *testing.T) {
-	cfg := snapshotConfigs()["cc"]
-	m := newMachine(t, cfg)
+	tc := snapshotConfigs()["cc"]
+	m := newMachine(t, tc.cfg, tc.opts...)
 	s := m.NewSegment("snap", 96*4096)
 	drivePhase(m, s, 3)
 	blob, err := m.Snapshot()
 	if err != nil {
 		t.Fatal(err)
 	}
-	ra, err := Restore(cfg, blob)
+	ra, err := Restore(tc.cfg, blob, tc.opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := Restore(cfg, blob)
+	rb, err := Restore(tc.cfg, blob, tc.opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,15 +137,15 @@ func TestSnapshotConfigMismatchRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bad := map[string]Config{
-		"memory": Default(64 * 4096),
-		"cc":     cfg.WithCC(),
-		"lfs":    cfg.WithLFS(swap.LFSConfig{}),
-		"faults": cfg.WithFaults(fault.Config{Seed: 1}),
-		"obs":    cfg.WithObs(obs.Options{}),
+	bad := map[string]snapCase{
+		"memory": {cfg: Default(64 * 4096)},
+		"cc":     {cfg: cfg.WithCC()},
+		"lfs":    {cfg: cfg.WithLFS(swap.LFSConfig{})},
+		"faults": {cfg: cfg.WithFaults(fault.Config{Seed: 1})},
+		"obs":    {cfg: cfg, opts: []Option{WithObs(obs.Options{})}},
 	}
 	for name, c := range bad {
-		if _, err := Restore(c, blob); err == nil {
+		if _, err := Restore(c.cfg, blob, c.opts...); err == nil {
 			t.Errorf("%s mismatch accepted", name)
 		}
 	}
@@ -154,7 +163,7 @@ func TestSnapshotDeadMachineRefused(t *testing.T) {
 	m := newMachine(t, cfg)
 	s := m.NewSegment("snap", 96*4096)
 	drivePhase(m, s, 5)
-	if !m.Injector().Crashed() {
+	if !m.Introspect().Injector.Crashed() {
 		t.Skip("workload finished without a device write")
 	}
 	if _, err := m.Snapshot(); err == nil {
@@ -180,25 +189,26 @@ func TestCrashRebootFromMedia(t *testing.T) {
 				m := newMachine(t, crashed)
 				s := m.NewSegment("snap", 96*4096)
 				drivePhase(m, s, 6)
-				if !m.Injector().Crashed() {
+				if !m.Introspect().Injector.Crashed() {
 					t.Fatalf("crash point %d never fired", k)
 				}
 				reborn, err := NewFromMedia(cfg, m.FS.Image())
 				if err != nil {
 					t.Fatalf("crash point %d: reboot: %v", k, err)
 				}
+				stores, rebornStores := m.Introspect(), reborn.Introspect()
 				switch {
-				case m.ClusteredStore() != nil:
-					err = reborn.ClusteredStore().VerifyRecovery(m.ClusteredStore())
-				case m.LFSStore() != nil:
-					err = reborn.LFSStore().VerifyRecovery(m.LFSStore())
+				case stores.Clustered != nil:
+					err = rebornStores.Clustered.VerifyRecovery(stores.Clustered)
+				case stores.LFS != nil:
+					err = rebornStores.LFS.VerifyRecovery(stores.LFS)
 				default:
 					t.Fatal("no recoverable store")
 				}
 				if err != nil {
 					t.Errorf("crash point %d: %v", k, err)
 				}
-				if reborn.RecoveryReport() == nil {
+				if rebornStores.Recovery == nil {
 					t.Errorf("crash point %d: reboot recorded no recovery report", k)
 				}
 				if err := reborn.CheckInvariants(); err != nil {

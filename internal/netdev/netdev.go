@@ -127,6 +127,7 @@ type Net struct {
 	busyAt sim.Time
 	st     stats.Disk
 	faults *fault.Injector // nil injects nothing
+	remote RemoteEndpoint  // nil models an infinitely fast server
 
 	bus      *obs.Bus
 	waitHist *obs.Histogram // net.queue_wait — delay behind the send queue
@@ -155,6 +156,26 @@ func (n *Net) SetObserver(b *obs.Bus) {
 	n.waitHist = b.Histogram("net.queue_wait")
 	n.svcHist = b.Histogram("net.service")
 }
+
+// RemoteEndpoint is the far side of the link: a shared page server whose own
+// queueing and media delay the reply. Admit is called once per transfer
+// attempt with the instant the request finishes arriving over the link;
+// it returns when the server is done with it (>= arrival), and that excess
+// lands on this device's timeline — callers queue behind server contention
+// exactly as they queue behind the link. addr < 0 marks traffic with no
+// server-side placement (pure forwards, e.g. machine-to-machine migration).
+//
+// Determinism contract: Admit is invoked in the issue order of this machine's
+// transfers; a shared endpoint serializes admissions from the whole fleet in
+// kernel dispatch order, so any -j gives the same timeline.
+type RemoteEndpoint interface {
+	Admit(arrival sim.Time, addr int64, bytes int, write bool) sim.Time
+}
+
+// SetRemote attaches the far-side endpoint; nil (the default) models an
+// infinitely fast server, which keeps single-machine runs byte-identical to
+// the pre-endpoint model.
+func (n *Net) SetRemote(r RemoteEndpoint) { n.remote = r }
 
 // Granularity reports the packet payload size (the fs.Device interface).
 func (n *Net) Granularity() int { return n.params.PacketBytes }
@@ -195,12 +216,20 @@ func (p Params) backoff(attempt int) time.Duration {
 }
 
 // attempt performs one transfer attempt: charge service time on the busy
-// timeline and draw the injected-failure decision.
-func (n *Net) attempt(bytes int, write bool, sync bool) error {
+// timeline, let the remote endpoint delay the reply, and draw the
+// injected-failure decision.
+func (n *Net) attempt(addr int64, bytes int, write bool, sync bool) error {
 	svc := n.opTime(bytes) + n.faults.Latency()
 	st := n.start()
 	wait := time.Duration(st - n.clock.Now())
 	done := st.Add(svc)
+	if n.remote != nil {
+		// The request lands on the server when the link finishes carrying it;
+		// the server's own queueing and media extend the reply, and that time
+		// is part of this attempt's service as seen by the caller.
+		done = n.remote.Admit(done, addr, bytes, write)
+		svc = time.Duration(done - st)
+	}
 	n.busyAt = done
 	n.st.BusyTime += svc
 	n.waitHist.Observe(wait)
@@ -228,8 +257,8 @@ func (n *Net) attempt(bytes int, write bool, sync bool) error {
 // virtual time (doubling, capped) and reissues the whole transfer. Failures
 // only occur under injection, so in a fault-free run exactly one attempt is
 // made and the cost model is unchanged.
-func (n *Net) transfer(bytes int, write bool, sync bool) error {
-	err := n.attempt(bytes, write, sync)
+func (n *Net) transfer(addr int64, bytes int, write bool, sync bool) error {
+	err := n.attempt(addr, bytes, write, sync)
 	for retry := 1; err != nil && retry <= n.params.Retries; retry++ {
 		n.st.Retries++
 		wait := n.params.backoff(retry)
@@ -246,7 +275,7 @@ func (n *Net) transfer(bytes int, write bool, sync bool) error {
 			// delaying everything queued behind it, not the caller.
 			n.busyAt = n.busyAt.Add(wait)
 		}
-		err = n.attempt(bytes, write, sync)
+		err = n.attempt(addr, bytes, write, sync)
 	}
 	return err
 }
@@ -257,7 +286,7 @@ func (n *Net) transfer(bytes int, write bool, sync bool) error {
 func (n *Net) Read(addr int64, bytes int) error {
 	n.st.Reads++
 	n.st.BytesRead += uint64(bytes)
-	return n.transfer(bytes, false, true)
+	return n.transfer(addr, bytes, false, true)
 }
 
 // Write sends n bytes to the page server, blocking the caller, with the
@@ -265,7 +294,7 @@ func (n *Net) Read(addr int64, bytes int) error {
 func (n *Net) Write(addr int64, bytes int) error {
 	n.st.Writes++
 	n.st.BytesWritten += uint64(bytes)
-	return n.transfer(bytes, true, true)
+	return n.transfer(addr, bytes, true, true)
 }
 
 // WriteAsync queues a send without blocking; subsequent synchronous
@@ -274,7 +303,7 @@ func (n *Net) Write(addr int64, bytes int) error {
 func (n *Net) WriteAsync(addr int64, bytes int) (sim.Time, error) {
 	n.st.Writes++
 	n.st.BytesWritten += uint64(bytes)
-	err := n.transfer(bytes, true, false)
+	err := n.transfer(addr, bytes, true, false)
 	return n.busyAt, err
 }
 

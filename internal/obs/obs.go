@@ -195,9 +195,10 @@ type Event struct {
 
 // Fault sources recorded in ClassFault's Aux field.
 const (
-	FaultSrcZero int64 = iota // zero-filled cold fault
-	FaultSrcCC                // decompressed from the compression cache
-	FaultSrcSwap              // read from the backing store
+	FaultSrcZero   int64 = iota // zero-filled cold fault
+	FaultSrcCC                  // decompressed from the compression cache
+	FaultSrcSwap                // read from the backing store
+	FaultSrcRemote              // fetched from remote fleet memory
 )
 
 // Injected-fault kinds recorded in ClassInject's Aux field.

@@ -157,13 +157,13 @@ func TestHistogramBuckets(t *testing.T) {
 	h := r.Histogram("svc")
 	h.Observe(500 * time.Nanosecond)  // first bucket (≤1µs)
 	h.Observe(1500 * time.Nanosecond) // ≤2µs
-	h.Observe(time.Second)            // overflow
+	h.Observe(10 * time.Second)       // past the 5s top of the ladder: overflow
 	s := r.Snapshot()
 	hs, ok := s.Hist("svc")
 	if !ok {
 		t.Fatal("histogram missing from snapshot")
 	}
-	if hs.Count != 3 || hs.Min != 500*time.Nanosecond || hs.Max != time.Second {
+	if hs.Count != 3 || hs.Min != 500*time.Nanosecond || hs.Max != 10*time.Second {
 		t.Fatalf("summary = %+v", hs)
 	}
 	want := []Bucket{

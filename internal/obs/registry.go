@@ -53,7 +53,9 @@ func (g *Gauge) Value() int64 {
 }
 
 // DefaultBuckets are the fixed virtual-latency bucket upper bounds every
-// histogram uses: a 1-2-5 decade ladder from 1µs to 100ms. Fixed buckets keep
+// histogram uses: a 1-2-5 decade ladder from 1µs to 5s (the upper decades
+// exist for fleet runs, where a whole cluster queues on one server). Fixed
+// buckets keep
 // histograms byte-comparable across runs and machines — the determinism
 // contract extends to every exported artifact.
 var DefaultBuckets = []time.Duration{
@@ -62,7 +64,8 @@ var DefaultBuckets = []time.Duration{
 	100 * time.Microsecond, 200 * time.Microsecond, 500 * time.Microsecond,
 	1 * time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
 	10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
-	100 * time.Millisecond,
+	100 * time.Millisecond, 200 * time.Millisecond, 500 * time.Millisecond,
+	1 * time.Second, 2 * time.Second, 5 * time.Second,
 }
 
 // Histogram accumulates virtual durations into fixed buckets. A nil

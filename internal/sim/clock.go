@@ -36,22 +36,44 @@ func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 
 // Clock is a monotonically advancing virtual clock.
 //
-// The zero Clock is ready to use and reads time zero. Clock is not safe for
-// concurrent use; the simulation is single-threaded by design (the paper's
-// kernel-level concurrency, such as the cleaner thread, is modelled with
-// busy-until timelines rather than goroutines, so runs are reproducible).
+// The zero Clock is ready to use and reads time zero: a private free-running
+// counter, exactly as before the discrete-event kernel existed, and
+// single-machine runs use it that way. Clock is not safe for concurrent use;
+// the simulation is single-threaded by design (the paper's kernel-level
+// concurrency, such as the cleaner thread, is modelled with busy-until
+// timelines rather than goroutines, so runs are reproducible).
+//
+// A Clock attached to a Kernel (see Kernel.Attach) keeps the same narrow
+// interface, but Advance/AdvanceTo become kernel-mediated waits: the owning
+// actor blocks until the shared time line reaches the target instant while
+// globally earlier actors run. Callers cannot tell the difference — both
+// flavours return the same instants for the same call sequence.
 type Clock struct {
-	now Time
+	now    Time
+	kernel *Kernel
+	actor  ActorID
 }
 
 // Now reports the current virtual time.
 func (c *Clock) Now() Time { return c.now }
+
+// Attached reports whether the clock is bound to a discrete-event kernel.
+func (c *Clock) Attached() bool { return c.kernel != nil }
+
+// Actor reports the kernel actor ID of an attached clock (zero otherwise).
+func (c *Clock) Actor() ActorID { return c.actor }
 
 // Advance moves the clock forward by d and returns the new time.
 // Advance panics if d is negative: virtual time never runs backward.
 func (c *Clock) Advance(d Duration) Time {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: Advance by negative duration %v", d))
+	}
+	if d == 0 {
+		return c.now
+	}
+	if c.kernel != nil {
+		return c.kernel.Wait(c.actor, c.now+Time(d))
 	}
 	c.now += Time(d)
 	return c.now
@@ -60,9 +82,13 @@ func (c *Clock) Advance(d Duration) Time {
 // AdvanceTo moves the clock forward to instant t. It is a no-op if t is in
 // the past; this is the common "wait until the device is free" operation.
 func (c *Clock) AdvanceTo(t Time) Time {
-	if t > c.now {
-		c.now = t
+	if t <= c.now {
+		return c.now
 	}
+	if c.kernel != nil {
+		return c.kernel.Wait(c.actor, t)
+	}
+	c.now = t
 	return c.now
 }
 

@@ -20,6 +20,7 @@ type VM struct {
 	ColdFaults  uint64 // faults on never-before-touched pages
 	CacheHits   uint64 // faults satisfied from the compression cache
 	SwapIns     uint64 // faults that required reading the backing store
+	RemoteIns   uint64 // faults satisfied by remote fleet memory (cluster runs)
 	Evictions   uint64 // resident pages evicted to make room
 	WriteBacks  uint64 // dirty pages pushed out of uncompressed memory
 	PinnedSkips uint64 // evictions skipped because the page was pinned
@@ -125,13 +126,6 @@ type Run struct {
 	CC     CC
 	Swap   Swap
 	Faults Faults
-
-	// Fault is a deprecated alias of Faults, kept populated so callers
-	// written against the flat field keep compiling and reading the same
-	// numbers.
-	//
-	// Deprecated: use Faults.
-	Fault Faults
 
 	Time  time.Duration // virtual execution time of the workload
 	Extra map[string]float64

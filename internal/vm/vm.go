@@ -95,9 +95,10 @@ type Source int8
 
 // Fault sources.
 const (
-	SrcZero Source = iota // zero-filled cold fault
-	SrcCC                 // decompressed from the compression cache
-	SrcSwap               // read from the backing store
+	SrcZero   Source = iota // zero-filled cold fault
+	SrcCC                   // decompressed from the compression cache
+	SrcSwap                 // read from the backing store
+	SrcRemote               // fetched from remote fleet memory (cluster runs)
 )
 
 // Pager moves page contents between memory and the lower levels of the
@@ -314,6 +315,9 @@ func (v *VM) fault(p *Page) error {
 		case SrcSwap:
 			v.st.SwapIns++
 			source = obs.FaultSrcSwap
+		case SrcRemote:
+			v.st.RemoteIns++
+			source = obs.FaultSrcRemote
 		case SrcZero:
 			v.st.ColdFaults++
 		}

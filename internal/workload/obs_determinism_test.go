@@ -23,13 +23,14 @@ var updateGolden = flag.Bool("update", false, "rewrite golden trace files instea
 // metrics snapshot — as one byte string, the unit of comparison for the
 // determinism contract.
 func tracedRun(memFrames int, pages int32, seed int64, faults bool) (string, error) {
-	cfg := machine.Default(int64(memFrames) * 4096).WithCC().WithObs(obs.Options{})
+	cfg := machine.Default(int64(memFrames) * 4096).WithCC()
 	if faults {
 		// Latency spikes only: deterministic, never fatal, and they route
 		// through the injector's rng so emission order is exercised too.
 		cfg = cfg.WithFaults(fault.Config{Seed: seed, LatencySpikeRate: 0.05, LatencySpike: time.Millisecond})
 	}
-	m, _, err := MeasureMachine(cfg, &Thrasher{Pages: pages, Write: true, Passes: 2, Seed: seed})
+	m, _, err := MeasureMachine(cfg, &Thrasher{Pages: pages, Write: true, Passes: 2, Seed: seed},
+		machine.WithObs(obs.Options{}))
 	if err != nil {
 		return "", err
 	}

@@ -38,9 +38,10 @@ type Workload interface {
 	Run(m *machine.Machine) error
 }
 
-// Measure builds a machine from cfg, runs w, and returns the final stats.
-func Measure(cfg machine.Config, w Workload) (stats.Run, error) {
-	_, st, err := MeasureMachine(cfg, w)
+// Measure builds a machine from cfg (passing any machine options through),
+// runs w, and returns the final stats.
+func Measure(cfg machine.Config, w Workload, opts ...machine.Option) (stats.Run, error) {
+	_, st, err := MeasureMachine(cfg, w, opts...)
 	return st, err
 }
 
@@ -49,8 +50,8 @@ func Measure(cfg machine.Config, w Workload) (stats.Run, error) {
 // snapshot, which stats.Run does not carry. The machine is returned even on
 // error (nil only if construction itself failed), so a died run's trace can
 // still be inspected.
-func MeasureMachine(cfg machine.Config, w Workload) (*machine.Machine, stats.Run, error) {
-	m, err := machine.New(cfg)
+func MeasureMachine(cfg machine.Config, w Workload, opts ...machine.Option) (*machine.Machine, stats.Run, error) {
+	m, err := machine.New(cfg, opts...)
 	if err != nil {
 		return nil, stats.Run{}, err
 	}
@@ -86,9 +87,9 @@ func (c Comparison) Speedup() float64 {
 }
 
 // RunBoth runs w under both configurations. cc must have the compression
-// cache enabled; base must not.
-func RunBoth(base, cc machine.Config, w Workload) (Comparison, error) {
-	return RunBothN(context.Background(), base, cc, w, 1)
+// cache enabled; base must not. Options apply to both machines.
+func RunBoth(base, cc machine.Config, w Workload, opts ...machine.Option) (Comparison, error) {
+	return RunBothN(context.Background(), base, cc, w, 1, opts...)
 }
 
 // RunBothN is RunBoth with the two measurements fanned out across up to
@@ -97,14 +98,14 @@ func RunBoth(base, cc machine.Config, w Workload) (Comparison, error) {
 // clocks, so they can run concurrently. Each run gets its own Clone of w,
 // which keeps the runs race-free and makes the result identical to a serial
 // RunBoth.
-func RunBothN(ctx context.Context, base, cc machine.Config, w Workload, workers int) (Comparison, error) {
+func RunBothN(ctx context.Context, base, cc machine.Config, w Workload, workers int, opts ...machine.Option) (Comparison, error) {
 	if base.CC.Enabled || !cc.CC.Enabled {
 		return Comparison{}, fmt.Errorf("workload: RunBoth needs a baseline and a CC configuration, in that order")
 	}
 	cfgs := [2]machine.Config{base, cc}
 	runs, err := runner.Map(ctx, runner.Parallelism(workers), len(cfgs),
 		func(_ context.Context, i int) (stats.Run, error) {
-			return Measure(cfgs[i], Clone(w))
+			return Measure(cfgs[i], Clone(w), opts...)
 		})
 	if err != nil {
 		return Comparison{}, err
