@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	cclint [-json] [-list] [-werror] [-baseline file] [-write-baseline]
-//	       [-effects file] [-write-effects] [packages...]
+//	cclint [-json] [-list] [-werror] [-only a,b] [-baseline file]
+//	       [-write-baseline] [-effects file] [-write-effects]
+//	       [-taint-report file] [packages...]
 //
 // Packages default to ./... . Patterns follow the go tool's shape
 // ("./...", "./internal/...", or plain directories); whatever the
@@ -13,6 +14,18 @@
 // select which packages' findings are reported. Exit status is 0 when the
 // tree is clean (warn-severity findings do not fail unless -werror), 1
 // when there are error findings, and 2 on usage or load errors.
+//
+// -only runs a comma-separated subset of the suite — the iteration loop
+// for a single analyzer on a subtree, e.g.
+//
+//	cclint -only snapcover ./internal/swap
+//
+// Ignore directives naming unselected analyzers stay valid (the unused-
+// directive hygiene check is skipped in filtered runs).
+//
+// -taint-report writes the dataflow engine's full source→sink flow table
+// as JSON — every nondeterministic value reaching a replayable output,
+// with its call chain — for CI to archive alongside the effects manifest.
 //
 // Findings are suppressed one line at a time, with a mandatory reason:
 //
@@ -38,6 +51,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"compcache/internal/lint"
 )
@@ -50,6 +64,8 @@ func main() {
 	writeBaseline := flag.Bool("write-baseline", false, "record current findings into the baseline file and exit 0")
 	effectsPath := flag.String("effects", lint.EffectsFile, "effects manifest (module-root-relative unless absolute); missing file = no drift checks")
 	writeEffects := flag.Bool("write-effects", false, "record the inferred effects of every exported function into the manifest and exit 0")
+	only := flag.String("only", "", "comma-separated analyzer names to run instead of the full suite")
+	taintReport := flag.String("taint-report", "", "write the taint source→sink flow report to this JSON file and exit 0")
 	flag.Parse()
 
 	analyzers := lint.All()
@@ -97,7 +113,33 @@ func main() {
 	}
 	mod.EffectsPath = ep
 
-	diags := lint.Run(pkgs, analyzers)
+	if *taintReport != "" {
+		tp := *taintReport
+		if !filepath.IsAbs(tp) {
+			tp = filepath.Join(mod.Root, tp)
+		}
+		if err := lint.WriteTaintReport(tp, mod); err != nil {
+			fmt.Fprintln(os.Stderr, "cclint:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "cclint: wrote taint report to %s\n", tp)
+		return
+	}
+
+	var diags []lint.Diagnostic
+	if *only != "" {
+		names := strings.Split(*only, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+		diags, err = lint.RunOnly(pkgs, analyzers, names)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cclint:", err)
+			os.Exit(2)
+		}
+	} else {
+		diags = lint.Run(pkgs, analyzers)
+	}
 
 	bp := *baselinePath
 	if !filepath.IsAbs(bp) {

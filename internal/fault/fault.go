@@ -139,11 +139,11 @@ func (c Config) Validate() error {
 // Injector is not safe for concurrent use; like the clock it belongs to
 // exactly one single-threaded simulated machine.
 type Injector struct {
-	cfg   Config
-	clock *sim.Clock
+	cfg   Config     //cclint:ignore snapcover -- config: fixed at construction; restore reads only cfg.Seed
+	clock *sim.Clock //cclint:ignore snapcover -- wiring: injected at construction, not replay state
 	src   countingSource
-	rng   *rand.Rand
-	bus   *obs.Bus
+	rng   *rand.Rand //cclint:ignore snapcover -- derived: re-synced from cfg.Seed by replaying the counted src draws
+	bus   *obs.Bus   //cclint:ignore snapcover -- wiring: observability bus attached separately
 	st    stats.Faults
 
 	writeSeq  uint64   // device writes seen (crash-point numbering)

@@ -90,12 +90,13 @@ type CompressedBlockCache interface {
 
 // FS is a simulated block file system on one device.
 type FS struct {
-	opts    Options
-	disk    Device
-	clock   *sim.Clock
-	pool    *mem.Pool
-	ccb     CompressedBlockCache // optional §6 compressed block cache
-	scratch []byte               // eviction copy buffer for the block cache
+	opts  Options              //cclint:ignore snapcover -- config: fixed at construction; the restore target is built with the same options
+	disk  Device               //cclint:ignore snapcover -- wiring: injected at construction, not replay state
+	clock *sim.Clock           //cclint:ignore snapcover -- wiring: injected at construction, not replay state
+	pool  *mem.Pool            //cclint:ignore snapcover -- wiring: injected at construction, not replay state
+	ccb   CompressedBlockCache //cclint:ignore snapcover -- wiring: the optional block cache snapshots itself separately
+	//cclint:ignore snapcover -- scratch: eviction copy buffer, dead between operations
+	scratch []byte // eviction copy buffer for the block cache
 	nextID  int32
 
 	files    map[string]*File
@@ -106,8 +107,9 @@ type FS struct {
 	// replacement policy after construction.
 	frameSource func(mem.Owner) (mem.FrameID, error)
 
-	cache     map[blockKey]*cacheBlock
-	lruHead   *cacheBlock // least recently used
+	cache   map[blockKey]*cacheBlock
+	lruHead *cacheBlock // least recently used
+	//cclint:ignore snapcover -- derived: tail of the LRU list, re-linked as restore replays insertions
 	lruTail   *cacheBlock // most recently used
 	hits      uint64
 	misses    uint64

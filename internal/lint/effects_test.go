@@ -226,7 +226,7 @@ func TestEffectsManifestDeterministic(t *testing.T) {
 }
 
 // TestHotAllocTreeClean locks the tentpole invariant: the real tree has
-// zero unignored findings under the full twelve-analyzer suite —
+// zero unignored findings under the full fifteen-analyzer suite —
 // in particular no steady-state allocation on the paging hot path.
 // (The full suite must run so ignore directives for the other
 // analyzers resolve; a partial suite would misread them as unknown.)
@@ -238,7 +238,8 @@ func TestHotAllocTreeClean(t *testing.T) {
 }
 
 // BenchmarkLintModule measures full-module cclint wall time: load,
-// type-check, call graph, effect inference, and all twelve analyzers.
+// type-check, call graph, effect inference, and all fifteen analyzers — the
+// pass the CI wall-time budget gate times against .cclint-lint-budget.
 func BenchmarkLintModule(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		mod, err := LoadModule(".")

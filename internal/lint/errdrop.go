@@ -19,7 +19,10 @@ import (
 // Three shapes are flagged in the scoped packages (type-informed, so only
 // results whose type is really `error` count):
 //
-//   - a call used as a statement whose results include an error;
+//   - a call used as a statement whose results include an error — plain,
+//     deferred (`defer f.Close()`) or spawned (`go f.flush()`); the defer
+//     and go forms hide the call outside any expression statement, which
+//     is exactly where cleanup-path errors die;
 //   - an assignment that drops an error result into the blank identifier;
 //   - an error variable assigned from a call and then overwritten by a
 //     sibling statement before anything reads it (the classic copy-paste
@@ -64,11 +67,12 @@ func (e ErrDrop) Check(pkg *Package) []Diagnostic {
 				switch n := n.(type) {
 				case *ast.ExprStmt:
 					if call, ok := n.X.(*ast.CallExpr); ok {
-						if errResultIndex(info, call) >= 0 && !neverFails(info, call) {
-							out = append(out, diag(pkg, e.Name(), call,
-								"%s returns an error that is silently discarded; handle it or it never climbs the degradation ladder", callName(call)))
-						}
+						out = append(out, e.checkDiscardedCall(pkg, info, call, "")...)
 					}
+				case *ast.DeferStmt:
+					out = append(out, e.checkDiscardedCall(pkg, info, n.Call, "deferred ")...)
+				case *ast.GoStmt:
+					out = append(out, e.checkDiscardedCall(pkg, info, n.Call, "spawned ")...)
 				case *ast.AssignStmt:
 					out = append(out, e.checkBlank(pkg, info, n)...)
 				case *ast.BlockStmt:
@@ -79,6 +83,17 @@ func (e ErrDrop) Check(pkg *Package) []Diagnostic {
 		}
 	}
 	return out
+}
+
+// checkDiscardedCall flags a statement-position call (plain, deferred or
+// spawned) whose results include an error nobody can ever see.
+func (e ErrDrop) checkDiscardedCall(pkg *Package, info *types.Info, call *ast.CallExpr, form string) []Diagnostic {
+	if errResultIndex(info, call) < 0 || neverFails(info, call) {
+		return nil
+	}
+	return []Diagnostic{diag(pkg, e.Name(), call,
+		"%s%s returns an error that is silently discarded; handle it or it never climbs the degradation ladder",
+		form, callName(call))}
 }
 
 // checkBlank flags `_` receiving an error result.

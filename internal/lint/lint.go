@@ -84,8 +84,9 @@ type Analyzer interface {
 
 // All returns the full cclint analyzer suite, in stable order: the four
 // original syntactic analyzers, the five call-graph analyzers added
-// with the cross-package engine, then the three effect-inference
-// analyzers (hotalloc, bufown, effectdrift).
+// with the cross-package engine, the three effect-inference analyzers
+// (hotalloc, bufown, effectdrift), then the three dataflow/contract
+// analyzers (nondet, kernelproto, snapcover).
 func All() []Analyzer {
 	return []Analyzer{
 		Walltime{},
@@ -100,6 +101,9 @@ func All() []Analyzer {
 		HotAlloc{},
 		BufOwn{},
 		EffectDrift{},
+		Nondet{},
+		KernelProto{},
+		SnapCover{},
 	}
 }
 
@@ -122,8 +126,37 @@ func diag(pkg *Package, name string, n ast.Node, format string, args ...any) Dia
 // directive-hygiene findings (missing reason, unknown analyzer, unused
 // directive), and returns the surviving diagnostics sorted by position.
 func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
-	known := make(map[string]bool, len(analyzers))
-	for _, a := range analyzers {
+	return run(pkgs, analyzers, analyzers, true)
+}
+
+// RunOnly runs only the named analyzers from the suite — the -only
+// iteration loop. Directive hygiene still validates names against the
+// whole suite (so -only does not misreport known analyzers as unknown),
+// and the unused-directive check is skipped entirely: a directive for an
+// analyzer outside the selection legitimately suppresses nothing in a
+// filtered run. An unknown name in names is an error.
+func RunOnly(pkgs []*Package, suite []Analyzer, names []string) ([]Diagnostic, error) {
+	byName := make(map[string]Analyzer, len(suite))
+	for _, a := range suite {
+		byName[a.Name()] = a
+	}
+	var selected []Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (run -list for the suite)", n)
+		}
+		selected = append(selected, a)
+	}
+	return run(pkgs, suite, selected, false), nil
+}
+
+// run is the shared engine behind Run and RunOnly: known names come from
+// the full suite, checks from the selection, and unused-directive
+// hygiene only applies when the whole suite ran.
+func run(pkgs []*Package, suite, selected []Analyzer, fullSuite bool) []Diagnostic {
+	known := make(map[string]bool, len(suite))
+	for _, a := range suite {
 		known[a.Name()] = true
 	}
 
@@ -131,7 +164,7 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 	for _, pkg := range pkgs {
 		dirs := collectIgnores(pkg, known)
 		var raw []Diagnostic
-		for _, a := range analyzers {
+		for _, a := range selected {
 			for _, d := range a.Check(pkg) {
 				if d.Severity == "" {
 					d.Severity = a.Severity()
@@ -145,7 +178,7 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 			}
 			out = append(out, d)
 		}
-		for _, d := range dirs.hygiene() {
+		for _, d := range dirs.hygiene(fullSuite) {
 			d.Severity = SevError
 			out = append(out, d)
 		}

@@ -143,6 +143,48 @@ func TestObsCoverageGolden(t *testing.T) { runGolden(t, "testdata/src/obscoverag
 func TestHotAllocGolden(t *testing.T)    { runGolden(t, "testdata/src/hotalloc") }
 func TestBufOwnGolden(t *testing.T)      { runGolden(t, "testdata/src/bufown") }
 func TestEffectDriftGolden(t *testing.T) { runGolden(t, "testdata/src/effectdrift") }
+func TestNondetGolden(t *testing.T)      { runGolden(t, "testdata/src/nondet") }
+func TestKernelProtoGolden(t *testing.T) { runGolden(t, "testdata/src/kernelproto") }
+func TestSnapCoverGolden(t *testing.T)   { runGolden(t, "testdata/src/snapcover") }
+
+// TestRunOnlyFilters pins the -only semantics: only selected analyzers
+// fire, ignore directives naming unselected analyzers stay valid (no
+// stale-directive noise in a filtered run), and an unknown name errors
+// instead of silently checking nothing.
+func TestRunOnlyFilters(t *testing.T) {
+	pkgs := selectFixture(t, "testdata/src/ignore")
+
+	diags, err := RunOnly(pkgs, All(), []string{"maprange"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if d.Analyzer == "walltime" {
+			t.Errorf("filtered run reported unselected analyzer: %v", d)
+		}
+		if strings.Contains(d.Message, "suppresses nothing") {
+			t.Errorf("filtered run reported a stale directive it cannot judge: %v", d)
+		}
+	}
+
+	diags, err = RunOnly(pkgs, All(), []string{"walltime"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hits int
+	for _, d := range diags {
+		if d.Analyzer == "walltime" {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Error("RunOnly(walltime) found nothing in the ignore fixture")
+	}
+
+	if _, err := RunOnly(pkgs, All(), []string{"wibble"}); err == nil {
+		t.Error("RunOnly with an unknown analyzer name must error")
+	}
+}
 
 // findFn resolves a function or method by fixture package path suffix and
 // name, through the call graph's deterministic node order.

@@ -49,6 +49,8 @@ type Module struct {
 	facts  map[string]map[*types.Func]bool
 
 	effects             *EffectFacts       // memoized effect-inference table
+	taint               *TaintFacts        // memoized dataflow/taint table
+	kproto              *kprotoFacts       // memoized kernel-protocol facts
 	manifest            map[string]Effects // memoized .cclint-effects.json
 	manifestLoaded      bool
 	manifestErr         error

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Mutation tests guard against analyzers silently going blind: each test
+// copies a golden fixture subtree into a scratch module, runs the full
+// suite to get a baseline, injects one regression a real patch could
+// introduce, and asserts the re-run reports exactly the expected new
+// finding — no more, no less. A golden test alone cannot catch an
+// analyzer that stops firing on shapes nobody has written yet; the
+// mutant is that shape.
+
+// copyFixtureTree copies testdata/src/<name> into root/<name>, so a
+// LoadTree(root, "compcache") resolves the fixture's own import paths.
+func copyFixtureTree(t *testing.T, root, name string) {
+	t.Helper()
+	src := filepath.Join("testdata", "src", name)
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		dst := filepath.Join(root, name, rel)
+		if d.IsDir() {
+			return os.MkdirAll(dst, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(dst, data, 0o644)
+	})
+	if err != nil {
+		t.Fatalf("copying fixture %s: %v", name, err)
+	}
+}
+
+// mutateFile applies one exact string replacement, failing if the
+// anchor text is missing (a drifted fixture would silently test nothing).
+func mutateFile(t *testing.T, path, old, new string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), old) {
+		t.Fatalf("mutation anchor %q not found in %s", old, path)
+	}
+	if err := os.WriteFile(path, []byte(strings.Replace(string(data), old, new, 1)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// lintTree loads a scratch module and runs the full suite over it.
+func lintTree(t *testing.T, root string) []Diagnostic {
+	t.Helper()
+	mod, err := LoadTree(root, "compcache")
+	if err != nil {
+		t.Fatalf("LoadTree(%s): %v", root, err)
+	}
+	if len(mod.TypeErrors) > 0 {
+		t.Fatalf("mutant must still type-check, got: %v", mod.TypeErrors)
+	}
+	return Run(mod.Pkgs, All())
+}
+
+// diagKeys folds diagnostics to analyzer+message multisets; mutations
+// shift line numbers, so positions cannot key the diff.
+func diagKeys(diags []Diagnostic) map[string]int {
+	keys := make(map[string]int)
+	for _, d := range diags {
+		keys[d.Analyzer+": "+d.Message]++
+	}
+	return keys
+}
+
+// assertExactlyNew asserts the mutant run reports precisely the expected
+// additional findings over the baseline, and loses none.
+func assertExactlyNew(t *testing.T, base, got []Diagnostic, wantNew []string) {
+	t.Helper()
+	baseKeys, gotKeys := diagKeys(base), diagKeys(got)
+	for _, w := range wantNew {
+		gotKeys[w]--
+	}
+	for k, n := range gotKeys {
+		switch {
+		case n > baseKeys[k]:
+			t.Errorf("mutant produced unexpected extra finding: %s", k)
+		case n < baseKeys[k]:
+			t.Errorf("mutant lost or double-counted finding: %s", k)
+		}
+	}
+	for k, n := range baseKeys {
+		if _, ok := gotKeys[k]; !ok && n > 0 {
+			t.Errorf("mutant lost baseline finding: %s", k)
+		}
+	}
+}
+
+// TestSnapCoverMutationUnserializedField: a brand-new field nobody
+// serializes must produce both per-side findings.
+func TestSnapCoverMutationUnserializedField(t *testing.T) {
+	root := t.TempDir()
+	copyFixtureTree(t, root, "snapcover")
+	base := lintTree(t, root)
+	mutateFile(t, filepath.Join(root, "snapcover", "snapcover.go"),
+		"pages   int64",
+		"pages   int64\n\tepoch   int64")
+	got := lintTree(t, root)
+	assertExactlyNew(t, base, got, []string{
+		"snapcover: field Good.epoch is never written by SnapshotTo; snapshot it or mark it //cclint:ignore snapcover -- <reason>",
+		"snapcover: field Good.epoch is never restored by RestoreFrom; restore it or mark it //cclint:ignore snapcover -- <reason>",
+	})
+}
+
+// TestSnapCoverMutationUnrestoredField: a field written by the snapshot
+// but forgotten by the restore — the silent stream-desync bug — must
+// produce exactly the restored-side finding.
+func TestSnapCoverMutationUnrestoredField(t *testing.T) {
+	root := t.TempDir()
+	copyFixtureTree(t, root, "snapcover")
+	base := lintTree(t, root)
+	path := filepath.Join(root, "snapcover", "snapcover.go")
+	mutateFile(t, path,
+		"pages   int64",
+		"pages   int64\n\tepoch   int64")
+	mutateFile(t, path,
+		"w.I64(g.pages)",
+		"w.I64(g.pages)\n\tw.I64(g.epoch)")
+	got := lintTree(t, root)
+	assertExactlyNew(t, base, got, []string{
+		"snapcover: field Good.epoch is never restored by RestoreFrom; restore it or mark it //cclint:ignore snapcover -- <reason>",
+	})
+}
+
+// TestKernelProtoMutationRawGoroutine: a raw go statement slipped into
+// the clean actor body must be reported with its actor chain.
+func TestKernelProtoMutationRawGoroutine(t *testing.T) {
+	root := t.TempDir()
+	copyFixtureTree(t, root, "kernelproto")
+	base := lintTree(t, root)
+	mutateFile(t, filepath.Join(root, "kernelproto", "kernelproto.go"),
+		"buf := pool.Get().([]byte)",
+		"buf := pool.Get().([]byte)\n\t\tgo func() { _ = buf }()")
+	got := lintTree(t, root)
+	assertExactlyNew(t, base, got, []string{
+		"kernelproto: actor body armed in Good: spawns a raw goroutine outside the kernel baton (Good); fleet determinism needs the single-actor discipline",
+	})
+}

@@ -90,5 +90,46 @@ func (p *Pager) goodIgnored(addr int) {
 	p.read(addr) //cclint:ignore errdrop -- fixture: prefetch probe, a miss here is re-fetched on the fault path
 }
 
+// badDeferDiscard drops a deferred call's error: the defer statement's
+// call is not an expression statement, so a call-statement-only check
+// misses it.
+func (p *Pager) badDeferDiscard(addr int) {
+	defer p.read(addr) // want `p\.read returns an error that is silently discarded`
+}
+
+// badGoDiscard drops the error of a spawned call the same way.
+func (p *Pager) badGoDiscard(addr int) {
+	go p.write(addr) // want `p\.write returns an error that is silently discarded`
+}
+
+// badDeferBlank blanks the error inside a defer closure — the cleanup
+// path is exactly where close errors die.
+func (p *Pager) badDeferBlank(addr int) {
+	defer func() {
+		_ = p.read(addr) // want `error result assigned to the blank identifier`
+	}()
+}
+
+// badDeferOverwrite loses the first failure to a shadow-overwrite
+// inside a defer closure.
+func (p *Pager) badDeferOverwrite(addr int) (last error) {
+	defer func() {
+		err := p.read(addr) // want `error assigned to err is overwritten before anything reads it`
+		err = p.write(addr)
+		last = err
+	}()
+	return nil
+}
+
+// goodDeferHandled checks the deferred close's error.
+func (p *Pager) goodDeferHandled(addr int) (err error) {
+	defer func() {
+		if cerr := p.read(addr); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return nil
+}
+
 // Healthy reads the nested view, which is always fine.
 func (p *Pager) Healthy() bool { return !p.run.Faults.Any() }

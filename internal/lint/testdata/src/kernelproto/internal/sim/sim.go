@@ -1,0 +1,36 @@
+// Package sim is a minimal stand-in for the discrete-event kernel,
+// matched by kernelproto's internal/sim suffix rule. Bodies here are
+// exempt from scanning: the kernel IS the baton implementation.
+package sim
+
+// Time is virtual time.
+type Time int64
+
+// ActorID names an actor.
+type ActorID int32
+
+// Kernel mirrors the spawn primitives the analyzer seeds on.
+type Kernel struct {
+	now  Time
+	runq []func()
+}
+
+// Go arms fn as an actor body.
+func (k *Kernel) Go(id ActorID, fn func()) { k.runq = append(k.runq, fn) }
+
+// Bind re-arms an existing actor with a fresh body.
+func (k *Kernel) Bind(id ActorID, fn func()) { k.runq = append(k.runq, fn) }
+
+// Schedule arms fn to run at a virtual instant.
+func (k *Kernel) Schedule(at Time, id ActorID, fn func(Time)) {
+	k.runq = append(k.runq, func() { fn(at) })
+}
+
+// Wait parks the calling actor until the virtual instant; it is the
+// baton-sanctioned way an actor body blocks.
+func (k *Kernel) Wait(id ActorID, until Time) Time {
+	if until > k.now {
+		k.now = until
+	}
+	return k.now
+}

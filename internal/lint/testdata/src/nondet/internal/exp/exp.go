@@ -1,0 +1,9 @@
+// Package exp is the table-side half of the nondet golden fixture,
+// matched by the analyzer's internal/exp package-suffix rule.
+package exp
+
+// Table is a minimal experiment table; AddRow is a nondet sink.
+type Table struct{ Rows [][]string }
+
+// AddRow appends one row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }

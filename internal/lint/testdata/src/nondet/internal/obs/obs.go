@@ -1,0 +1,10 @@
+// Package obs is the sink-side half of the nondet golden fixture: a
+// minimal stand-in for the observability bus, matched by the analyzer's
+// internal/obs package-suffix rule exactly as the real one is.
+package obs
+
+// Bus is a minimal metrics bus; Emit is a nondet sink.
+type Bus struct{ rows []string }
+
+// Emit records one exported value.
+func (b *Bus) Emit(v string) { b.rows = append(b.rows, v) }

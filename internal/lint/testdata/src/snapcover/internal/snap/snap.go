@@ -1,0 +1,43 @@
+// Package snap is a minimal stand-in for the snapshot codec, matched by
+// snapcover's internal/snap suffix rule.
+package snap
+
+// Writer encodes snapshot fields.
+type Writer struct{ buf []byte }
+
+// I64 writes one integer field.
+func (w *Writer) I64(v int64) {
+	for i := 0; i < 8; i++ {
+		w.buf = append(w.buf, byte(v>>(8*i)))
+	}
+}
+
+// String writes one string field.
+func (w *Writer) String(s string) {
+	w.I64(int64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Reader decodes snapshot fields.
+type Reader struct {
+	data []byte
+	off  int
+}
+
+// I64 reads one integer field.
+func (r *Reader) I64() int64 {
+	var v int64
+	for i := 0; i < 8; i++ {
+		v |= int64(r.data[r.off]) << (8 * i)
+		r.off++
+	}
+	return v
+}
+
+// String reads one string field.
+func (r *Reader) String() string {
+	n := int(r.I64())
+	s := string(r.data[r.off : r.off+n])
+	r.off += n
+	return s
+}

@@ -50,8 +50,8 @@ func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 // flavours return the same instants for the same call sequence.
 type Clock struct {
 	now    Time
-	kernel *Kernel
-	actor  ActorID
+	kernel *Kernel //cclint:ignore snapcover -- wiring: the kernel snapshots itself separately
+	actor  ActorID //cclint:ignore snapcover -- wiring: per-actor clock views are re-derived on attach
 }
 
 // Now reports the current virtual time.

@@ -144,10 +144,10 @@ type Kernel struct {
 	// whether its body returned (done) or it blocked in Wait. All actor
 	// bookkeeping is written on the scheduler side of this hand-off, so
 	// every field access is ordered by the channel.
-	yield   chan yieldMsg
+	yield   chan yieldMsg //cclint:ignore snapcover -- runtime: the baton channel is recreated when Run starts
 	running bool
-	stopped bool    // Stop was requested; Run returns after the current event
-	current ActorID // actor holding the baton while running (else -1)
+	stopped bool    //cclint:ignore snapcover -- runtime: snapshots happen outside Run, where Stop state is spent
+	current ActorID //cclint:ignore snapcover -- runtime: no actor holds the baton at a snapshot boundary
 }
 
 // yieldMsg is the baton an actor hands back to the scheduler.
